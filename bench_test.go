@@ -1,0 +1,209 @@
+package camc
+
+// One testing.B benchmark per figure and table of the paper's
+// evaluation, plus ablation benches for the simulator design choices
+// DESIGN.md calls out. Each benchmark regenerates its experiment (quick
+// sweeps — the same shapes as the full camc-bench run) and reports the
+// wall-clock cost of doing so; the interesting output is the experiment
+// itself, which `go run ./cmd/camc-bench -run <id>` prints.
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"camc/internal/arch"
+	"camc/internal/bench"
+	"camc/internal/core"
+	"camc/internal/kernel"
+	"camc/internal/measure"
+	"camc/internal/mpi"
+	"camc/internal/sim"
+)
+
+func benchExperiment(b *testing.B, id string, opts bench.Options) {
+	e, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var quick = bench.Options{Quick: true}
+
+// knlOnly trims multi-architecture experiments to the KNL panel so a
+// single bench iteration stays in the hundreds of milliseconds.
+var knlOnly = bench.Options{Quick: true, Arch: "knl"}
+
+func BenchmarkFig01XsedeTrace(b *testing.B)         { benchExperiment(b, "fig1", quick) }
+func BenchmarkFig02AccessPatterns(b *testing.B)     { benchExperiment(b, "fig2", quick) }
+func BenchmarkFig03OneToAllArchs(b *testing.B)      { benchExperiment(b, "fig3", knlOnly) }
+func BenchmarkFig04Breakdown(b *testing.B)          { benchExperiment(b, "fig4", quick) }
+func BenchmarkFig05GammaFit(b *testing.B)           { benchExperiment(b, "fig5", knlOnly) }
+func BenchmarkFig06RelativeThroughput(b *testing.B) { benchExperiment(b, "fig6", knlOnly) }
+func BenchmarkFig07Scatter(b *testing.B)            { benchExperiment(b, "fig7", knlOnly) }
+func BenchmarkFig08Gather(b *testing.B)             { benchExperiment(b, "fig8", knlOnly) }
+func BenchmarkFig09AlltoallDesigns(b *testing.B)    { benchExperiment(b, "fig9", knlOnly) }
+func BenchmarkFig10Allgather(b *testing.B)          { benchExperiment(b, "fig10", knlOnly) }
+func BenchmarkFig11Bcast(b *testing.B)              { benchExperiment(b, "fig11", knlOnly) }
+func BenchmarkFig12ModelValidation(b *testing.B)    { benchExperiment(b, "fig12", knlOnly) }
+func BenchmarkFig13ScatterVsLibs(b *testing.B)      { benchExperiment(b, "fig13", knlOnly) }
+func BenchmarkFig14GatherVsLibs(b *testing.B)       { benchExperiment(b, "fig14", knlOnly) }
+func BenchmarkFig15AlltoallVsLibs(b *testing.B)     { benchExperiment(b, "fig15", knlOnly) }
+func BenchmarkFig16AllgatherVsLibs(b *testing.B)    { benchExperiment(b, "fig16", knlOnly) }
+func BenchmarkFig17MultiNodeGather(b *testing.B)    { benchExperiment(b, "fig17", quick) }
+func BenchmarkFig18BcastVsLibs(b *testing.B) {
+	benchExperiment(b, "fig18", bench.Options{Quick: true, Arch: "broadwell"})
+}
+func BenchmarkTab03StepIsolation(b *testing.B) { benchExperiment(b, "tab3", knlOnly) }
+func BenchmarkX1Mechanisms(b *testing.B)       { benchExperiment(b, "x1", quick) }
+func BenchmarkX2SkewDynamics(b *testing.B)     { benchExperiment(b, "x2", quick) }
+func BenchmarkX3Reduce(b *testing.B)           { benchExperiment(b, "x3", quick) }
+func BenchmarkX4PipelinedGather(b *testing.B)  { benchExperiment(b, "x4", quick) }
+func BenchmarkX5Autotuner(b *testing.B) {
+	benchExperiment(b, "x5", bench.Options{Quick: true, Arch: "knl"})
+}
+func BenchmarkX6ModelAudit(b *testing.B)        { benchExperiment(b, "x6", quick) }
+func BenchmarkX7EmergentLock(b *testing.B)      { benchExperiment(b, "x7", quick) }
+func BenchmarkTab04ModelParams(b *testing.B)    { benchExperiment(b, "tab4", knlOnly) }
+func BenchmarkTab05Hardware(b *testing.B)       { benchExperiment(b, "tab5", quick) }
+func BenchmarkTab06MaxSpeedup(b *testing.B)     { benchExperiment(b, "tab6", knlOnly) }
+func BenchmarkTab07LargestSpeedup(b *testing.B) { benchExperiment(b, "tab7", knlOnly) }
+
+// Collective micro-benchmarks: simulated latency of the headline designs
+// at full KNL subscription, reported as sim-us/op so tuning changes show
+// up in benchstat diffs.
+func benchCollective(b *testing.B, kind core.Kind, algo func(*mpi.Rank, core.Args), size int64) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		last = measure.Collective(arch.KNL(), kind, algo, size, measure.Options{})
+	}
+	b.ReportMetric(last, "sim_us/op")
+}
+
+func BenchmarkScatterThrottled1M(b *testing.B) {
+	benchCollective(b, core.KindScatter, core.ScatterThrottled(8), 1<<20)
+}
+func BenchmarkScatterParallelRead1M(b *testing.B) {
+	benchCollective(b, core.KindScatter, core.ScatterParallelRead, 1<<20)
+}
+func BenchmarkGatherThrottled1M(b *testing.B) {
+	benchCollective(b, core.KindGather, core.GatherThrottled(8), 1<<20)
+}
+func BenchmarkBcastKnomial1M(b *testing.B) {
+	benchCollective(b, core.KindBcast, core.BcastKnomialRead(9), 1<<20)
+}
+func BenchmarkBcastScatterAllgather1M(b *testing.B) {
+	benchCollective(b, core.KindBcast, core.BcastScatterAllgather, 1<<20)
+}
+func BenchmarkAlltoallPairwiseColl256K(b *testing.B) {
+	benchCollective(b, core.KindAlltoall, core.AlltoallPairwiseColl, 256<<10)
+}
+func BenchmarkAllgatherRingSource256K(b *testing.B) {
+	benchCollective(b, core.KindAllgather, core.AllgatherRingSourceRead, 256<<10)
+}
+
+// Ablations (DESIGN.md §6): quantify the simulator design choices.
+
+// BenchmarkAblationChunkPages sweeps the contention-sampling granularity
+// and reports how the one-to-all latency estimate moves: coarse sampling
+// underestimates contention transients.
+func BenchmarkAblationChunkPages(b *testing.B) {
+	for _, chunk := range []int{1, 4, 16, 64, 256} {
+		chunk := chunk
+		b.Run(fmt.Sprintf("chunk=%d", chunk), func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				s := sim.New()
+				n := kernel.NewNode(s, arch.KNL())
+				n.CopyData = false
+				n.ChunkPages = chunk
+				src := n.NewProcess(1 << 30)
+				size := int64(1 << 20)
+				sa := src.Alloc(size * 16)
+				for r := 0; r < 16; r++ {
+					r := r
+					dst := n.NewProcess(1 << 22)
+					da := dst.Alloc(size)
+					s.Spawn(fmt.Sprintf("r%d", r), func(p *sim.Proc) {
+						if err := dst.VMRead(p, da, src, sa+kernel.Addr(int64(r)*size), size); err != nil {
+							panic(err)
+						}
+					})
+				}
+				if err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+				last = s.Now()
+			}
+			b.ReportMetric(last, "sim_us/op")
+		})
+	}
+}
+
+// BenchmarkAblationNoSocketPenalty removes the inter-socket copy penalty
+// and shows Ring-Neighbor-1 and the far-stride ring collapsing together
+// on Broadwell — the reason the topology term is modeled.
+func BenchmarkAblationNoSocketPenalty(b *testing.B) {
+	for _, penalty := range []bool{true, false} {
+		penalty := penalty
+		b.Run(fmt.Sprintf("penalty=%v", penalty), func(b *testing.B) {
+			a := arch.Broadwell()
+			if !penalty {
+				a.InterSocketBW = 1
+			}
+			var gap float64
+			for i := 0; i < b.N; i++ {
+				near := measure.Collective(a, core.KindAllgather, core.AllgatherRingNeighbor(1), 256<<10, measure.Options{})
+				far := measure.Collective(a, core.KindAllgather, core.AllgatherRingNeighbor(15), 256<<10, measure.Options{})
+				gap = far / near
+			}
+			b.ReportMetric(gap, "far/near")
+		})
+	}
+}
+
+// BenchmarkAblationNoAggregateBW removes the node bandwidth ceiling: the
+// pairwise alltoall then scales as if every stream had the full
+// single-stream rate, which no memory system provides.
+func BenchmarkAblationNoAggregateBW(b *testing.B) {
+	for _, ceiling := range []bool{true, false} {
+		ceiling := ceiling
+		b.Run(fmt.Sprintf("ceiling=%v", ceiling), func(b *testing.B) {
+			a := arch.KNL()
+			if !ceiling {
+				a.AggBandwidthBps = 0
+			}
+			var last float64
+			for i := 0; i < b.N; i++ {
+				last = measure.Collective(a, core.KindAlltoall, core.AlltoallPairwiseColl, 256<<10, measure.Options{})
+			}
+			b.ReportMetric(last, "sim_us/op")
+		})
+	}
+}
+
+// BenchmarkAblationControlMessages contrasts the native CMA pairwise
+// alltoall with the same schedule over point-to-point RTS/CTS transfers:
+// the per-message control traffic the native design eliminates (Fig 9).
+func BenchmarkAblationControlMessages(b *testing.B) {
+	for _, native := range []bool{true, false} {
+		native := native
+		b.Run(fmt.Sprintf("native=%v", native), func(b *testing.B) {
+			algo := core.AlltoallPairwisePt2pt
+			if native {
+				algo = core.AlltoallPairwiseColl
+			}
+			var last float64
+			for i := 0; i < b.N; i++ {
+				last = measure.Collective(arch.KNL(), core.KindAlltoall, algo, 16<<10, measure.Options{})
+			}
+			b.ReportMetric(last, "sim_us/op")
+		})
+	}
+}

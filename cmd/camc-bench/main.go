@@ -1,0 +1,70 @@
+// Command camc-bench runs the paper-reproduction experiments: every
+// figure and table of the evaluation section, printed as text tables.
+//
+// Usage:
+//
+//	camc-bench -list
+//	camc-bench -run fig7
+//	camc-bench -run fig7 -arch knl -quick
+//	camc-bench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"camc/internal/bench"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments")
+		run    = flag.String("run", "", "experiment id to run (e.g. fig7, tab6)")
+		all    = flag.Bool("all", false, "run every experiment")
+		archF  = flag.String("arch", "", "restrict to one architecture: knl, broadwell, power8")
+		quick  = flag.Bool("quick", false, "reduced sweeps (faster, same shapes)")
+		format = flag.String("format", "table", "output format: table, plot, csv")
+	)
+	flag.Parse()
+
+	opts := bench.Options{Arch: *archF, Quick: *quick}
+	var f bench.Format
+	switch *format {
+	case "table":
+		f = bench.FormatTable
+	case "plot":
+		f = bench.FormatPlot
+	case "csv":
+		f = bench.FormatCSV
+	default:
+		fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	switch {
+	case *list:
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-7s %s\n", e.ID, e.Title)
+		}
+	case *all:
+		for _, e := range bench.Registry() {
+			if err := e.RunFormat(os.Stdout, opts, f); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
+	case *run != "":
+		e, ok := bench.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *run)
+			os.Exit(2)
+		}
+		if err := e.RunFormat(os.Stdout, opts, f); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

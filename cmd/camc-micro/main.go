@@ -1,0 +1,38 @@
+// Command camc-micro runs the raw CMA microbenchmarks (Figures 2, 3, 4
+// and 6 of the paper): concurrent process_vm_readv latency under the
+// three access patterns, the ftrace-style phase breakdown, and the
+// relative-throughput study that locates the throttle sweet spots.
+//
+// Usage:
+//
+//	camc-micro -fig 3 -arch knl
+//	camc-micro -fig 6 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"camc/internal/bench"
+)
+
+func main() {
+	var (
+		fig   = flag.Int("fig", 0, "figure to reproduce: 2, 3, 4, or 6")
+		archF = flag.String("arch", "", "restrict to one architecture: knl, broadwell, power8")
+		quick = flag.Bool("quick", false, "reduced sweeps")
+	)
+	flag.Parse()
+	ids := map[int]string{2: "fig2", 3: "fig3", 4: "fig4", 6: "fig6"}
+	id, ok := ids[*fig]
+	if !ok {
+		fmt.Fprintln(os.Stderr, "camc-micro reproduces the microbenchmark figures: -fig 2|3|4|6")
+		os.Exit(2)
+	}
+	e, _ := bench.ByID(id)
+	if err := e.Run(os.Stdout, bench.Options{Arch: *archF, Quick: *quick}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

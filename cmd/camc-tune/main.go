@@ -1,0 +1,42 @@
+// Command camc-tune runs the collective autotuner: it probes every
+// candidate algorithm per collective at a ladder of message sizes and
+// prints the winning dispatch table for an architecture — the measured
+// equivalent of the paper's MVAPICH2 tuning-framework integration.
+//
+// Usage:
+//
+//	camc-tune                 # tune all three architectures
+//	camc-tune -arch knl
+//	camc-tune -arch power8 -procs 80
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"camc/internal/arch"
+	"camc/internal/tuner"
+)
+
+func main() {
+	var (
+		archF = flag.String("arch", "", "architecture: knl, broadwell, power8 (default: all)")
+		procs = flag.Int("procs", 0, "override the process count (default: full subscription)")
+	)
+	flag.Parse()
+	profiles := arch.All()
+	if *archF != "" {
+		p, err := arch.ByName(*archF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		profiles = []*arch.Profile{p}
+	}
+	for _, a := range profiles {
+		tab := tuner.Autotune(a, tuner.Config{Procs: *procs})
+		tab.Fprint(os.Stdout)
+		fmt.Println()
+	}
+}

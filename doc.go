@@ -1,0 +1,26 @@
+// Package camc reproduces "Contention-Aware Kernel-Assisted MPI
+// Collectives for Multi-/Many-core Systems" (Chakraborty, Subramoni,
+// Panda — IEEE CLUSTER 2017) as a self-contained Go library.
+//
+// The repository layout:
+//
+//   - internal/sim — deterministic discrete-event simulator (virtual
+//     clock, process coroutines, channels/mutexes/barriers).
+//   - internal/arch — the three evaluated architecture profiles (KNL,
+//     Broadwell, Power8) with the paper's Table IV cost-model constants.
+//   - internal/kernel — the simulated OS: address spaces and CMA
+//     process_vm_readv/writev with the contended per-page mm lock.
+//   - internal/shm — the two-copy shared-memory transport and the small
+//     control collectives.
+//   - internal/mpi — the mini-MPI runtime (ranks, pt2pt eager/rendezvous).
+//   - internal/core — the paper's contribution: native, contention-aware
+//     kernel-assisted collectives plus the classic baselines.
+//   - internal/model — the analytical cost model, parameter estimation
+//     and NLLS γ fitting.
+//   - internal/libs — MVAPICH2/Intel MPI/Open MPI comparator stacks.
+//   - internal/cluster — the multi-node network extension (Fig 17).
+//   - internal/bench — one experiment per figure/table of the paper.
+//
+// The benchmarks in bench_test.go regenerate every evaluation figure and
+// table; `go run ./cmd/camc-bench -list` enumerates them.
+package camc

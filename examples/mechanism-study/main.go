@@ -1,0 +1,38 @@
+// Mechanism-study: walk the kernel-assist spectrum the paper surveys
+// (Table I, §VIII). CMA, KNEM and LiMIC all funnel through
+// get_user_pages — so the contention-aware designs matter on all three —
+// while XPMEM attaches the remote region once and then copies without
+// kernel page locking, making even the naive designs contention-free.
+package main
+
+import (
+	"fmt"
+
+	"camc/internal/arch"
+	"camc/internal/core"
+	"camc/internal/kernel"
+	"camc/internal/measure"
+)
+
+func main() {
+	a := arch.KNL()
+	const size = 512 << 10
+	mechs := []kernel.Mechanism{kernel.MechCMA, kernel.MechKNEM, kernel.MechLiMIC, kernel.MechXPMEM}
+
+	fmt.Printf("MPI_Gather of %dK x %d ranks on %s\n\n", size>>10, a.DefaultProcs, a.Display)
+	fmt.Printf("%-10s %18s %18s %10s\n", "mechanism", "naive parallel(us)", "throttled-8 (us)", "naive/thr")
+	for _, m := range mechs {
+		naive := measure.Collective(a, core.KindGather, core.GatherParallelWrite, size,
+			measure.Options{Mechanism: m})
+		throttled := measure.Collective(a, core.KindGather, core.GatherThrottled(8), size,
+			measure.Options{Mechanism: m})
+		fmt.Printf("%-10s %18.0f %18.0f %9.1fx\n", m, naive, throttled, naive/throttled)
+	}
+	fmt.Println()
+	fmt.Println("CMA/KNEM/LiMIC: the naive all-to-one design pays the full gamma(p-1)")
+	fmt.Println("mm-lock contention, so throttling wins by a wide margin — the paper's")
+	fmt.Println("whole point. XPMEM has no per-page kernel locking once attached, and")
+	fmt.Println("the ratio INVERTS: with nothing to contend on, throttling is pure")
+	fmt.Println("serialization and the naive fully-parallel design wins. Contention-")
+	fmt.Println("aware algorithm choice is a property of the transfer mechanism.")
+}

@@ -1,0 +1,68 @@
+// Model-validation: run the paper's §II calibration pipeline end to end —
+// estimate α/β/l with the Table III truncated-iovec procedure, fit γ(c)
+// with Levenberg–Marquardt (Fig 5), then predict three broadcast
+// algorithms and compare against the simulated execution (Fig 12).
+package main
+
+import (
+	"fmt"
+
+	"camc/internal/arch"
+	"camc/internal/core"
+	"camc/internal/measure"
+	"camc/internal/model"
+	"camc/internal/stats"
+)
+
+func main() {
+	a := arch.KNL()
+	fmt.Printf("architecture: %s\n\n", a.Display)
+
+	// Step 1: parameter estimation (Table III / IV).
+	st := model.MeasureSteps(a, 400)
+	fmt.Printf("step isolation (400 pages): T1=%.2f T2=%.2f T3=%.2f T4=%.2f us\n",
+		st.T1, st.T2, st.T3, st.T4)
+	p := model.Estimate(a)
+	fmt.Printf("estimated: alpha=%.3fus beta=%.2f GB/s l=%.3fus/page (paper: 1.43, 3.29, 0.25)\n\n",
+		p.Alpha, 1e-3/p.Beta, p.L)
+
+	// Step 2: contention factor measurement + NLLS fit (Fig 5).
+	concs := []int{2, 4, 8, 16, 32, 48, 63}
+	samples := model.MeasureGammaCurve(a, []int{10, 50, 100}, concs)
+	ssr, err := p.FitGamma(samples)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("gamma fit: %.3f + %.3f c + %.4f c^2 (SSR %.3g)\n", p.GammaCoef[0], p.GammaCoef[1], p.GammaCoef[2], ssr)
+	for _, c := range []int{4, 8, 16, 63} {
+		fmt.Printf("  gamma(%2d) = %7.1f (profile: %7.1f)\n", c, p.Gamma(c), a.Gamma(c))
+	}
+	fmt.Println()
+
+	// Step 3: predict vs observe (Fig 12).
+	pr := model.NewPredictor(p, a.DefaultProcs)
+	algos := []struct {
+		name    string
+		predict func(int64) float64
+		run     func(size int64) float64
+	}{
+		{"direct-read", pr.BcastDirectRead, func(s int64) float64 {
+			return measure.Collective(a, core.KindBcast, core.BcastDirectRead, s, measure.Options{})
+		}},
+		{"direct-write", pr.BcastDirectWrite, func(s int64) float64 {
+			return measure.Collective(a, core.KindBcast, core.BcastDirectWrite, s, measure.Options{})
+		}},
+		{"scatter-allgather", pr.BcastScatterAllgather, func(s int64) float64 {
+			return measure.Collective(a, core.KindBcast, core.BcastScatterAllgather, s, measure.Options{})
+		}},
+	}
+	fmt.Printf("%-18s %10s %12s %12s %7s\n", "bcast algorithm", "size", "model(us)", "actual(us)", "err")
+	for _, al := range algos {
+		for _, size := range []int64{256 << 10, 1 << 20, 4 << 20} {
+			m := al.predict(size)
+			obs := al.run(size)
+			fmt.Printf("%-18s %9dK %12.0f %12.0f %6.1f%%\n",
+				al.name, size>>10, m, obs, 100*stats.RelErr(m, obs))
+		}
+	}
+}

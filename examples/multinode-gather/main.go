@@ -1,0 +1,46 @@
+// Multinode-gather: the paper's §VII-G scalability story. Compare the
+// two-level hierarchical Gather (contention-aware intra-node step, node
+// leaders over the network) against the flat single-level design on 2, 4
+// and 8 simulated KNL nodes — the improvement grows with node count.
+package main
+
+import (
+	"fmt"
+
+	"camc/internal/arch"
+	"camc/internal/cluster"
+	"camc/internal/core"
+)
+
+func main() {
+	a := arch.KNL()
+	const ppn = 64
+	sizes := []int64{16 << 10, 64 << 10, 256 << 10}
+
+	run := func(nodes int, eta int64, g func(r *cluster.Rank, eta int64)) float64 {
+		cl := cluster.New(cluster.Config{Arch: a, NumNodes: nodes, PPN: ppn})
+		done, err := cl.Run(func(r *cluster.Rank) { g(r, eta) })
+		if err != nil {
+			panic(err)
+		}
+		return done
+	}
+
+	twoLevel := cluster.GatherTwoLevel(core.TunedGather)
+	flat := cluster.GatherFlat(core.TransportPt2pt)
+
+	fmt.Printf("MPI_Gather on simulated KNL nodes (%d ranks/node)\n\n", ppn)
+	fmt.Printf("%-6s %-8s %14s %14s %9s\n", "nodes", "size", "two-level(us)", "flat(us)", "speedup")
+	for _, nodes := range []int{2, 4, 8} {
+		for _, eta := range sizes {
+			tl := run(nodes, eta, twoLevel)
+			fl := run(nodes, eta, flat)
+			fmt.Printf("%-6d %-8s %14.0f %14.0f %8.2fx\n",
+				nodes, fmt.Sprintf("%dK", eta>>10), tl, fl, fl/tl)
+		}
+		fmt.Println()
+	}
+	fmt.Println("the two-level design's advantage grows with node count: the flat")
+	fmt.Println("gather pays per-message network costs for every remote rank, the")
+	fmt.Println("hierarchical one only per node leader (Fig 17).")
+}

@@ -1,0 +1,3 @@
+module camc
+
+go 1.22

@@ -1,0 +1,288 @@
+// Package arch defines the architecture profiles the paper evaluates on:
+// Intel Xeon Broadwell, Intel Knights Landing (KNL), and IBM Power8.
+//
+// A Profile carries both the hardware description (Table V of the paper)
+// and the kernel-assisted-copy cost-model parameters (Table IV): the
+// per-message startup cost α, the per-byte transfer time β, the per-page
+// lock+pin time l, the page size s, and the contention factor γ(c) that
+// inflates per-page locking when c processes concurrently access the same
+// source process's address space.
+//
+// The α/β/l/s values are the paper's measured constants. The γ(c) curve
+// coefficients and the aggregate-bandwidth ceilings are calibrated: the
+// available text of the paper garbles those digits, so they were chosen
+// to reproduce the published *shapes* — the Fig 5 γ curves (smooth
+// super-linear growth on the single-socket KNL, a visible jump past the
+// socket boundary on Broadwell c>14 and Power8 c>10), the Fig 6
+// relative-throughput sweet spots (k≈4–8 on KNL, k≈4 on Broadwell,
+// k≈10 on Power8), and the ~2x maximum relative throughput on Broadwell.
+package arch
+
+import "fmt"
+
+// Profile describes one node architecture: topology, memory system, and
+// CMA cost-model parameters.
+type Profile struct {
+	Name    string // short id: "knl", "broadwell", "power8"
+	Display string // human-readable, e.g. "Intel Xeon Phi 7250 (KNL)"
+
+	// Topology (Table V).
+	Sockets        int
+	CoresPerSocket int
+	ThreadsPerCore int
+	DefaultProcs   int     // full-subscription process count used in the paper
+	ClockGHz       float64 // informational
+	RAMGB          int     // informational
+	Interconnect   string  // informational (multi-node experiments)
+
+	// CMA cost model (Table IV). Times in microseconds.
+	Alpha        float64 // startup: syscall entry + permission check
+	SyscallFrac  float64 // fraction of Alpha that is raw syscall entry (rest: permission check)
+	BandwidthBps float64 // single-stream copy bandwidth, bytes/second (β = 1/bandwidth)
+	LockPin      float64 // l: lock + pin one page, no contention (us)
+	LockFrac     float64 // fraction of l spent in the contended mm-lock acquire (rest: pin)
+	PageSize     int     // s: bytes per page
+
+	// Contention factor γ(c) = 1 for c <= 1, and for c >= 2:
+	//   γ(c) = GammaBase + GammaLin·c + GammaQuad·c²
+	//          + GammaJump·max(0, c − CoresPerSocket·ThreadsPerCore_used)
+	// where the jump models cross-socket mm-lock cache-line bouncing once
+	// the concurrent lockers necessarily span sockets.
+	GammaBase float64
+	GammaLin  float64
+	GammaQuad float64
+	GammaJump float64
+
+	// SocketBoundary is the concurrency past which lockers necessarily
+	// span sockets (= hardware threads per socket available to ranks).
+	SocketBoundary int
+
+	// InterSocketBW multiplies the per-byte copy time for cross-socket
+	// transfers (>1 means slower). 1.0 on single-socket machines.
+	InterSocketBW float64
+
+	// AggBandwidthBps caps the node's aggregate concurrent-copy
+	// bandwidth (bytes/second); concurrent copies share it
+	// processor-sharing style.
+	AggBandwidthBps float64
+
+	// Shared-memory (two-copy) transport parameters.
+	ShmCellSize     int     // bytes per pipelined copy cell
+	ShmCellOverhead float64 // per-cell bookkeeping cost (us)
+	ShmLatency      float64 // one-way small-message latency (us)
+	MemCopyBps      float64 // plain user-space memcpy bandwidth, bytes/second
+	// ShmCopyBps is the per-side copy rate through the shared bounce
+	// buffers (cache-cold, so below MemCopyBps); each byte is copied
+	// twice at this rate, which is why kernel-assisted single copies win
+	// for large messages.
+	ShmCopyBps float64
+}
+
+// Beta returns the per-byte transfer time in microseconds.
+func (p *Profile) Beta() float64 { return 1.0 / (p.BandwidthBps / 1e6) }
+
+// MemCopyBeta returns the per-byte user-space memcpy time in microseconds.
+func (p *Profile) MemCopyBeta() float64 { return 1.0 / (p.MemCopyBps / 1e6) }
+
+// ShmCopyBeta returns the per-byte bounce-buffer copy time in
+// microseconds (paid once per side of a shared-memory transfer).
+func (p *Profile) ShmCopyBeta() float64 { return 1.0 / (p.ShmCopyBps / 1e6) }
+
+// AggBandwidth returns the aggregate copy ceiling in bytes per microsecond.
+func (p *Profile) AggBandwidth() float64 { return p.AggBandwidthBps / 1e6 }
+
+// Gamma returns the contention factor for c concurrent readers/writers on
+// one source process. Gamma(1) == 1 by definition (l is the uncontended
+// per-page cost).
+func (p *Profile) Gamma(c int) float64 {
+	if c <= 1 {
+		return 1
+	}
+	g := p.GammaBase + p.GammaLin*float64(c) + p.GammaQuad*float64(c)*float64(c)
+	if c > p.SocketBoundary {
+		g += p.GammaJump * float64(c-p.SocketBoundary)
+	}
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// Pages returns the number of s-sized pages spanned by n bytes.
+func (p *Profile) Pages(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + p.PageSize - 1) / p.PageSize
+}
+
+// HWThreads returns the total hardware threads on the node.
+func (p *Profile) HWThreads() int { return p.Sockets * p.CoresPerSocket * p.ThreadsPerCore }
+
+// RankSocket maps rank r of an nprocs-rank job to its socket under block
+// placement (ranks fill socket 0 first), matching how the paper pins
+// processes (Ring-Neighbor-1 stays mostly intra-socket; Neighbor-5 on a
+// 2x14 Broadwell crosses sockets for most pairs).
+func (p *Profile) RankSocket(rank, nprocs int) int {
+	if p.Sockets == 1 || nprocs <= 0 {
+		return 0
+	}
+	perSocket := (nprocs + p.Sockets - 1) / p.Sockets
+	s := rank / perSocket
+	if s >= p.Sockets {
+		s = p.Sockets - 1
+	}
+	return s
+}
+
+// KNL returns the Intel Xeon Phi 7250 (Knights Landing) profile:
+// 68 cores, single socket, MCDRAM, 64 ranks used, 4 KiB pages.
+func KNL() *Profile {
+	return &Profile{
+		Name:           "knl",
+		Display:        "Intel Xeon Phi 7250 (Knights Landing)",
+		Sockets:        1,
+		CoresPerSocket: 68,
+		ThreadsPerCore: 4,
+		DefaultProcs:   64,
+		ClockGHz:       1.4,
+		RAMGB:          96,
+		Interconnect:   "Omni-Path (100G)",
+
+		Alpha:        1.43,
+		SyscallFrac:  0.35,
+		BandwidthBps: 3.29e9,
+		LockPin:      0.25,
+		LockFrac:     0.6,
+		PageSize:     4096,
+
+		// γ(c) ≈ 0.15c² + 0.6c (Table IV's KNL entry reads ~"0.1c²+1.6c"
+		// through the OCR noise; coefficients are calibrated so that 64
+		// concurrent readers fall *below* single-reader aggregate
+		// throughput at 4 MiB — the Fig 6a/7a behaviour that makes
+		// fully-parallel reads lose to sequential writes — while the
+		// per-size relative-throughput maximum lands at 8 readers).
+		GammaBase:      0,
+		GammaLin:       0.6,
+		GammaQuad:      0.15,
+		GammaJump:      0,
+		SocketBoundary: 68 * 4,
+		InterSocketBW:  1,
+
+		// MCDRAM-cached DDR: ~18 concurrent CMA streams before the node
+		// ceiling binds. The Fig 6a relative-throughput peak (~3.5x at 8
+		// readers, above Broadwell's ~2.6x) comes from γ, not the
+		// ceiling.
+		AggBandwidthBps: 60e9,
+
+		ShmCellSize:     8192,
+		ShmCellOverhead: 0.25,
+		ShmLatency:      0.45,
+		MemCopyBps:      4.2e9,
+		ShmCopyBps:      1.8e9,
+	}
+}
+
+// Broadwell returns the 2-socket Intel Xeon E5-2680 v4 profile:
+// 2 x 14 cores, DDR4, 28 ranks used, 4 KiB pages.
+func Broadwell() *Profile {
+	return &Profile{
+		Name:           "broadwell",
+		Display:        "Intel Xeon E5-2680 v4 (Broadwell)",
+		Sockets:        2,
+		CoresPerSocket: 14,
+		ThreadsPerCore: 1,
+		DefaultProcs:   28,
+		ClockGHz:       2.4,
+		RAMGB:          128,
+		Interconnect:   "InfiniBand EDR (100G)",
+
+		Alpha:        0.98,
+		SyscallFrac:  0.35,
+		BandwidthBps: 3.2e9,
+		LockPin:      0.10,
+		LockFrac:     0.6,
+		PageSize:     4096,
+
+		// γ(c) ≈ c² with an extra jump past c=14 (Fig 5b): cross-socket
+		// mm-lock bouncing on the 2-socket node. The strong quadratic is
+		// what keeps Broadwell's reader-count throughput spread to "only
+		// about 2x" (Fig 6b) with the sweet spot at 4 concurrent readers
+		// — the published Broadwell throttle factor.
+		GammaBase:      0,
+		GammaLin:       0,
+		GammaQuad:      1.0,
+		GammaJump:      12,
+		SocketBoundary: 14,
+		InterSocketBW:  1.45,
+
+		// DDR4, two sockets: ~12 concurrent CMA streams at full rate.
+		AggBandwidthBps: 40e9,
+
+		ShmCellSize:     8192,
+		ShmCellOverhead: 0.12,
+		ShmLatency:      0.25,
+		MemCopyBps:      5.5e9,
+		ShmCopyBps:      2.6e9,
+	}
+}
+
+// Power8 returns the IBM Power8 PPC64LE profile: 2 x 10 cores, SMT8
+// (160 hardware threads, all subscribed), 64 KiB pages.
+func Power8() *Profile {
+	return &Profile{
+		Name:           "power8",
+		Display:        "IBM Power8 (PPC64LE)",
+		Sockets:        2,
+		CoresPerSocket: 10,
+		ThreadsPerCore: 8,
+		DefaultProcs:   160,
+		ClockGHz:       3.4,
+		RAMGB:          256,
+		Interconnect:   "InfiniBand EDR (100G)",
+
+		Alpha:        0.75,
+		SyscallFrac:  0.35,
+		BandwidthBps: 3.7e9,
+		LockPin:      0.53,
+		LockFrac:     0.6,
+		PageSize:     65536,
+
+		// γ(c) ≈ 0.04c², near-flat at low concurrency (64 KiB pages mean
+		// few locks anyway) with a jump past c=10 when the lockers span
+		// the two sockets (Fig 5c) — which is why throttle factor 10 is
+		// the Power8 sweet spot.
+		GammaBase:      0.5,
+		GammaLin:       0,
+		GammaQuad:      0.04,
+		GammaJump:      6,
+		SocketBoundary: 10,
+		InterSocketBW:  1.3,
+
+		// Power8's large system bandwidth (the paper's explanation for
+		// why high-concurrency algorithms keep winning, Fig 6c): ~32
+		// concurrent CMA streams before the ceiling binds.
+		AggBandwidthBps: 120e9,
+
+		ShmCellSize:     16384,
+		ShmCellOverhead: 0.15,
+		ShmLatency:      0.30,
+		MemCopyBps:      6.0e9,
+		ShmCopyBps:      3.0e9,
+	}
+}
+
+// All returns the three paper architectures in presentation order.
+func All() []*Profile {
+	return []*Profile{KNL(), Broadwell(), Power8()}
+}
+
+// ByName returns the profile with the given short name.
+func ByName(name string) (*Profile, error) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("arch: unknown architecture %q (want knl, broadwell, or power8)", name)
+}

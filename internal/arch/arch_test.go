@@ -1,0 +1,190 @@
+package arch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"knl", "broadwell", "power8"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name != name {
+			t.Fatalf("ByName(%q).Name = %q", name, p.Name)
+		}
+	}
+	if _, err := ByName("skylake"); err == nil {
+		t.Fatal("ByName(skylake) should fail")
+	}
+}
+
+func TestTableIVConstants(t *testing.T) {
+	// The paper's Table IV measured values must be encoded exactly.
+	tests := []struct {
+		p        *Profile
+		alpha, l float64
+		page     int
+	}{
+		{KNL(), 1.43, 0.25, 4096},
+		{Broadwell(), 0.98, 0.10, 4096},
+		{Power8(), 0.75, 0.53, 65536},
+	}
+	for _, tt := range tests {
+		if tt.p.Alpha != tt.alpha {
+			t.Errorf("%s alpha = %g, want %g", tt.p.Name, tt.p.Alpha, tt.alpha)
+		}
+		if tt.p.LockPin != tt.l {
+			t.Errorf("%s l = %g, want %g", tt.p.Name, tt.p.LockPin, tt.l)
+		}
+		if tt.p.PageSize != tt.page {
+			t.Errorf("%s page = %d, want %d", tt.p.Name, tt.p.PageSize, tt.page)
+		}
+	}
+}
+
+func TestGammaBaseline(t *testing.T) {
+	for _, p := range All() {
+		if g := p.Gamma(0); g != 1 {
+			t.Errorf("%s Gamma(0) = %g, want 1", p.Name, g)
+		}
+		if g := p.Gamma(1); g != 1 {
+			t.Errorf("%s Gamma(1) = %g, want 1", p.Name, g)
+		}
+	}
+}
+
+func TestGammaMonotone(t *testing.T) {
+	for _, p := range All() {
+		prev := p.Gamma(1)
+		for c := 2; c <= p.DefaultProcs; c++ {
+			g := p.Gamma(c)
+			if g < prev {
+				t.Fatalf("%s Gamma not monotone at c=%d: %g < %g", p.Name, c, g, prev)
+			}
+			prev = g
+		}
+	}
+}
+
+func TestGammaSuperlinearOnKNL(t *testing.T) {
+	// Fig 7a: fully parallel reads lose to p-1 sequential steps at large
+	// sizes, which requires Gamma(63) > 63 by a wide margin.
+	p := KNL()
+	if g := p.Gamma(63); g < 4*63 {
+		t.Fatalf("KNL Gamma(63) = %g, want > %d for parallel reads to lose", g, 4*63)
+	}
+}
+
+func TestGammaSocketJump(t *testing.T) {
+	// Fig 5b/5c: a visible slope increase past the socket boundary on the
+	// two-socket machines, none on the single-socket KNL.
+	for _, tt := range []struct {
+		p        *Profile
+		boundary int
+	}{{Broadwell(), 14}, {Power8(), 10}} {
+		b := tt.boundary
+		inside := tt.p.Gamma(b) - tt.p.Gamma(b-1)
+		outside := tt.p.Gamma(b+2) - tt.p.Gamma(b+1)
+		if outside <= inside*1.5 {
+			t.Errorf("%s: slope after boundary %g not clearly above slope before %g", tt.p.Name, outside, inside)
+		}
+	}
+	// KNL's curve grows smoothly (quadratic): the slope increment per
+	// step stays constant at 2·GammaQuad with no discontinuity.
+	knl := KNL()
+	for c := 3; c < 64; c++ {
+		d1 := knl.Gamma(c+1) - knl.Gamma(c)
+		d0 := knl.Gamma(c) - knl.Gamma(c-1)
+		if d1-d0 > 2*knl.GammaQuad+1e-9 {
+			t.Errorf("KNL slope discontinuity at c=%d: %g -> %g", c, d0, d1)
+		}
+	}
+}
+
+func TestPages(t *testing.T) {
+	p := KNL()
+	tests := []struct{ n, want int }{
+		{0, 0}, {-5, 0}, {1, 1}, {4095, 1}, {4096, 1}, {4097, 2}, {1 << 20, 256},
+	}
+	for _, tt := range tests {
+		if got := p.Pages(tt.n); got != tt.want {
+			t.Errorf("Pages(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+	p8 := Power8()
+	if got := p8.Pages(1 << 20); got != 16 {
+		t.Errorf("Power8 Pages(1M) = %d, want 16", got)
+	}
+}
+
+func TestBetaConsistency(t *testing.T) {
+	p := KNL()
+	// 3.29 GB/s -> per-byte time in us
+	want := 1e6 / 3.29e9
+	if math.Abs(p.Beta()-want) > 1e-12 {
+		t.Fatalf("Beta = %g, want %g", p.Beta(), want)
+	}
+}
+
+func TestRankSocketBlockPlacement(t *testing.T) {
+	bdw := Broadwell()
+	for r := 0; r < 14; r++ {
+		if s := bdw.RankSocket(r, 28); s != 0 {
+			t.Fatalf("rank %d socket = %d, want 0", r, s)
+		}
+	}
+	for r := 14; r < 28; r++ {
+		if s := bdw.RankSocket(r, 28); s != 1 {
+			t.Fatalf("rank %d socket = %d, want 1", r, s)
+		}
+	}
+	knl := KNL()
+	if s := knl.RankSocket(63, 64); s != 0 {
+		t.Fatalf("KNL socket = %d, want 0", s)
+	}
+}
+
+func TestRankSocketInRange(t *testing.T) {
+	f := func(rank uint8, nprocs uint8) bool {
+		if nprocs == 0 {
+			return true
+		}
+		r := int(rank) % int(nprocs)
+		for _, p := range All() {
+			s := p.RankSocket(r, int(nprocs))
+			if s < 0 || s >= p.Sockets {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileSanity(t *testing.T) {
+	for _, p := range All() {
+		if p.DefaultProcs > p.HWThreads() {
+			t.Errorf("%s: DefaultProcs %d > hardware threads %d", p.Name, p.DefaultProcs, p.HWThreads())
+		}
+		if p.AggBandwidthBps < p.BandwidthBps {
+			t.Errorf("%s: aggregate bandwidth below single-stream", p.Name)
+		}
+		if p.LockFrac <= 0 || p.LockFrac >= 1 {
+			t.Errorf("%s: LockFrac %g out of (0,1)", p.Name, p.LockFrac)
+		}
+		if p.SyscallFrac <= 0 || p.SyscallFrac >= 1 {
+			t.Errorf("%s: SyscallFrac %g out of (0,1)", p.Name, p.SyscallFrac)
+		}
+		if p.InterSocketBW < 1 {
+			t.Errorf("%s: InterSocketBW %g < 1", p.Name, p.InterSocketBW)
+		}
+		if p.Sockets == 1 && p.InterSocketBW != 1 {
+			t.Errorf("%s: single socket but InterSocketBW %g", p.Name, p.InterSocketBW)
+		}
+	}
+}

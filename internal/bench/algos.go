@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+
+	"camc/internal/arch"
+	"camc/internal/core"
+	"camc/internal/measure"
+	"camc/internal/mpi"
+)
+
+// Algorithm-comparison experiments (Figs 7–11): the paper's §IV–§V
+// studies of the native CMA algorithm design spaces, per architecture at
+// full subscription.
+
+// namedAlgo is one line of an algorithm-comparison figure.
+type namedAlgo struct {
+	name string
+	run  func(*mpi.Rank, core.Args)
+}
+
+// throttlesFor returns the throttle ladder the paper sweeps per
+// architecture (Fig 7/8 legends: 2,4,8,16 on KNL; 2,4,7,14 on Broadwell;
+// 2,4,10,20 on Power8).
+func throttlesFor(a *arch.Profile) []int {
+	switch a.Name {
+	case "broadwell":
+		return []int{2, 4, 7, 14}
+	case "power8":
+		return []int{2, 4, 10, 20}
+	default:
+		return []int{2, 4, 8, 16}
+	}
+}
+
+// sweepAlgos measures each algorithm across the size ladder.
+func sweepAlgos(a *arch.Profile, kind core.Kind, algos []namedAlgo, sizes []int64) Table {
+	t := Table{
+		XHeader: "size",
+		XLabels: sizeLabels(sizes),
+		Notes:   []string{fmt.Sprintf("latency (us), %d processes, full subscription", a.DefaultProcs)},
+	}
+	for _, al := range algos {
+		s := Series{Name: al.name}
+		for _, sz := range sizes {
+			s.Values = append(s.Values, measure.Collective(a, kind, al.run, sz, measure.Options{}))
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t
+}
+
+func init() {
+	register(&Experiment{
+		ID:    "fig7",
+		Title: "Scatter algorithm comparison",
+		Tables: func(o Options) []Table {
+			var tables []Table
+			for _, a := range o.archs(arch.All()...) {
+				algos := []namedAlgo{}
+				for _, k := range throttlesFor(a) {
+					algos = append(algos, namedAlgo{fmt.Sprintf("throttle=%d", k), core.ScatterThrottled(k)})
+				}
+				algos = append(algos,
+					namedAlgo{"parallel-read", core.ScatterParallelRead},
+					namedAlgo{"sequential-write", core.ScatterSeqWrite},
+				)
+				t := sweepAlgos(a, core.KindScatter, algos, sweepSizes(o.Quick, largestSize(a)))
+				t.Title = "Fig 7: Scatter algorithms, " + a.Display
+				tables = append(tables, t)
+			}
+			return tables
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig8",
+		Title: "Gather algorithm comparison",
+		Tables: func(o Options) []Table {
+			var tables []Table
+			for _, a := range o.archs(arch.All()...) {
+				algos := []namedAlgo{}
+				for _, k := range throttlesFor(a) {
+					algos = append(algos, namedAlgo{fmt.Sprintf("throttle=%d", k), core.GatherThrottled(k)})
+				}
+				algos = append(algos,
+					namedAlgo{"parallel-write", core.GatherParallelWrite},
+					namedAlgo{"sequential-read", core.GatherSeqRead},
+				)
+				t := sweepAlgos(a, core.KindGather, algos, sweepSizes(o.Quick, largestSize(a)))
+				t.Title = "Fig 8: Gather algorithms, " + a.Display
+				tables = append(tables, t)
+			}
+			return tables
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig9",
+		Title: "Alltoall pairwise exchange: SHMEM vs CMA-pt2pt vs CMA-coll",
+		Tables: func(o Options) []Table {
+			var tables []Table
+			for _, a := range o.archs(arch.KNL(), arch.Broadwell()) {
+				algos := []namedAlgo{
+					{"SHMEM", core.AlltoallPairwiseShm},
+					{"CMA-pt2pt", core.AlltoallPairwisePt2pt},
+					{"CMA-coll", core.AlltoallPairwiseColl},
+				}
+				t := sweepAlgos(a, core.KindAlltoall, algos, sweepSizes(o.Quick, 1<<20))
+				t.Title = "Fig 9: Pairwise Alltoall implementations, " + a.Display
+				t.Notes = append(t.Notes, "CMA-coll avoids the per-message RTS/CTS of CMA-pt2pt")
+				tables = append(tables, t)
+			}
+			return tables
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig10",
+		Title: "Allgather algorithm comparison",
+		Tables: func(o Options) []Table {
+			var tables []Table
+			for _, a := range o.archs(arch.All()...) {
+				algos := []namedAlgo{
+					{"ring-source-read", core.AllgatherRingSourceRead},
+					{"ring-source-write", core.AllgatherRingSourceWrite},
+					{"ring-neighbor-1", core.AllgatherRingNeighbor(1)},
+					{"recursive-doubling", core.AllgatherRecursiveDoubling},
+					{"bruck", core.AllgatherBruck},
+				}
+				// The socket-awareness study: a stride that forces
+				// inter-socket neighbor traffic (gcd(stride, p) must be 1).
+				if a.Sockets > 1 {
+					stride := a.DefaultProcs/2 + 1
+					for gcd(stride, a.DefaultProcs) != 1 {
+						stride++
+					}
+					algos = append(algos, namedAlgo{
+						fmt.Sprintf("ring-neighbor-%d", stride),
+						core.AllgatherRingNeighbor(stride),
+					})
+				}
+				t := sweepAlgos(a, core.KindAllgather, algos, sweepSizes(o.Quick, 1<<20))
+				t.Title = "Fig 10: Allgather algorithms, " + a.Display
+				tables = append(tables, t)
+			}
+			return tables
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig11",
+		Title: "Broadcast algorithm comparison",
+		Tables: func(o Options) []Table {
+			var tables []Table
+			for _, a := range o.archs(arch.All()...) {
+				k := core.TunedThrottle(a) + 1
+				algos := []namedAlgo{
+					{"parallel-read", core.BcastDirectRead},
+					{"sequential-write", core.BcastDirectWrite},
+					{"scatter-allgather", core.BcastScatterAllgather},
+					{fmt.Sprintf("knomial-read-%d", k), core.BcastKnomialRead(k)},
+					{fmt.Sprintf("knomial-write-%d", k), core.BcastKnomialWrite(k)},
+				}
+				t := sweepAlgos(a, core.KindBcast, algos, sweepSizes(o.Quick, largestSize(a)))
+				t.Title = "Fig 11: Broadcast algorithms, " + a.Display
+				tables = append(tables, t)
+			}
+			return tables
+		},
+	})
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+
+	"camc/internal/arch"
+	"camc/internal/core"
+	"camc/internal/libs"
+	"camc/internal/measure"
+)
+
+// Library comparison experiments (§VII): the proposed tuned design vs
+// MVAPICH2, Intel MPI and Open MPI (Figs 13–16, 18; Tables VI and VII).
+
+// libsFor returns the comparator set for an architecture: the paper had
+// no Intel MPI on the OpenPOWER system.
+func libsFor(a *arch.Profile) []libs.Library {
+	all := libs.All()
+	if a.Name != "power8" {
+		return all
+	}
+	var out []libs.Library
+	for _, l := range all {
+		if l.Name != "intelmpi" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// compareLibraries builds one proposed-vs-libraries panel.
+func compareLibraries(a *arch.Profile, kind core.Kind, sizes []int64) Table {
+	t := Table{
+		XHeader: "size",
+		XLabels: sizeLabels(sizes),
+		Notes:   []string{fmt.Sprintf("latency (us), %d processes", a.DefaultProcs)},
+	}
+	for _, l := range libsFor(a) {
+		s := Series{Name: l.Name}
+		for _, sz := range sizes {
+			s.Values = append(s.Values, measure.Collective(a, kind, l.Collective(kind), sz, measure.Options{}))
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t
+}
+
+// libraryFigure registers a Figs 13–16/18 style experiment.
+func libraryFigure(id, figTitle string, kind core.Kind, archs func() []*arch.Profile, maxSize func(*arch.Profile) int64) {
+	register(&Experiment{
+		ID:    id,
+		Title: figTitle,
+		Tables: func(o Options) []Table {
+			var tables []Table
+			for _, a := range o.archs(archs()...) {
+				t := compareLibraries(a, kind, sweepSizes(o.Quick, maxSize(a)))
+				t.Title = fmt.Sprintf("%s, %s", figTitle, a.Display)
+				tables = append(tables, t)
+			}
+			return tables
+		},
+	})
+}
+
+func init() {
+	allArchs := func() []*arch.Profile { return arch.All() }
+	xeonArchs := func() []*arch.Profile { return []*arch.Profile{arch.KNL(), arch.Broadwell()} }
+	bdwP8 := func() []*arch.Profile { return []*arch.Profile{arch.Broadwell(), arch.Power8()} }
+
+	libraryFigure("fig13", "Fig 13: MPI_Scatter vs state-of-the-art libraries", core.KindScatter, allArchs, largestSize)
+	libraryFigure("fig14", "Fig 14: MPI_Gather vs state-of-the-art libraries", core.KindGather, allArchs, largestSize)
+	libraryFigure("fig15", "Fig 15: MPI_Alltoall vs state-of-the-art libraries", core.KindAlltoall,
+		xeonArchs, func(*arch.Profile) int64 { return 1 << 20 })
+	libraryFigure("fig16", "Fig 16: MPI_Allgather vs state-of-the-art libraries", core.KindAllgather,
+		xeonArchs, func(*arch.Profile) int64 { return 1 << 20 })
+	libraryFigure("fig18", "Fig 18: MPI_Bcast vs state-of-the-art libraries", core.KindBcast, bdwP8, largestSize)
+
+	register(&Experiment{
+		ID:    "tab6",
+		Title: "Maximum speedup of the proposed designs vs each library (Table VI)",
+		Tables: func(o Options) []Table {
+			return speedupTables(o, false)
+		},
+	})
+	register(&Experiment{
+		ID:    "tab7",
+		Title: "Speedup at the largest message size (Table VII)",
+		Tables: func(o Options) []Table {
+			return speedupTables(o, true)
+		},
+	})
+}
+
+// collectiveMax caps the sweep per collective kind (all-to-all patterns
+// move p×η per rank, so the paper sweeps them to smaller per-rank sizes).
+func collectiveMax(kind core.Kind, a *arch.Profile) int64 {
+	switch kind {
+	case core.KindAlltoall, core.KindAllgather:
+		max := int64(1 << 20)
+		if a.Name == "power8" {
+			max = 512 << 10
+		}
+		return max
+	default:
+		return largestSize(a)
+	}
+}
+
+// speedupTables computes Table VI (max over sizes) or Table VII (largest
+// size only).
+func speedupTables(o Options, largestOnly bool) []Table {
+	kinds := []core.Kind{core.KindBcast, core.KindScatter, core.KindGather, core.KindAllgather, core.KindAlltoall}
+	var tables []Table
+	for _, a := range o.archs(arch.All()...) {
+		t := Table{
+			Title:   "Speedup vs libraries on " + a.Display,
+			XHeader: "collective",
+			Notes:   []string{"speedup = library latency / proposed latency"},
+		}
+		if largestOnly {
+			t.Title = "Table VII (largest size): " + t.Title
+		} else {
+			t.Title = "Table VI (max over sizes): " + t.Title
+		}
+		comparators := libsFor(a)[1:] // drop "proposed"
+		series := make([]Series, len(comparators))
+		for i, l := range comparators {
+			series[i] = Series{Name: l.Name}
+		}
+		for _, kind := range kinds {
+			t.XLabels = append(t.XLabels, string(kind))
+			sizes := sweepSizes(o.Quick, collectiveMax(kind, a))
+			if largestOnly {
+				sizes = sizes[len(sizes)-1:]
+			}
+			prop := make([]float64, len(sizes))
+			for si, sz := range sizes {
+				prop[si] = measure.Collective(a, kind, libs.Proposed().Collective(kind), sz, measure.Options{})
+			}
+			for i, l := range comparators {
+				best := 0.0
+				for si, sz := range sizes {
+					lat := measure.Collective(a, kind, l.Collective(kind), sz, measure.Options{})
+					if sp := lat / prop[si]; sp > best {
+						best = sp
+					}
+				}
+				series[i].Values = append(series[i].Values, best)
+			}
+		}
+		t.Series = series
+		tables = append(tables, t)
+	}
+	return tables
+}

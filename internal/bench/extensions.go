@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"fmt"
+
+	"camc/internal/arch"
+	"camc/internal/cluster"
+	"camc/internal/core"
+	"camc/internal/kernel"
+	"camc/internal/measure"
+	"camc/internal/tuner"
+)
+
+// Extension experiments (ids x1–x5): studies beyond the paper's
+// evaluation that its text motivates — the kernel-assist mechanism
+// spectrum of Table I/§VIII, the process-skew sensitivity §V-A mentions,
+// and the §IX future-work designs (contention-aware Reduce, pipelined
+// two-level gather).
+
+func init() {
+	register(&Experiment{
+		ID:    "x1",
+		Title: "[extension] Kernel-assist mechanisms: CMA vs KNEM vs LiMIC vs XPMEM",
+		Tables: func(o Options) []Table {
+			a := arch.KNL()
+			if o.Arch != "" {
+				a = o.archs(arch.KNL())[0]
+			}
+			sizes := sweepSizes(o.Quick, 1<<20)
+			mechs := []kernel.Mechanism{kernel.MechCMA, kernel.MechKNEM, kernel.MechLiMIC, kernel.MechXPMEM}
+			t := Table{
+				Title:   "Gather (throttled k=8) latency by kernel-assist mechanism, " + a.Display,
+				XHeader: "size",
+				XLabels: sizeLabels(sizes),
+				Notes: []string{
+					"CMA/KNEM/LiMIC share the contended get_user_pages path (Table I);",
+					"XPMEM attaches once and then copies without kernel page locking,",
+					"so it dodges the contention the paper's designs throttle around",
+				},
+			}
+			naive := Table{
+				Title:   "Gather (naive parallel writes) latency by mechanism, " + a.Display,
+				XHeader: "size",
+				XLabels: sizeLabels(sizes),
+				Notes:   []string{"the contention-unaware design: mechanism choice matters far more here"},
+			}
+			for _, m := range mechs {
+				s := Series{Name: m.String()}
+				ns := Series{Name: m.String()}
+				for _, sz := range sizes {
+					s.Values = append(s.Values, measure.Collective(a, core.KindGather,
+						core.GatherThrottled(8), sz, measure.Options{Mechanism: m}))
+					ns.Values = append(ns.Values, measure.Collective(a, core.KindGather,
+						core.GatherParallelWrite, sz, measure.Options{Mechanism: m}))
+				}
+				t.Series = append(t.Series, s)
+				naive.Series = append(naive.Series, ns)
+			}
+			return []Table{t, naive}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "x2",
+		Title: "[extension] Process-skew and the contention dynamics",
+		Tables: func(o Options) []Table {
+			a := arch.KNL()
+			if o.Arch != "" {
+				a = o.archs(arch.KNL())[0]
+			}
+			const size = 256 << 10
+			skews := []float64{0, 100, 1000, 10000}
+			if o.Quick {
+				skews = []float64{0, 10000}
+			}
+			labels := make([]string, len(skews))
+			for i, sk := range skews {
+				labels[i] = fmt.Sprintf("%.0f", sk)
+			}
+			runAt := func(kind core.Kind, algo namedAlgo) Series {
+				s := Series{Name: algo.name}
+				for _, sk := range skews {
+					opts := measure.Options{}
+					if sk > 0 {
+						opts.SkewSeed = 42
+						opts.MaxSkew = sk
+					}
+					s.Values = append(s.Values, measure.Collective(a, kind, algo.run, size, opts))
+				}
+				return s
+			}
+			relief := Table{
+				Title:   fmt.Sprintf("One-to-all designs (256K) under per-rank start skew, %s", a.Display),
+				XHeader: "max-skew(us)",
+				XLabels: labels,
+				Notes: []string{
+					"latency measured from the last rank's start;",
+					"spreading arrivals thins the concurrent-reader set, so the naive",
+					"direct-read bcast speeds up dramatically — contention, not copy",
+					"bandwidth, was its bottleneck. The throttled design barely moves:",
+					"it already bounds concurrency by construction",
+				},
+			}
+			relief.Series = append(relief.Series,
+				runAt(core.KindBcast, namedAlgo{"direct-read", core.BcastDirectRead}),
+				runAt(core.KindScatter, namedAlgo{"scatter-throttle-8", core.ScatterThrottled(8)}),
+			)
+			robust := Table{
+				Title:   fmt.Sprintf("Allgather rings (256K) under per-rank start skew, %s", a.Display),
+				XHeader: "max-skew(us)",
+				XLabels: labels,
+				Notes: []string{
+					"§V-A warns skew can pile ring-source readers onto one source;",
+					"in practice the transient double-reads are brief and both ring",
+					"schedules tolerate even milliseconds of skew",
+				},
+			}
+			robust.Series = append(robust.Series,
+				runAt(core.KindAllgather, namedAlgo{"ring-source-read", core.AllgatherRingSourceRead}),
+				runAt(core.KindAllgather, namedAlgo{"ring-neighbor-1", core.AllgatherRingNeighbor(1)}),
+			)
+			return []Table{relief, robust}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "x3",
+		Title: "[extension] Contention-aware Reduce (the paper's future work)",
+		Tables: func(o Options) []Table {
+			a := arch.KNL()
+			if o.Arch != "" {
+				a = o.archs(arch.KNL())[0]
+			}
+			sizes := sweepSizes(o.Quick, 1<<20)
+			t := Table{
+				Title:   "Reduce algorithm latency, " + a.Display,
+				XHeader: "size",
+				XLabels: sizeLabels(sizes),
+				Notes: []string{
+					"parallel-write is the γ_{p−1} contention-prone design; the binary",
+					"CMA tree wins at large sizes (deep beats wide for reductions: a",
+					"parent serializes its children's read+combine work)",
+				},
+			}
+			algos := []namedAlgo{
+				{"knomial-2", core.ReduceKnomial(2)},
+				{"knomial-9", core.ReduceKnomial(9)},
+				{"binomial-pt2pt", core.ReduceBinomialPt2pt(core.TransportPt2pt)},
+				{"binomial-shm", core.ReduceBinomialPt2pt(core.TransportShm)},
+				{"parallel-write", core.ReduceParallelWrite},
+				{"flat-sequential", core.ReduceFlat},
+			}
+			for _, al := range algos {
+				s := Series{Name: al.name}
+				for _, sz := range sizes {
+					s.Values = append(s.Values, measure.Collective(a, core.KindGather, al.run, sz, measure.Options{}))
+				}
+				t.Series = append(t.Series, s)
+			}
+			return []Table{t}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "x4",
+		Title: "[extension] Pipelined two-level gather (the paper's future work)",
+		Tables: func(o Options) []Table {
+			a := arch.KNL()
+			ppn := 64
+			nodes := 4
+			sizes := sweepSizes(o.Quick, 1<<20)
+			t := Table{
+				Title:   fmt.Sprintf("Two-level gather on %d KNL nodes: plain vs pipelined", nodes),
+				XHeader: "size",
+				XLabels: sizeLabels(sizes),
+				Notes:   []string{"segmentation overlaps inter-node drains with the next segment's intra-node gather"},
+			}
+			designs := []struct {
+				name string
+				run  func(r *cluster.Rank, eta int64)
+			}{
+				{"two-level", cluster.GatherTwoLevel(core.TunedGather)},
+				{"pipelined-2", cluster.GatherTwoLevelPipelined(core.TunedGather, 2)},
+				{"pipelined-4", cluster.GatherTwoLevelPipelined(core.TunedGather, 4)},
+				{"pipelined-8", cluster.GatherTwoLevelPipelined(core.TunedGather, 8)},
+			}
+			for _, d := range designs {
+				s := Series{Name: d.name}
+				for _, sz := range sizes {
+					s.Values = append(s.Values, multinodeGather(a, nodes, ppn, sz, d.run))
+				}
+				t.Series = append(t.Series, s)
+			}
+			return []Table{t}
+		},
+	})
+}
+
+func init() {
+	register(&Experiment{
+		ID:    "x5",
+		Title: "[extension] Autotuned dispatch tables (the MVAPICH2 tuning framework analogue)",
+		Tables: func(o Options) []Table {
+			archs := o.archs(arch.All()...)
+			cfg := tuner.Config{}
+			if o.Quick {
+				cfg.ProbeSizes = []int64{16 << 10, 1 << 20}
+			}
+			var tables []Table
+			for _, a := range archs {
+				tab := tuner.Autotune(a, cfg)
+				t := Table{
+					Title:   "Measured dispatch table, " + a.Display,
+					XHeader: "collective/bucket",
+					Notes: []string{
+						"winner per message-size bucket, derived from probe measurements",
+						"reproduces the hand-tuned selections: throttle sweet spots, shm",
+						"thresholds, scatter-allgather at the top sizes",
+					},
+				}
+				probes := Series{Name: "probe-lat(us)"}
+				for _, kind := range tuner.Kinds() {
+					for _, e := range tab.Entries[kind] {
+						bound := "inf"
+						if e.MaxSize != int64(^uint64(0)>>1) {
+							bound = sizeLabel(e.MaxSize)
+						}
+						t.XLabels = append(t.XLabels, fmt.Sprintf("%s <=%s: %s", kind, bound, e.Name))
+						probes.Values = append(probes.Values, e.Latency)
+					}
+				}
+				t.Series = []Series{probes}
+				tables = append(tables, t)
+			}
+			return tables
+		},
+	})
+}

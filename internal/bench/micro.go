@@ -1,0 +1,246 @@
+package bench
+
+import (
+	"fmt"
+
+	"camc/internal/arch"
+	"camc/internal/kernel"
+	"camc/internal/sim"
+)
+
+// Raw CMA microbenchmarks (Figs 2, 3, 4, 6): concurrent process_vm_readv
+// latency under the paper's three access patterns, the ftrace-style
+// phase breakdown, and the relative-throughput sweet-spot study.
+
+// oneToAllLatency times `readers` concurrent CMA reads of size bytes
+// from a single source process. With sameBuffer, every reader targets
+// the same region; otherwise disjoint regions of the same source (the
+// Fig 2b vs 2c distinction — both bottleneck on the source's mm lock).
+func oneToAllLatency(a *arch.Profile, readers int, size int64, sameBuffer bool) float64 {
+	s := sim.New()
+	node := kernel.NewNode(s, a)
+	node.CopyData = false
+	src := node.NewProcess(size*int64(readers) + 1<<20)
+	sa := src.Alloc(size * int64(readers))
+	for i := 0; i < readers; i++ {
+		i := i
+		dst := node.NewProcess(size + 1<<20)
+		dst.SetSocket(a.RankSocket(i, readers))
+		da := dst.Alloc(size)
+		off := kernel.Addr(int64(i) * size)
+		if sameBuffer {
+			off = 0
+		}
+		s.Spawn(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+			if err := dst.VMRead(p, da, src, sa+off, size); err != nil {
+				panic(err)
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		panic(err)
+	}
+	return s.Now()
+}
+
+// allToAllPairsLatency times `pairs` disjoint concurrent reads (each
+// reader pulls from its own private source — the paper's carefully
+// paired Fig 2a pattern).
+func allToAllPairsLatency(a *arch.Profile, pairs int, size int64) float64 {
+	s := sim.New()
+	node := kernel.NewNode(s, a)
+	node.CopyData = false
+	for i := 0; i < pairs; i++ {
+		src := node.NewProcess(size + 1<<20)
+		src.SetSocket(a.RankSocket(i, pairs))
+		sa := src.Alloc(size)
+		dst := node.NewProcess(size + 1<<20)
+		dst.SetSocket(a.RankSocket(i, pairs))
+		da := dst.Alloc(size)
+		s.Spawn(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+			if err := dst.VMRead(p, da, src, sa, size); err != nil {
+				panic(err)
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		panic(err)
+	}
+	return s.Now()
+}
+
+// breakdownOf returns the mean per-phase breakdown of a pages-page CMA
+// read while `extra` other readers hammer the same source.
+func breakdownOf(a *arch.Profile, pages, extra int) kernel.Breakdown {
+	s := sim.New()
+	node := kernel.NewNode(s, a)
+	node.CopyData = false
+	size := int64(pages) * int64(a.PageSize)
+	src := node.NewProcess(size*int64(extra+1) + 1<<20)
+	sa := src.Alloc(size * int64(extra+1))
+	var main kernel.Breakdown
+	for i := 0; i <= extra; i++ {
+		i := i
+		dst := node.NewProcess(size + 1<<20)
+		da := dst.Alloc(size)
+		s.Spawn(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+			bd, err := dst.VMReadPartial(p, da, src, sa+kernel.Addr(int64(i)*size), size, size)
+			if err != nil {
+				panic(err)
+			}
+			if i == 0 {
+				main = bd
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		panic(err)
+	}
+	return main
+}
+
+func init() {
+	register(&Experiment{
+		ID:    "fig2",
+		Title: "Impact of communication patterns on CMA read latency (KNL)",
+		Tables: func(o Options) []Table {
+			a := arch.KNL()
+			sizes := sweepSizes(o.Quick, 4<<20)
+			readers := readerLadder(64, o.Quick)
+			panels := []struct {
+				title string
+				f     func(readers int, size int64) float64
+			}{
+				{"(a) Different source processes (all-to-all pairs)", func(r int, s int64) float64 {
+					return allToAllPairsLatency(a, r, s)
+				}},
+				{"(b) Same process, same buffer (one-to-all)", func(r int, s int64) float64 {
+					return oneToAllLatency(a, r, s, true)
+				}},
+				{"(c) Same process, different buffers (one-to-all)", func(r int, s int64) float64 {
+					return oneToAllLatency(a, r, s, false)
+				}},
+			}
+			var tables []Table
+			for _, p := range panels {
+				t := Table{
+					Title:   "Fig 2" + p.title,
+					XHeader: "size",
+					XLabels: sizeLabels(sizes),
+					Notes:   []string{"CMA read latency (us) on Knights Landing"},
+				}
+				for _, r := range readers {
+					s := Series{Name: fmt.Sprintf("%d readers", r)}
+					for _, sz := range sizes {
+						s.Values = append(s.Values, p.f(r, sz))
+					}
+					t.Series = append(t.Series, s)
+				}
+				tables = append(tables, t)
+			}
+			return tables
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig3",
+		Title: "One-to-all CMA read latency across architectures",
+		Tables: func(o Options) []Table {
+			var tables []Table
+			for _, a := range o.archs(arch.All()...) {
+				sizes := sweepSizes(o.Quick, 4<<20)
+				t := Table{
+					Title:   fmt.Sprintf("Fig 3: one-to-all CMA read, %s (%d hardware contexts used)", a.Display, a.DefaultProcs),
+					XHeader: "size",
+					XLabels: sizeLabels(sizes),
+					Notes:   []string{"latency (us) for N concurrent readers of one source process"},
+				}
+				for _, r := range readerLadder(a.DefaultProcs, o.Quick) {
+					s := Series{Name: fmt.Sprintf("%d readers", r)}
+					for _, sz := range sizes {
+						s.Values = append(s.Values, oneToAllLatency(a, r, sz, false))
+					}
+					t.Series = append(t.Series, s)
+				}
+				tables = append(tables, t)
+			}
+			return tables
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig4",
+		Title: "Breakdown of one-to-all CMA read (ftrace-style), Broadwell",
+		Tables: func(o Options) []Table {
+			a := arch.Broadwell()
+			pages := []int{1, 4, 16, 64, 128, 256, 512}
+			if o.Quick {
+				pages = []int{16, 256}
+			}
+			var tables []Table
+			for _, extra := range []int{0, 4, 27} {
+				label := "no contention"
+				if extra > 0 {
+					label = fmt.Sprintf("%d concurrent readers", extra+1)
+				}
+				t := Table{
+					Title:   "Fig 4: CMA read phase breakdown, " + label,
+					XHeader: "pages",
+					XLabels: nil,
+					Notes:   []string{"per-phase time (us); the mm-lock acquire is the only phase inflating with contention"},
+				}
+				syscall := Series{Name: "syscall"}
+				perm := Series{Name: "perm-check"}
+				lock := Series{Name: "acquire-locks"}
+				pin := Series{Name: "pin-pages"}
+				cp := Series{Name: "copy-data"}
+				for _, pg := range pages {
+					bd := breakdownOf(a, pg, extra)
+					t.XLabels = append(t.XLabels, fmt.Sprintf("%d", pg))
+					syscall.Values = append(syscall.Values, bd.Syscall)
+					perm.Values = append(perm.Values, bd.PermCheck)
+					lock.Values = append(lock.Values, bd.Lock)
+					pin.Values = append(pin.Values, bd.Pin)
+					cp.Values = append(cp.Values, bd.Copy)
+				}
+				t.Series = []Series{syscall, perm, lock, pin, cp}
+				tables = append(tables, t)
+			}
+			return tables
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig6",
+		Title: "Relative CMA read throughput vs concurrency (one-to-all)",
+		Tables: func(o Options) []Table {
+			var tables []Table
+			for _, a := range o.archs(arch.All()...) {
+				sizes := sweepSizes(o.Quick, 4<<20)
+				t := Table{
+					Title:   "Fig 6: relative throughput, " + a.Display,
+					XHeader: "size",
+					XLabels: sizeLabels(sizes),
+					Notes: []string{
+						"aggregate throughput of N concurrent readers relative to one reader",
+						"values > 1 mean added concurrency still pays; the per-size maximum is the throttle sweet spot",
+					},
+				}
+				base := make([]float64, len(sizes))
+				for i, sz := range sizes {
+					base[i] = oneToAllLatency(a, 1, sz, false)
+				}
+				for _, r := range readerLadder(a.DefaultProcs, o.Quick) {
+					s := Series{Name: fmt.Sprintf("%d readers", r)}
+					for i, sz := range sizes {
+						lat := oneToAllLatency(a, r, sz, false)
+						s.Values = append(s.Values, float64(r)*base[i]/lat)
+					}
+					t.Series = append(t.Series, s)
+				}
+				tables = append(tables, t)
+			}
+			return tables
+		},
+	})
+}

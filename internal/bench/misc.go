@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+
+	"camc/internal/arch"
+	"camc/internal/workload"
+)
+
+// Fig 1 (motivation: XSEDE job-size distribution) and Table V (hardware
+// specification of the three evaluation systems).
+
+func init() {
+	register(&Experiment{
+		ID:    "fig1",
+		Title: "Jobs submitted and CPU hours by node count (XSEDE-style trace)",
+		Tables: func(o Options) []Table {
+			jobs := 1_000_000
+			if o.Quick {
+				jobs = 50_000
+			}
+			trace := workload.Generate(workload.Config{Jobs: jobs, Seed: 2014})
+			h := workload.Summarize(trace)
+			jf, hf := workload.SmallJobShare(trace, 9)
+			counts := Series{Name: "jobs (x1000)"}
+			hours := Series{Name: "CPU-hours (M)"}
+			for i := range h.Labels {
+				counts.Values = append(counts.Values, float64(h.JobCount[i])/1e3)
+				hours.Values = append(hours.Values, h.CPUHours[i]/1e6)
+			}
+			return []Table{{
+				Title:   "Fig 1: job-size distribution over a synthetic 3-year XSEDE-style trace",
+				XHeader: "nodes",
+				XLabels: h.Labels,
+				Series:  []Series{counts, hours},
+				Notes: []string{
+					fmt.Sprintf("jobs of <= 9 nodes: %.0f%% of submissions, %.0f%% of CPU hours", jf*100, hf*100),
+					"small-scale jobs dominate both axes — the paper's motivation for intra-node collectives",
+				},
+			}}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "tab5",
+		Title: "Hardware specification of the evaluated systems (Table V)",
+		Tables: func(o Options) []Table {
+			t := Table{
+				Title:   "Table V: simulated hardware profiles",
+				XHeader: "spec",
+				XLabels: []string{
+					"sockets", "cores/socket", "threads/core", "procs used",
+					"clock (GHz)", "RAM (GB)", "page (B)", "CMA BW (GB/s)", "agg BW (GB/s)",
+				},
+			}
+			for _, a := range o.archs(arch.All()...) {
+				t.Series = append(t.Series, Series{
+					Name: a.Name,
+					Values: []float64{
+						float64(a.Sockets), float64(a.CoresPerSocket), float64(a.ThreadsPerCore),
+						float64(a.DefaultProcs), a.ClockGHz, float64(a.RAMGB), float64(a.PageSize),
+						a.BandwidthBps / 1e9, a.AggBandwidthBps / 1e9,
+					},
+				})
+			}
+			return []Table{t}
+		},
+	})
+}

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"camc/internal/arch"
+	"camc/internal/core"
+	"camc/internal/measure"
+	"camc/internal/model"
+)
+
+// Model experiments: Table III (step isolation), Table IV (estimated
+// parameters), Fig 5 (contention factor + NLLS fit), Fig 12 (predicted
+// vs observed broadcast cost).
+
+func init() {
+	register(&Experiment{
+		ID:    "tab3",
+		Title: "Step isolation via truncated iovecs (Table III)",
+		Tables: func(o Options) []Table {
+			var tables []Table
+			for _, a := range o.archs(arch.All()...) {
+				st := model.MeasureSteps(a, 100)
+				tables = append(tables, Table{
+					Title:   "Table III: isolated CMA phases, " + a.Display + " (N=100 pages)",
+					XHeader: "operation",
+					XLabels: []string{"T1 syscall", "T2 +access-check", "T3 +lock+pin", "T4 +copy"},
+					Series: []Series{{
+						Name:   "time (us)",
+						Values: []float64{st.T1, st.T2, st.T3, st.T4},
+					}},
+					Notes: []string{"each step includes the previous ones: T1 <= T2 <= T3 <= T4"},
+				})
+			}
+			return tables
+		},
+	})
+
+	register(&Experiment{
+		ID:    "tab4",
+		Title: "Estimated model parameters per architecture (Table IV)",
+		Tables: func(o Options) []Table {
+			t := Table{
+				Title:   "Table IV: model parameters (estimated via the Table III procedure)",
+				XHeader: "parameter",
+				XLabels: []string{"alpha (us)", "beta (GB/s)", "l (us/page)", "s (bytes)", "gamma(4)", "gamma(16)", "gamma(max)"},
+				Notes: []string{
+					"alpha/beta/l estimated from the simulated kernel; gamma from the NLLS fit",
+					"paper's measured values: alpha 1.43/0.98/0.75, l 0.25/0.10/0.53, s 4096/4096/65536 (KNL/BDW/P8)",
+				},
+			}
+			for _, a := range o.archs(arch.All()...) {
+				p := model.Estimate(a)
+				concs := gammaConcurrencies(a, o.Quick)
+				if _, err := p.FitGamma(model.MeasureGammaCurve(a, []int{50}, concs)); err != nil {
+					panic(err)
+				}
+				t.Series = append(t.Series, Series{
+					Name: a.Name,
+					Values: []float64{
+						p.Alpha,
+						1e-3 / p.Beta, // us/B -> GB/s
+						p.L,
+						float64(p.PageSize),
+						p.Gamma(4),
+						p.Gamma(16),
+						p.Gamma(a.DefaultProcs - 1),
+					},
+				})
+			}
+			return []Table{t}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig5",
+		Title: "Contention factor determination and NLLS best fit",
+		Tables: func(o Options) []Table {
+			var tables []Table
+			for _, a := range o.archs(arch.All()...) {
+				concs := gammaConcurrencies(a, o.Quick)
+				t := Table{
+					Title:   "Fig 5: contention factor gamma(c), " + a.Display,
+					XHeader: "readers",
+					Notes: []string{
+						"gamma is independent of the page count and grows with concurrency",
+						"two-socket machines show a jump past the socket boundary",
+					},
+				}
+				for _, c := range concs {
+					t.XLabels = append(t.XLabels, fmt.Sprintf("%d", c))
+				}
+				pageCounts := []int{10, 50, 100}
+				for _, pg := range pageCounts {
+					s := Series{Name: fmt.Sprintf("%d pages", pg)}
+					for _, c := range concs {
+						s.Values = append(s.Values, model.MeasureGamma(a, pg, c).Gamma)
+					}
+					t.Series = append(t.Series, s)
+				}
+				// Best fit over all samples.
+				p := model.Estimate(a)
+				if _, err := p.FitGamma(model.MeasureGammaCurve(a, pageCounts, concs)); err != nil {
+					panic(err)
+				}
+				fit := Series{Name: "best-fit"}
+				for _, c := range concs {
+					fit.Values = append(fit.Values, p.Gamma(c))
+				}
+				t.Series = append(t.Series, fit)
+				tables = append(tables, t)
+			}
+			return tables
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig12",
+		Title: "Model validation: predicted vs observed MPI_Bcast",
+		Tables: func(o Options) []Table {
+			var tables []Table
+			for _, a := range o.archs(arch.KNL(), arch.Broadwell()) {
+				sizes := sweepSizes(o.Quick, 4<<20)
+				if !o.Quick {
+					// The closed forms target the kernel-assisted regime.
+					sizes = sizes[4:] // from 16K up
+				}
+				p := model.Estimate(a)
+				if _, err := p.FitGamma(model.MeasureGammaCurve(a, []int{50}, gammaConcurrencies(a, true))); err != nil {
+					panic(err)
+				}
+				pr := model.NewPredictor(p, a.DefaultProcs)
+				t := Table{
+					Title:   "Fig 12: predicted vs observed Bcast, " + a.Display,
+					XHeader: "size",
+					XLabels: sizeLabels(sizes),
+					Notes:   []string{"1 = Direct Read, 2 = Direct Write, 3 = Scatter-Allgather; latency (us)"},
+				}
+				algos := []struct {
+					name string
+					f    func(sz int64) float64
+				}{
+					{"actual-1", func(sz int64) float64 {
+						return measure.Collective(a, core.KindBcast, core.BcastDirectRead, sz, measure.Options{})
+					}},
+					{"model-1", pr.BcastDirectRead},
+					{"actual-2", func(sz int64) float64 {
+						return measure.Collective(a, core.KindBcast, core.BcastDirectWrite, sz, measure.Options{})
+					}},
+					{"model-2", pr.BcastDirectWrite},
+					{"actual-3", func(sz int64) float64 {
+						return measure.Collective(a, core.KindBcast, core.BcastScatterAllgather, sz, measure.Options{})
+					}},
+					{"model-3", pr.BcastScatterAllgather},
+				}
+				for _, al := range algos {
+					s := Series{Name: al.name}
+					for _, sz := range sizes {
+						s.Values = append(s.Values, al.f(sz))
+					}
+					t.Series = append(t.Series, s)
+				}
+				tables = append(tables, t)
+			}
+			return tables
+		},
+	})
+}
+
+// gammaConcurrencies picks the Fig 5 x-axis per architecture.
+func gammaConcurrencies(a *arch.Profile, quick bool) []int {
+	max := a.DefaultProcs - 1
+	var out []int
+	for c := 2; c < max; c *= 2 {
+		out = append(out, c)
+	}
+	out = append(out, max)
+	if b := a.SocketBoundary; b > 2 && b < max {
+		// Sample around the socket boundary to expose the jump.
+		out = append(out, b-1, b, b+1, b+2)
+	}
+	if quick {
+		// Keep enough distinct samples for the (up to 4-parameter) fit:
+		// the low end, the boundary neighbourhood, and the top.
+		out = []int{2, 4, 8, max / 2, max}
+		if b := a.SocketBoundary; b > 2 && b < max {
+			out = append(out, b, b+2)
+		}
+	}
+	dedup := map[int]bool{}
+	var res []int
+	for _, c := range out {
+		if !dedup[c] && c >= 2 && c <= max {
+			dedup[c] = true
+			res = append(res, c)
+		}
+	}
+	sort.Ints(res)
+	return res
+}

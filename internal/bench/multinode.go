@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+
+	"camc/internal/arch"
+	"camc/internal/cluster"
+	"camc/internal/core"
+)
+
+// Fig 17: multi-node MPI_Gather scalability on 2/4/8 KNL nodes (128/256/
+// 512 processes). The proposed design is the two-level gather whose
+// intra-node step uses the contention-aware throttled writes; the
+// comparators run the flat single-level gathers large messages get in
+// stock libraries.
+
+// multinodeGather measures one (design, nodes, size) point.
+func multinodeGather(a *arch.Profile, nodes, ppn int, eta int64, run func(r *cluster.Rank, eta int64)) float64 {
+	cl := cluster.New(cluster.Config{Arch: a, NumNodes: nodes, PPN: ppn})
+	done, err := cl.Run(func(r *cluster.Rank) { run(r, eta) })
+	if err != nil {
+		panic(err)
+	}
+	return done
+}
+
+func init() {
+	register(&Experiment{
+		ID:    "fig17",
+		Title: "Multi-node MPI_Gather latency on KNL nodes",
+		Tables: func(o Options) []Table {
+			a := arch.KNL()
+			ppn := 64
+			sizes := sweepSizes(o.Quick, 1<<20)
+			nodeCounts := []int{2, 4, 8}
+			if o.Quick {
+				nodeCounts = []int{2, 4}
+			}
+			designs := []struct {
+				name string
+				run  func(r *cluster.Rank, eta int64)
+			}{
+				{"proposed-two-level", cluster.GatherTwoLevel(core.TunedGather)},
+				{"flat-pt2pt (mvapich2-like)", cluster.GatherFlat(core.TransportPt2pt)},
+				{"flat-shm (intelmpi-like)", cluster.GatherFlat(core.TransportShm)},
+				{"two-level-shm (openmpi-like)", cluster.GatherTwoLevel(core.GatherBinomial(core.TransportShm))},
+			}
+			scatterDesigns := []struct {
+				name string
+				run  func(r *cluster.Rank, eta int64)
+			}{
+				{"proposed-two-level", cluster.ScatterTwoLevel(core.TunedScatter)},
+				{"flat-pt2pt (mvapich2-like)", cluster.ScatterFlat(core.TransportPt2pt)},
+				{"flat-shm (intelmpi-like)", cluster.ScatterFlat(core.TransportShm)},
+			}
+			var tables []Table
+			for _, nodes := range nodeCounts {
+				t := Table{
+					Title:   fmt.Sprintf("Fig 17: Gather on %d KNL nodes (%d processes)", nodes, nodes*ppn),
+					XHeader: "size",
+					XLabels: sizeLabels(sizes),
+					Notes:   []string{"latency (us); per-rank message size on the x axis"},
+				}
+				for _, d := range designs {
+					s := Series{Name: d.name}
+					for _, sz := range sizes {
+						s.Values = append(s.Values, multinodeGather(a, nodes, ppn, sz, d.run))
+					}
+					t.Series = append(t.Series, s)
+				}
+				tables = append(tables, t)
+			}
+			// §VII-G: "Similar performance improvements were observed
+			// with MPI_Scatter" — the root-to-all panel at the largest
+			// node count.
+			last := nodeCounts[len(nodeCounts)-1]
+			ts := Table{
+				Title:   fmt.Sprintf("Fig 17 (companion): Scatter on %d KNL nodes (%d processes)", last, last*ppn),
+				XHeader: "size",
+				XLabels: sizeLabels(sizes),
+				Notes:   []string{"the same two-level advantage in the root-to-all direction"},
+			}
+			for _, d := range scatterDesigns {
+				s := Series{Name: d.name}
+				for _, sz := range sizes {
+					s.Values = append(s.Values, multinodeGather(a, last, ppn, sz, d.run))
+				}
+				ts.Series = append(ts.Series, s)
+			}
+			tables = append(tables, ts)
+			return tables
+		},
+	})
+}

@@ -1,0 +1,215 @@
+package core
+
+// Socket-aware two-level intra-node collectives: the paper's §IX
+// "efficient multi-level collectives" applied *within* the node. Each
+// socket elects a leader (its lowest rank under block placement; the
+// root leads its own socket); phase 1 runs the contention-aware design
+// within each socket concurrently — every socket contends only on its
+// own leader's mm, and all traffic stays intra-socket — and phase 2
+// moves the per-socket aggregates between the few leaders.
+
+import (
+	"camc/internal/kernel"
+	"camc/internal/mpi"
+)
+
+// socketOf mirrors arch.RankSocket's block placement for the
+// communicator's size.
+func socketOf(r *mpi.Rank, rank int) int {
+	return r.Comm.Node.Arch.RankSocket(rank, r.Size())
+}
+
+// socketMembers returns the ranks on socket s in ascending order.
+func socketMembers(r *mpi.Rank, s int) []int {
+	var out []int
+	for i := 0; i < r.Size(); i++ {
+		if socketOf(r, i) == s {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// socketLeader returns socket s's leader: the root if it lives there,
+// else the socket's lowest rank.
+func socketLeader(r *mpi.Rank, s, root int) int {
+	if socketOf(r, root) == s {
+		return root
+	}
+	return socketMembers(r, s)[0]
+}
+
+// GatherSocketAware is the two-level gather: throttled writes to each
+// socket leader in parallel (k bounded per leader, all intra-socket),
+// then each non-root leader writes its socket's contiguous aggregate to
+// the root with a single large transfer.
+//
+// Under block placement every socket's ranks are contiguous, so a
+// socket's aggregate occupies one contiguous slice of the root's
+// receive buffer.
+func GatherSocketAware(k int) func(r *mpi.Rank, a Args) {
+	if k < 1 {
+		panic("core: throttle factor must be >= 1")
+	}
+	return func(r *mpi.Rank, a Args) {
+		a.validate(r)
+		sockets := r.Comm.Node.Arch.Sockets
+		if sockets == 1 {
+			GatherThrottled(k)(r, a)
+			return
+		}
+		mySocket := socketOf(r, r.ID)
+		myLeader := socketLeader(r, mySocket, a.Root)
+		members := socketMembers(r, mySocket)
+
+		// Leaders stage their socket's blocks; the root stages directly
+		// into its receive buffer (offset by the socket's first rank).
+		var stage kernel.Addr
+		isLeader := r.ID == myLeader
+		if isLeader {
+			if r.ID == a.Root {
+				stage = a.Recv
+			} else {
+				stage = r.Alloc(int64(len(members)) * a.Count)
+			}
+		}
+		// Every rank learns every rank's stage address (non-leaders
+		// publish 0; only leader addresses are consumed).
+		addrs := r.Allgather64(int64(stage))
+
+		// Phase 1: throttled writes into the socket leader. The chain is
+		// socket-local: member index i waits for index i−k.
+		idx := -1
+		var nonLeaders []int
+		for _, m := range members {
+			if m != myLeader {
+				nonLeaders = append(nonLeaders, m)
+			}
+		}
+		for i, m := range nonLeaders {
+			if m == r.ID {
+				idx = i
+			}
+		}
+		// Destination offset of rank m inside its leader's stage.
+		offsetIn := func(m, leader int) kernel.Addr {
+			if leader == a.Root {
+				return kernel.Addr(int64(m) * a.Count)
+			}
+			return kernel.Addr(int64(m-members[0]) * a.Count)
+		}
+		if isLeader {
+			if r.ID == a.Root && !a.InPlace {
+				r.LocalCopy(a.Recv+kernel.Addr(int64(a.Root)*a.Count), a.Send, a.Count)
+			} else if r.ID != a.Root {
+				r.LocalCopy(stage+offsetIn(r.ID, r.ID), a.Send, a.Count)
+			}
+			first := len(nonLeaders) - k
+			if first < 0 {
+				first = 0
+			}
+			for i := first; i < len(nonLeaders); i++ {
+				r.WaitNotify(nonLeaders[i])
+			}
+		} else {
+			if idx-k >= 0 {
+				r.WaitNotify(nonLeaders[idx-k])
+			}
+			r.VMWrite(a.Send, myLeader, kernel.Addr(addrs[myLeader])+offsetIn(r.ID, myLeader), a.Count)
+			if idx+k < len(nonLeaders) {
+				r.Notify(nonLeaders[idx+k])
+			} else {
+				r.Notify(myLeader)
+			}
+		}
+
+		// Phase 2: non-root leaders ship their socket aggregate to the
+		// root; contention is bounded by the handful of leaders.
+		rootAddr := kernel.Addr(addrs[a.Root])
+		if isLeader && r.ID != a.Root {
+			// The socket's blocks are contiguous in rank order. If the
+			// root lives inside this range (it does not: the root leads
+			// its own socket), this would need splitting.
+			r.VMWrite(stage, a.Root, rootAddr+kernel.Addr(int64(members[0])*a.Count),
+				int64(len(members))*a.Count)
+			r.Notify(a.Root)
+		}
+		if r.ID == a.Root {
+			for s := 0; s < sockets; s++ {
+				if lead := socketLeader(r, s, a.Root); lead != a.Root {
+					r.WaitNotify(lead)
+				}
+			}
+		}
+		// Completion: everyone may return once the root has everything.
+		r.Bcast64(a.Root, 0)
+	}
+}
+
+// BcastSocketAware is the two-level broadcast: the root writes the
+// message to each other socket's leader (a couple of large
+// contention-free transfers), then each socket runs the k-nomial read
+// tree internally and in parallel — every read intra-socket, concurrency
+// bounded per socket.
+func BcastSocketAware(k int) func(r *mpi.Rank, a Args) {
+	if k < 2 {
+		panic("core: k-nomial base must be >= 2")
+	}
+	return func(r *mpi.Rank, a Args) {
+		a.validate(r)
+		sockets := r.Comm.Node.Arch.Sockets
+		if sockets == 1 {
+			BcastKnomialRead(k)(r, a)
+			return
+		}
+		mySocket := socketOf(r, r.ID)
+		myLeader := socketLeader(r, mySocket, a.Root)
+		buf := bcastBuf(r, a)
+		addrs := r.Allgather64(int64(buf))
+
+		// Phase 1: root pushes to the other socket leaders.
+		if r.ID == a.Root {
+			for s := 0; s < sockets; s++ {
+				if lead := socketLeader(r, s, a.Root); lead != a.Root {
+					r.VMWrite(a.Send, lead, kernel.Addr(addrs[lead]), a.Count)
+					r.Notify(lead)
+				}
+			}
+		} else if r.ID == myLeader {
+			r.WaitNotify(a.Root)
+		}
+
+		// Phase 2: k-nomial read tree within the socket, leader as local
+		// root. Build the tree over the socket's member list.
+		members := socketMembers(r, mySocket)
+		rel := -1
+		leaderPos := 0
+		for i, m := range members {
+			if m == myLeader {
+				leaderPos = i
+			}
+		}
+		// Relative order: leader first, others in ascending rank order.
+		order := append([]int{myLeader}, append(append([]int{}, members[:leaderPos]...), members[leaderPos+1:]...)...)
+		for i, m := range order {
+			if m == r.ID {
+				rel = i
+			}
+		}
+		parent, levels := knomialChildren(rel, len(order), k)
+		if parent >= 0 {
+			pr := order[parent]
+			r.WaitNotify(pr)
+			r.VMRead(a.Recv, pr, kernel.Addr(addrs[pr]), a.Count)
+			r.Notify(pr)
+		}
+		for _, lvl := range levels {
+			for _, c := range lvl {
+				r.Notify(order[c])
+			}
+			for _, c := range lvl {
+				r.WaitNotify(order[c])
+			}
+		}
+	}
+}

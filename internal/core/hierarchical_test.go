@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"camc/internal/arch"
+	"camc/internal/kernel"
+	"camc/internal/mpi"
+)
+
+func TestGatherSocketAwareCorrect(t *testing.T) {
+	for _, a := range arch.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			for _, p := range []int{2, 6, 10, 16} {
+				for _, root := range rootsFor(p) {
+					f := newFixture(t, a, p, KindGather, 4096)
+					f.run(t, GatherSocketAware(3), root)
+					f.verifyGather(t, root)
+				}
+			}
+		})
+	}
+}
+
+func TestBcastSocketAwareCorrect(t *testing.T) {
+	for _, a := range arch.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			for _, p := range []int{2, 5, 9, 16} {
+				for _, root := range rootsFor(p) {
+					f := newFixture(t, a, p, KindBcast, 6000)
+					f.run(t, BcastSocketAware(3), root)
+					f.verifyBcast(t, root)
+				}
+			}
+		})
+	}
+}
+
+func TestSocketAwareFallsBackOnSingleSocket(t *testing.T) {
+	// On KNL (1 socket) the socket-aware designs reduce to their flat
+	// counterparts: same latency to the digit.
+	lat := func(algo func(*mpi.Rank, Args)) float64 {
+		c := mpi.New(mpi.Config{Arch: arch.KNL(), Procs: 16, CopyData: false})
+		sa := make([]int64, 16)
+		ra := make([]int64, 16)
+		for i := 0; i < 16; i++ {
+			sa[i] = int64(c.Rank(i).Alloc(16 * 8192))
+			ra[i] = int64(c.Rank(i).Alloc(16 * 8192))
+		}
+		c.Start(func(r *mpi.Rank) {
+			algo(r, Args{Send: kernel.Addr(sa[r.ID]), Recv: kernel.Addr(ra[r.ID]), Count: 8192, Root: 0})
+		})
+		if err := c.Sim.Run(); err != nil {
+			panic(err)
+		}
+		return c.Sim.Now()
+	}
+	if a, b := lat(GatherSocketAware(4)), lat(GatherThrottled(4)); a != b {
+		t.Fatalf("single-socket gather fallback mismatch: %g vs %g", a, b)
+	}
+	if a, b := lat(BcastSocketAware(4)), lat(BcastKnomialRead(4)); a != b {
+		t.Fatalf("single-socket bcast fallback mismatch: %g vs %g", a, b)
+	}
+}
+
+// latP8 measures one dataless rooted collective at full Power8
+// subscription.
+func latP8(count int64, algo func(*mpi.Rank, Args)) float64 {
+	a := arch.Power8()
+	c := mpi.New(mpi.Config{Arch: a, CopyData: false})
+	p := c.Size()
+	sa := make([]int64, p)
+	ra := make([]int64, p)
+	for i := 0; i < p; i++ {
+		sa[i] = int64(c.Rank(i).Alloc(count))
+		ra[i] = int64(c.Rank(i).Alloc(int64(p) * count))
+	}
+	c.Start(func(r *mpi.Rank) {
+		algo(r, Args{Send: kernel.Addr(sa[r.ID]), Recv: kernel.Addr(ra[r.ID]), Count: count, Root: 0})
+	})
+	if err := c.Sim.Run(); err != nil {
+		panic(err)
+	}
+	return c.Sim.Now()
+}
+
+func TestSocketAwareGatherPaysLeaderSerialization(t *testing.T) {
+	// The documented negative result: *inside* a node, two-level gather
+	// moves every byte twice and funnels half of them through one leader
+	// stream, so it loses to the flat throttled gather — unlike the
+	// multi-node case (Fig 17), where the per-message network costs the
+	// hierarchy eliminates dominate.
+	flat := latP8(32<<10, GatherThrottled(10))
+	hier := latP8(32<<10, GatherSocketAware(10))
+	if hier <= flat {
+		t.Fatalf("expected the intra-node hierarchy to lose: hier %.0f vs flat %.0f", hier, flat)
+	}
+}
+
+func TestSocketAwareBcastCompetitiveOnPower8(t *testing.T) {
+	// Broadcast reuses the payload, so the socket hierarchy has no
+	// doubled data movement: one cross-socket transfer, then per-socket
+	// k-nomial trees in parallel. It must stay close to (or beat) the
+	// flat k-nomial at medium sizes.
+	flat := latP8(256<<10, BcastKnomialRead(11))
+	hier := latP8(256<<10, BcastSocketAware(11))
+	if hier > 1.3*flat {
+		t.Fatalf("socket-aware bcast %.0f far above flat k-nomial %.0f", hier, flat)
+	}
+}

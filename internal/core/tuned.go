@@ -1,0 +1,160 @@
+package core
+
+import (
+	"camc/internal/arch"
+	"camc/internal/mpi"
+)
+
+// Tuning (§VII): the proposed design selects the best CMA algorithm — or
+// falls back to shared memory where kernel assistance does not pay — per
+// architecture, collective, and message size, mirroring the MVAPICH2
+// collective tuning framework the paper plugs into.
+//
+// The selection table below encodes the paper's published winners:
+//
+//   - Scatter/Gather: throttled with k=8 (KNL), k=4 (Broadwell), k=10
+//     (Power8, avoiding inter-socket lock contention); shared-memory
+//     binomial below the kernel-assist threshold.
+//   - Bcast: k-nomial reads at medium sizes (fan-out matching the
+//     throttle sweet spot), scatter-allgather at large; on Broadwell the
+//     shared-memory Van de Geijn design keeps winning until ~2 MB
+//     because shm bcast needs p copies vs p−1 for CMA, and CMA adds
+//     contention (§VII-F).
+//   - Allgather: Bruck for small messages (log p steps), ring-source
+//     reads for medium and large (socket-friendly neighbor traffic).
+//   - Alltoall: native pairwise CMA above the threshold, two-copy
+//     pairwise below.
+
+// TunedThrottle returns the contention sweet-spot fan-out for an
+// architecture (the k in throttled reads/writes and k-nomial trees).
+func TunedThrottle(a *arch.Profile) int {
+	switch a.Name {
+	case "knl":
+		return 8
+	case "broadwell":
+		return 4
+	case "power8":
+		return 10
+	}
+	// Generic fallback: stay within one socket.
+	k := a.CoresPerSocket / 2
+	if k < 2 {
+		k = 2
+	}
+	return k
+}
+
+// cmaThreshold is the message size where kernel-assisted transfers start
+// paying off for rooted collectives (the paper's ≥16 KiB guidance, with
+// Gather benefiting from 1 KiB per §VII-C).
+func cmaThreshold(kind Kind) int64 {
+	switch kind {
+	case KindGather, KindScatter:
+		return 4 << 10
+	default:
+		return 16 << 10
+	}
+}
+
+// TunedScatter picks the proposed Scatter design for the architecture
+// and size.
+func TunedScatter(r *mpi.Rank, a Args) {
+	prof := r.Comm.Node.Arch
+	if a.Count < cmaThreshold(KindScatter) {
+		ScatterBinomial(TransportShm)(r, a)
+		return
+	}
+	ScatterThrottled(TunedThrottle(prof))(r, a)
+}
+
+// TunedGather picks the proposed Gather design.
+func TunedGather(r *mpi.Rank, a Args) {
+	prof := r.Comm.Node.Arch
+	if a.Count < cmaThreshold(KindGather) {
+		GatherBinomial(TransportShm)(r, a)
+		return
+	}
+	GatherThrottled(TunedThrottle(prof))(r, a)
+}
+
+// TunedBcast picks the proposed Bcast design.
+func TunedBcast(r *mpi.Rank, a Args) {
+	prof := r.Comm.Node.Arch
+	k := TunedThrottle(prof)
+	switch prof.Name {
+	case "broadwell":
+		// Shared memory keeps winning until ~2 MB on Broadwell (§VII-F):
+		// binomial for small messages, Van de Geijn shm for medium,
+		// native CMA scatter-allgather only at the top.
+		switch {
+		case a.Count < 32<<10:
+			BcastBinomial(TransportShm)(r, a)
+		case a.Count < 2<<20:
+			BcastVanDeGeijn(TransportPt2pt)(r, a)
+		default:
+			BcastScatterAllgather(r, a)
+		}
+	case "power8":
+		// High aggregate throughput: k-nomial reads win from 32 KiB up.
+		if a.Count < 32<<10 {
+			BcastBinomial(TransportShm)(r, a)
+			return
+		}
+		BcastKnomialRead(k+1)(r, a)
+	default: // knl
+		if a.Count < cmaThreshold(KindBcast) {
+			BcastBinomial(TransportShm)(r, a)
+			return
+		}
+		if a.Count < 1<<20 {
+			BcastKnomialRead(k+1)(r, a)
+			return
+		}
+		BcastScatterAllgather(r, a)
+	}
+}
+
+// TunedAllgather picks the proposed Allgather design: Bruck's log-step
+// algorithm for small messages, then the socket-aware ring — direct
+// source reads on single-socket machines (no per-step synchronization),
+// the neighbor ring on multi-socket machines, where most of its traffic
+// stays intra-socket while source reads cross the interconnect for half
+// of theirs (the paper's "intra- and inter-socket awareness", §VII-E).
+func TunedAllgather(r *mpi.Rank, a Args) {
+	if a.Count < cmaThreshold(KindAllgather) {
+		AllgatherBruck(r, a)
+		return
+	}
+	if r.Comm.Node.Arch.Sockets > 1 {
+		AllgatherRingNeighbor(1)(r, a)
+		return
+	}
+	AllgatherRingSourceRead(r, a)
+}
+
+// TunedAlltoall picks the proposed Alltoall design.
+func TunedAlltoall(r *mpi.Rank, a Args) {
+	if a.Count < 1<<10 {
+		AlltoallPairwiseShm(r, a)
+		return
+	}
+	AlltoallPairwiseColl(r, a)
+}
+
+// Tuned returns the proposed ("CMA-coll tuned") implementation of a
+// collective kind.
+func Tuned(kind Kind) func(r *mpi.Rank, a Args) {
+	switch kind {
+	case KindScatter:
+		return TunedScatter
+	case KindGather:
+		return TunedGather
+	case KindBcast:
+		return TunedBcast
+	case KindAllgather:
+		return TunedAllgather
+	case KindAlltoall:
+		return TunedAlltoall
+	}
+	panic("core: unknown collective kind " + string(kind))
+}

@@ -1,0 +1,202 @@
+package core
+
+// Scatterv / Gatherv: the variable-count personalized collectives, with
+// the same contention-aware designs as their uniform counterparts. The
+// paper's analysis is count-agnostic — the mm lock is per page of
+// whatever each rank moves — so throttling transfers the same way;
+// irregular counts simply make the naive designs' contention windows
+// ragged.
+
+import (
+	"fmt"
+
+	"camc/internal/kernel"
+	"camc/internal/mpi"
+)
+
+// VArgs describes one variable-count collective invocation. Counts and
+// Displs are indexed by absolute rank; Displs gives each rank's byte
+// offset in the root's buffer (PackedDispls builds the dense layout).
+type VArgs struct {
+	Send   kernel.Addr
+	Recv   kernel.Addr
+	Counts []int64
+	Displs []int64
+	Root   int
+}
+
+func (a VArgs) validate(r *mpi.Rank) {
+	p := r.Size()
+	if len(a.Counts) != p || len(a.Displs) != p {
+		panic(fmt.Sprintf("core: counts/displs length %d/%d != %d ranks", len(a.Counts), len(a.Displs), p))
+	}
+	if a.Root < 0 || a.Root >= p {
+		panic(fmt.Sprintf("core: root %d out of range", a.Root))
+	}
+	for i, c := range a.Counts {
+		if c < 0 {
+			panic(fmt.Sprintf("core: negative count %d for rank %d", c, i))
+		}
+	}
+}
+
+// PackedDispls returns the dense displacement vector for counts (each
+// block immediately after the previous).
+func PackedDispls(counts []int64) []int64 {
+	out := make([]int64, len(counts))
+	var off int64
+	for i, c := range counts {
+		out[i] = off
+		off += c
+	}
+	return out
+}
+
+// TotalCount sums the per-rank counts.
+func TotalCount(counts []int64) int64 {
+	var s int64
+	for _, c := range counts {
+		s += c
+	}
+	return s
+}
+
+// ScattervThrottled is the contention-aware Scatterv: the root
+// broadcasts its buffer address, and at most k non-roots read their
+// (count, displacement) slices concurrently, chained by the same
+// point-to-point release protocol as ScatterThrottled. Zero-count ranks
+// still participate in the chain so the release order stays intact.
+func ScattervThrottled(k int) func(r *mpi.Rank, a VArgs) {
+	if k < 1 {
+		panic("core: throttle factor must be >= 1")
+	}
+	return func(r *mpi.Rank, a VArgs) {
+		a.validate(r)
+		p := r.Size()
+		sendAddr := kernel.Addr(r.Bcast64(a.Root, int64(a.Send)))
+		if r.ID == a.Root {
+			if n := a.Counts[a.Root]; n > 0 {
+				r.LocalCopy(a.Recv, a.Send+kernel.Addr(a.Displs[a.Root]), n)
+			}
+			first := p - 1 - k
+			if first < 0 {
+				first = 0
+			}
+			for idx := first; idx < p-1; idx++ {
+				r.WaitNotify(nonRootByIndex(idx, a.Root, p))
+			}
+			return
+		}
+		idx := nonRootIndex(r.ID, a.Root, p)
+		if idx-k >= 0 {
+			r.WaitNotify(nonRootByIndex(idx-k, a.Root, p))
+		}
+		if n := a.Counts[r.ID]; n > 0 {
+			r.VMRead(a.Recv, a.Root, sendAddr+kernel.Addr(a.Displs[r.ID]), n)
+		}
+		if idx+k <= p-2 {
+			r.Notify(nonRootByIndex(idx+k, a.Root, p))
+		} else {
+			r.Notify(a.Root)
+		}
+	}
+}
+
+// ScattervSeqWrite is the contention-free baseline: the root writes each
+// rank's slice in turn.
+func ScattervSeqWrite(r *mpi.Rank, a VArgs) {
+	a.validate(r)
+	p := r.Size()
+	addrs := r.Gather64(a.Root, int64(a.Recv))
+	if r.ID == a.Root {
+		if n := a.Counts[a.Root]; n > 0 {
+			r.LocalCopy(a.Recv, a.Send+kernel.Addr(a.Displs[a.Root]), n)
+		}
+		for idx := 0; idx < p-1; idx++ {
+			dst := nonRootByIndex(idx, a.Root, p)
+			if n := a.Counts[dst]; n > 0 {
+				r.VMWrite(a.Send+kernel.Addr(a.Displs[dst]), dst, kernel.Addr(addrs[dst]), n)
+			}
+		}
+	}
+	r.Bcast64(a.Root, 0)
+}
+
+// GathervThrottled mirrors ScattervThrottled with writes into the root's
+// displacement slots.
+func GathervThrottled(k int) func(r *mpi.Rank, a VArgs) {
+	if k < 1 {
+		panic("core: throttle factor must be >= 1")
+	}
+	return func(r *mpi.Rank, a VArgs) {
+		a.validate(r)
+		p := r.Size()
+		recvAddr := kernel.Addr(r.Bcast64(a.Root, int64(a.Recv)))
+		if r.ID == a.Root {
+			if n := a.Counts[a.Root]; n > 0 {
+				r.LocalCopy(a.Recv+kernel.Addr(a.Displs[a.Root]), a.Send, n)
+			}
+			first := p - 1 - k
+			if first < 0 {
+				first = 0
+			}
+			for idx := first; idx < p-1; idx++ {
+				r.WaitNotify(nonRootByIndex(idx, a.Root, p))
+			}
+			return
+		}
+		idx := nonRootIndex(r.ID, a.Root, p)
+		if idx-k >= 0 {
+			r.WaitNotify(nonRootByIndex(idx-k, a.Root, p))
+		}
+		if n := a.Counts[r.ID]; n > 0 {
+			r.VMWrite(a.Send, a.Root, recvAddr+kernel.Addr(a.Displs[r.ID]), n)
+		}
+		if idx+k <= p-2 {
+			r.Notify(nonRootByIndex(idx+k, a.Root, p))
+		} else {
+			r.Notify(a.Root)
+		}
+	}
+}
+
+// GathervSeqRead is the contention-free baseline: the root reads each
+// rank's vector in turn into its displacement slot.
+func GathervSeqRead(r *mpi.Rank, a VArgs) {
+	a.validate(r)
+	p := r.Size()
+	addrs := r.Gather64(a.Root, int64(a.Send))
+	if r.ID == a.Root {
+		if n := a.Counts[a.Root]; n > 0 {
+			r.LocalCopy(a.Recv+kernel.Addr(a.Displs[a.Root]), a.Send, n)
+		}
+		for idx := 0; idx < p-1; idx++ {
+			src := nonRootByIndex(idx, a.Root, p)
+			if n := a.Counts[src]; n > 0 {
+				r.VMRead(a.Recv+kernel.Addr(a.Displs[src]), src, kernel.Addr(addrs[src]), n)
+			}
+		}
+	}
+	r.Bcast64(a.Root, 0)
+}
+
+// GathervParallelWrite is the contention-prone baseline: every non-root
+// writes its slice concurrently.
+func GathervParallelWrite(r *mpi.Rank, a VArgs) {
+	a.validate(r)
+	p := r.Size()
+	recvAddr := kernel.Addr(r.Bcast64(a.Root, int64(a.Recv)))
+	if r.ID == a.Root {
+		if n := a.Counts[a.Root]; n > 0 {
+			r.LocalCopy(a.Recv+kernel.Addr(a.Displs[a.Root]), a.Send, n)
+		}
+		for i := 0; i < p-1; i++ {
+			r.WaitNotify(nonRootByIndex(i, a.Root, p))
+		}
+		return
+	}
+	if n := a.Counts[r.ID]; n > 0 {
+		r.VMWrite(a.Send, a.Root, recvAddr+kernel.Addr(a.Displs[r.ID]), n)
+	}
+	r.Notify(a.Root)
+}

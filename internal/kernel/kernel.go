@@ -1,0 +1,446 @@
+// Package kernel simulates the operating-system substrate the paper's
+// collectives run on: a multi-core node with per-process address spaces
+// and CMA-style kernel-assisted copy syscalls (process_vm_readv /
+// process_vm_writev).
+//
+// The simulated syscalls follow the phase structure the paper extracted
+// with ftrace (Fig 4): syscall entry, permission check, per-page lock
+// acquisition on the remote process's mm (the contended step), per-page
+// pinning, and the data copy. Lock acquisition cost is inflated by the
+// architecture's contention factor γ(c), sampled per chunk of pages from
+// the remote mm's in-flight operation count, so overlapping transfers
+// contend exactly as the paper's model describes. Concurrent copies share
+// the node's aggregate memory bandwidth, and cross-socket copies pay the
+// profile's inter-socket penalty.
+//
+// Transfers move real bytes between simulated address spaces so that the
+// collectives built on top can be tested for MPI correctness, not just
+// cost. For large benchmark sweeps a Node can be configured dataless
+// (CopyData=false), which preserves all timing behaviour but skips
+// backing allocations and memcpy.
+package kernel
+
+import (
+	"fmt"
+
+	"camc/internal/arch"
+	"camc/internal/sim"
+)
+
+// Addr is an offset into a simulated process's address space.
+type Addr int64
+
+// DefaultChunkPages is the contention-sampling granularity: γ(c) is
+// re-sampled every chunk of this many pages.
+const DefaultChunkPages = 16
+
+// Node is a simulated shared-memory node.
+type Node struct {
+	Sim  *sim.Simulation
+	Arch *arch.Profile
+
+	// CopyData controls whether transfers move real bytes. Disable for
+	// large cost-only sweeps.
+	CopyData bool
+
+	// ChunkPages is the per-chunk page count for contention sampling.
+	ChunkPages int
+
+	// EmergentLock switches the mm-lock model from the calibrated γ(c)
+	// curve to an explicit FIFO mutex held for the lock portion of l per
+	// page. Queueing then produces contention *emergently* — but only
+	// linearly (γ≈c): the super-linear growth the paper measures comes
+	// from spinlock cache-line bouncing, which fair queueing cannot
+	// reproduce. Used by the x7 ablation to justify the explicit curve.
+	EmergentLock bool
+
+	procs         []*Process
+	activeCopiers int // transfers currently in their copy phase
+
+	mechanism     Mechanism
+	xpmemAttached map[xpmemKey]bool
+
+	trace *Trace // optional breakdown accounting, nil when disabled
+}
+
+// NewNode creates a node on the given simulation for the given
+// architecture. Transfers copy real data until CopyData is cleared.
+func NewNode(s *sim.Simulation, a *arch.Profile) *Node {
+	return &Node{Sim: s, Arch: a, CopyData: true, ChunkPages: DefaultChunkPages}
+}
+
+// BeginCopy registers a memory-copy stream (CMA transfer phase or a
+// shared-memory bounce-buffer cell copy) against the node's aggregate
+// bandwidth; EndCopy unregisters it. The shared-memory transport uses
+// these so that two-copy traffic and kernel-assisted traffic share one
+// memory system.
+func (n *Node) BeginCopy() { n.activeCopiers++ }
+
+// EndCopy unregisters a copy stream started with BeginCopy.
+func (n *Node) EndCopy() {
+	n.activeCopiers--
+	if n.activeCopiers < 0 {
+		panic("kernel: EndCopy without BeginCopy")
+	}
+}
+
+// EffPerByte returns the effective per-byte copy time for a stream whose
+// uncongested rate is base (us/byte), given the currently registered
+// concurrent copy streams: max(base, active/aggregate-bandwidth).
+func (n *Node) EffPerByte(base float64) float64 {
+	if agg := n.Arch.AggBandwidth(); agg > 0 && n.activeCopiers > 1 {
+		if shared := float64(n.activeCopiers) / agg; shared > base {
+			return shared
+		}
+	}
+	return base
+}
+
+// EnableTrace starts ftrace-style breakdown accounting and returns the
+// accumulator.
+func (n *Node) EnableTrace() *Trace {
+	n.trace = &Trace{}
+	return n.trace
+}
+
+// Procs returns the processes spawned on this node, in pid order.
+func (n *Node) Procs() []*Process { return n.procs }
+
+// Process is a simulated OS process: an address space plus the mm state
+// CMA contends on.
+type Process struct {
+	node   *Node
+	pid    int
+	uid    int
+	socket int
+
+	memLimit Addr
+	brk      Addr
+	data     []byte // nil when the node is dataless
+
+	mmInFlight int        // CMA ops currently inside the locked page loop
+	mmLock     *sim.Mutex // explicit lock, allocated in EmergentLock mode
+}
+
+// NewProcess creates a process with the given address-space capacity,
+// placed on the socket that block placement assigns to rank
+// len(procs) out of expected total procs. uid 0 is used; see SetUID.
+func (n *Node) NewProcess(memLimit int64) *Process {
+	p := &Process{node: n, pid: 1000 + len(n.procs), memLimit: Addr(memLimit)}
+	if n.CopyData {
+		p.data = make([]byte, memLimit)
+	}
+	n.procs = append(n.procs, p)
+	return p
+}
+
+// PID returns the simulated process id.
+func (p *Process) PID() int { return p.pid }
+
+// UID returns the owner uid used for the CMA permission check.
+func (p *Process) UID() int { return p.uid }
+
+// SetUID changes the owner uid (used to exercise permission failures).
+func (p *Process) SetUID(uid int) { p.uid = uid }
+
+// Socket returns the socket this process is pinned to.
+func (p *Process) Socket() int { return p.socket }
+
+// SetSocket pins the process to a socket.
+func (p *Process) SetSocket(s int) {
+	if s < 0 || s >= p.node.Arch.Sockets {
+		panic(fmt.Sprintf("kernel: socket %d out of range", s))
+	}
+	p.socket = s
+}
+
+// Alloc reserves size bytes, page-aligned, and returns the base address.
+func (p *Process) Alloc(size int64) Addr {
+	if size < 0 {
+		panic("kernel: negative allocation")
+	}
+	ps := Addr(p.node.Arch.PageSize)
+	base := (p.brk + ps - 1) / ps * ps
+	if base+Addr(size) > p.memLimit {
+		panic(fmt.Sprintf("kernel: pid %d out of memory: brk %d + %d > limit %d", p.pid, base, size, p.memLimit))
+	}
+	p.brk = base + Addr(size)
+	return base
+}
+
+// Bytes returns the backing slice for [a, a+n). It panics on a dataless
+// node or on an out-of-range access.
+func (p *Process) Bytes(a Addr, n int64) []byte {
+	if p.data == nil {
+		panic("kernel: Bytes on dataless node")
+	}
+	if a < 0 || n < 0 || a+Addr(n) > p.memLimit {
+		panic(fmt.Sprintf("kernel: access [%d,%d) out of range", a, a+Addr(n)))
+	}
+	return p.data[a : a+Addr(n)]
+}
+
+// InFlight returns the number of CMA operations currently inside this
+// process's locked page loop (the concurrency the contention factor sees).
+func (p *Process) InFlight() int { return p.mmInFlight }
+
+// Breakdown is the per-phase time decomposition of one CMA transfer,
+// mirroring the paper's ftrace categories (Fig 4). Times in microseconds.
+type Breakdown struct {
+	Syscall   float64
+	PermCheck float64
+	Lock      float64
+	Pin       float64
+	Copy      float64
+}
+
+// Total returns the sum of all phases.
+func (b Breakdown) Total() float64 {
+	return b.Syscall + b.PermCheck + b.Lock + b.Pin + b.Copy
+}
+
+func (b *Breakdown) add(o Breakdown) {
+	b.Syscall += o.Syscall
+	b.PermCheck += o.PermCheck
+	b.Lock += o.Lock
+	b.Pin += o.Pin
+	b.Copy += o.Copy
+}
+
+// Trace accumulates breakdowns across operations.
+type Trace struct {
+	Ops  int
+	Sum  Breakdown
+	MaxC int // highest concurrency observed during lock phases
+}
+
+// PermissionError reports a CMA access denied by the uid check.
+type PermissionError struct{ CallerPID, TargetPID int }
+
+func (e *PermissionError) Error() string {
+	return fmt.Sprintf("kernel: pid %d may not access pid %d (EPERM)", e.CallerPID, e.TargetPID)
+}
+
+// vmTransfer runs one CMA transfer in virtual time.
+//
+// caller is the process issuing the syscall; remote is the process whose
+// mm is locked and whose pages are pinned. For a read, data flows
+// remote→caller; for a write, caller→remote. localBytes / remoteBytes
+// mirror the iovec-length trick the paper uses for parameter estimation
+// (Table III): permission is checked only when remoteBytes > 0, pages
+// are locked+pinned for Pages(remoteBytes), and min(localBytes,
+// remoteBytes) bytes are copied.
+func (n *Node) vmTransfer(sp *sim.Proc, caller *Process, callerAddr Addr, remote *Process, remoteAddr Addr, localBytes, remoteBytes int64, read bool) (Breakdown, error) {
+	if n.mechanism == MechXPMEM {
+		size := localBytes
+		if remoteBytes < size {
+			size = remoteBytes
+		}
+		return n.xpmemTransfer(sp, caller, callerAddr, remote, remoteAddr, size, read)
+	}
+	var bd Breakdown
+	a := n.Arch
+
+	// Phase 1: syscall entry, plus the descriptor management the
+	// module-based mechanisms (KNEM/LiMIC) add on the control path.
+	bd.Syscall = a.Alpha*a.SyscallFrac + n.mechanism.extraCost()
+	sp.Sleep(bd.Syscall)
+	if remoteBytes <= 0 {
+		n.record(bd, 0)
+		return bd, nil
+	}
+
+	// Phase 2: permission check (CMA uses the ptrace access model; the
+	// simulation reduces it to a uid match).
+	bd.PermCheck = a.Alpha * (1 - a.SyscallFrac)
+	sp.Sleep(bd.PermCheck)
+	if caller.uid != remote.uid {
+		n.record(bd, 0)
+		return bd, &PermissionError{CallerPID: caller.pid, TargetPID: remote.pid}
+	}
+
+	copyBytes := localBytes
+	if remoteBytes < copyBytes {
+		copyBytes = remoteBytes
+	}
+	if err := n.checkRange(remote, remoteAddr, remoteBytes); err != nil {
+		return bd, err
+	}
+	if copyBytes > 0 {
+		if err := n.checkRange(caller, callerAddr, copyBytes); err != nil {
+			return bd, err
+		}
+	}
+
+	pages := int64(a.Pages(int(remoteBytes)))
+	chunk := int64(n.ChunkPages)
+	if chunk <= 0 {
+		chunk = DefaultChunkPages
+	}
+	pageSize := int64(a.PageSize)
+	lockCost := a.LockPin * a.LockFrac
+	pinCost := a.LockPin * (1 - a.LockFrac)
+	// Cross-socket copies pay the interconnect penalty on top of
+	// whatever rate the shared memory system grants: the QPI/X-bus hop
+	// costs extra even when the node is bandwidth-bound.
+	socketMult := 1.0
+	if caller.socket != remote.socket {
+		socketMult = a.InterSocketBW
+	}
+
+	// Phase 3-5: per-chunk lock, pin, copy. The op counts itself in the
+	// remote mm's in-flight set for the whole loop; γ is re-sampled per
+	// chunk so overlapping transfers see each other.
+	remote.mmInFlight++
+	// Let transfers arriving at this same instant register before γ is
+	// first sampled: without this, simultaneous arrivals would see a
+	// staggered ramp that exists only as a scheduling-order artifact.
+	sp.Yield()
+	maxC := remote.mmInFlight
+	copied := int64(0)
+	for page := int64(0); page < pages; page += chunk {
+		cp := chunk
+		if pages-page < cp {
+			cp = pages - page
+		}
+		c := remote.mmInFlight
+		if c > maxC {
+			maxC = c
+		}
+		if n.EmergentLock {
+			// Explicit FIFO mm lock: acquire once per page, hold for the
+			// lock portion of l. Wait time is emergent queueing delay.
+			if remote.mmLock == nil {
+				remote.mmLock = sim.NewMutex(n.Sim)
+			}
+			lockStart := n.Sim.Now()
+			for pg := int64(0); pg < cp; pg++ {
+				remote.mmLock.Lock(sp)
+				sp.Sleep(lockCost)
+				remote.mmLock.Unlock()
+			}
+			bd.Lock += n.Sim.Now() - lockStart
+			pt := float64(cp) * pinCost
+			bd.Pin += pt
+			sp.Sleep(pt)
+		} else {
+			gamma := a.Gamma(c)
+			lt := float64(cp) * lockCost * gamma
+			pt := float64(cp) * pinCost
+			bd.Lock += lt
+			bd.Pin += pt
+			sp.Sleep(lt + pt)
+		}
+
+		// Copy the bytes that fall inside this chunk of remote pages.
+		chunkBytes := cp * pageSize
+		if page*pageSize+chunkBytes > remoteBytes {
+			chunkBytes = remoteBytes - page*pageSize
+		}
+		todo := chunkBytes
+		if copied+todo > copyBytes {
+			todo = copyBytes - copied
+		}
+		if todo > 0 {
+			n.BeginCopy()
+			ct := float64(todo) * n.EffPerByte(a.Beta()) * socketMult
+			bd.Copy += ct
+			sp.Sleep(ct)
+			n.EndCopy()
+			if n.CopyData {
+				if read {
+					copy(caller.data[callerAddr+Addr(copied):callerAddr+Addr(copied+todo)],
+						remote.data[remoteAddr+Addr(copied):remoteAddr+Addr(copied+todo)])
+				} else {
+					copy(remote.data[remoteAddr+Addr(copied):remoteAddr+Addr(copied+todo)],
+						caller.data[callerAddr+Addr(copied):callerAddr+Addr(copied+todo)])
+				}
+			}
+			copied += todo
+		}
+	}
+	remote.mmInFlight--
+	n.record(bd, maxC)
+	return bd, nil
+}
+
+func (n *Node) checkRange(p *Process, a Addr, size int64) error {
+	if a < 0 || size < 0 || a+Addr(size) > p.memLimit {
+		return fmt.Errorf("kernel: pid %d range [%d,%d) out of address space", p.pid, a, a+Addr(size))
+	}
+	return nil
+}
+
+func (n *Node) record(bd Breakdown, maxC int) {
+	if n.trace == nil {
+		return
+	}
+	n.trace.Ops++
+	n.trace.Sum.add(bd)
+	if maxC > n.trace.MaxC {
+		n.trace.MaxC = maxC
+	}
+}
+
+// VMRead is process_vm_readv: the caller copies size bytes from src's
+// address space into its own. src's mm is the contended one.
+func (caller *Process) VMRead(sp *sim.Proc, dst Addr, src *Process, srcAddr Addr, size int64) error {
+	_, err := caller.node.vmTransfer(sp, caller, dst, src, srcAddr, size, size, true)
+	return err
+}
+
+// VMWrite is process_vm_writev: the caller copies size bytes from its own
+// address space into dst's. dst's mm is the contended one.
+func (caller *Process) VMWrite(sp *sim.Proc, src Addr, dst *Process, dstAddr Addr, size int64) error {
+	_, err := caller.node.vmTransfer(sp, caller, src, dst, dstAddr, size, size, false)
+	return err
+}
+
+// VMReadPartial exposes the iovec-length trick of Table III: localBytes
+// and remoteBytes select which syscall phases execute (see vmTransfer).
+// It returns the per-phase breakdown.
+func (caller *Process) VMReadPartial(sp *sim.Proc, dst Addr, src *Process, srcAddr Addr, localBytes, remoteBytes int64) (Breakdown, error) {
+	return caller.node.vmTransfer(sp, caller, dst, src, srcAddr, localBytes, remoteBytes, true)
+}
+
+// Combine models an elementwise reduction combine dst[i] += src[i]
+// within one address space (the local-compute step of Reduce trees).
+// The cost is charged at the memcpy rate: a streaming read-read-write
+// over size bytes.
+func (p *Process) Combine(sp *sim.Proc, dst, src Addr, size int64) {
+	if size <= 0 {
+		return
+	}
+	if err := p.node.checkRange(p, dst, size); err != nil {
+		panic(err)
+	}
+	if err := p.node.checkRange(p, src, size); err != nil {
+		panic(err)
+	}
+	sp.Sleep(float64(size) * p.node.Arch.MemCopyBeta())
+	if p.node.CopyData {
+		d := p.data[dst : dst+Addr(size)]
+		s := p.data[src : src+Addr(size)]
+		for i := range d {
+			d[i] += s[i]
+		}
+	}
+}
+
+// LocalCopy models an in-process memcpy of size bytes (used for the
+// root's own block in Scatter/Gather when MPI_IN_PLACE is not used).
+func (p *Process) LocalCopy(sp *sim.Proc, dst, src Addr, size int64) {
+	if size <= 0 {
+		return
+	}
+	if err := p.node.checkRange(p, dst, size); err != nil {
+		panic(err)
+	}
+	if err := p.node.checkRange(p, src, size); err != nil {
+		panic(err)
+	}
+	sp.Sleep(float64(size) * p.node.Arch.MemCopyBeta())
+	if p.node.CopyData {
+		copy(p.data[dst:dst+Addr(size)], p.data[src:src+Addr(size)])
+	}
+}

@@ -1,0 +1,135 @@
+// Package measure times collective operations on the simulated node.
+// Because the simulator is deterministic and noise-free, a single
+// invocation yields the exact latency; the harness still supports
+// multi-iteration averaging for experiments that want to amortize
+// per-invocation setup the way the paper's OSU-style benchmarks do.
+package measure
+
+import (
+	"math/rand"
+
+	"camc/internal/arch"
+	"camc/internal/core"
+	"camc/internal/kernel"
+	"camc/internal/mpi"
+)
+
+// Options configures a measurement.
+type Options struct {
+	Procs int   // ranks; 0 = architecture default (full subscription)
+	Iters int   // timed invocations; 0 = 1
+	Root  int   // root for rooted collectives
+	Mem   int64 // per-rank address space; 0 = sized automatically
+
+	// Mechanism selects the kernel-assist facility (default CMA).
+	Mechanism kernel.Mechanism
+
+	// SkewSeed, when non-zero, injects a deterministic random start
+	// delay of up to MaxSkew microseconds per rank before each timed
+	// invocation — the process skew the paper says turns contention-free
+	// schedules into contended ones.
+	SkewSeed int64
+	MaxSkew  float64
+}
+
+// Collective returns the latency in microseconds of one collective
+// invocation: the time from the instant the last rank enters the
+// operation to the instant the last rank leaves it, averaged over
+// Options.Iters invocations. Runs are cost-only (no data movement).
+func Collective(a *arch.Profile, kind core.Kind, algo func(*mpi.Rank, core.Args), count int64, opts Options) float64 {
+	procs := opts.Procs
+	if procs == 0 {
+		procs = a.DefaultProcs
+	}
+	iters := opts.Iters
+	if iters == 0 {
+		iters = 1
+	}
+	mem := opts.Mem
+	if mem == 0 {
+		// Generous virtual sizing: p blocks for send and recv plus
+		// staging room for Bruck-style algorithms per iteration.
+		mem = (4*int64(procs) + 8) * (count + int64(a.PageSize)) * int64(iters+1)
+		if mem < 1<<22 {
+			mem = 1 << 22
+		}
+	}
+	c := mpi.New(mpi.Config{Arch: a, Procs: procs, CopyData: false, MemPerProc: mem, Mechanism: opts.Mechanism})
+	var skew []float64
+	if opts.SkewSeed != 0 && opts.MaxSkew > 0 {
+		rng := rand.New(rand.NewSource(opts.SkewSeed))
+		skew = make([]float64, procs*iters)
+		for i := range skew {
+			skew[i] = rng.Float64() * opts.MaxSkew
+		}
+	}
+	send := make([]kernel.Addr, procs)
+	recv := make([]kernel.Addr, procs)
+	blocks := int64(procs)
+	var sendLen, recvLen int64
+	switch kind {
+	case core.KindScatter:
+		sendLen, recvLen = blocks*count, count
+	case core.KindGather:
+		sendLen, recvLen = count, blocks*count
+	case core.KindAlltoall, core.KindAllgather:
+		sendLen, recvLen = blocks*count, blocks*count
+	case core.KindBcast:
+		sendLen, recvLen = count, count
+	}
+	for i := 0; i < procs; i++ {
+		send[i] = c.Rank(i).Alloc(sendLen)
+		recv[i] = c.Rank(i).Alloc(recvLen)
+	}
+	starts := make([]float64, procs)
+	ends := make([]float64, procs)
+	var total float64
+	c.Start(func(r *mpi.Rank) {
+		for it := 0; it < iters; it++ {
+			r.Barrier()
+			if skew != nil {
+				r.SP.Sleep(skew[it*procs+r.ID])
+			}
+			starts[r.ID] = r.SP.Now()
+			algo(r, core.Args{Send: send[r.ID], Recv: recv[r.ID], Count: count, Root: opts.Root})
+			ends[r.ID] = r.SP.Now()
+			r.Barrier()
+			if r.ID == 0 {
+				total += maxOf(ends) - maxOf(starts)
+			}
+		}
+	})
+	if err := c.Sim.Run(); err != nil {
+		panic(err)
+	}
+	return total / float64(iters)
+}
+
+func maxOf(v []float64) float64 {
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sweep measures one algorithm across message sizes and returns latencies
+// in size order.
+func Sweep(a *arch.Profile, kind core.Kind, algo func(*mpi.Rank, core.Args), sizes []int64, opts Options) []float64 {
+	out := make([]float64, len(sizes))
+	for i, s := range sizes {
+		out[i] = Collective(a, kind, algo, s, opts)
+	}
+	return out
+}
+
+// Sizes builds a power-of-two size ladder [lo, hi].
+func Sizes(lo, hi int64) []int64 {
+	var out []int64
+	for s := lo; s <= hi; s *= 2 {
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package measure
+
+import (
+	"testing"
+
+	"camc/internal/arch"
+	"camc/internal/core"
+	"camc/internal/kernel"
+)
+
+func TestSizesLadder(t *testing.T) {
+	got := Sizes(1<<10, 8<<10)
+	want := []int64{1 << 10, 2 << 10, 4 << 10, 8 << 10}
+	if len(got) != len(want) {
+		t.Fatalf("sizes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sizes[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSweepMatchesCollective(t *testing.T) {
+	a := arch.KNL()
+	sizes := []int64{4 << 10, 16 << 10}
+	swept := Sweep(a, core.KindBcast, core.BcastKnomialRead(5), sizes, Options{Procs: 8})
+	for i, sz := range sizes {
+		single := Collective(a, core.KindBcast, core.BcastKnomialRead(5), sz, Options{Procs: 8})
+		if swept[i] != single {
+			t.Fatalf("sweep[%d]=%g != single %g", i, swept[i], single)
+		}
+	}
+}
+
+func TestItersAveragingIsStable(t *testing.T) {
+	// Iterations are near-identical: the only variation is the residual
+	// arrival skew ranks carry out of the separating barrier, worth well
+	// under a percent. (It is not exactly zero — the same pipelining
+	// effect real back-to-back benchmarks see.)
+	a := arch.Broadwell()
+	one := Collective(a, core.KindScatter, core.ScatterThrottled(4), 32<<10, Options{Procs: 12, Iters: 1})
+	three := Collective(a, core.KindScatter, core.ScatterThrottled(4), 32<<10, Options{Procs: 12, Iters: 3})
+	rel := (one - three) / one
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 0.02 {
+		t.Fatalf("iters averaging drifted beyond 2%%: %g vs %g", one, three)
+	}
+}
+
+func TestNonZeroRoot(t *testing.T) {
+	a := arch.KNL()
+	v := Collective(a, core.KindGather, core.GatherThrottled(4), 16<<10, Options{Procs: 10, Root: 7})
+	if v <= 0 {
+		t.Fatalf("latency %g", v)
+	}
+}
+
+func TestSkewChangesOnlySkewedRuns(t *testing.T) {
+	a := arch.KNL()
+	base := Collective(a, core.KindBcast, core.BcastDirectRead, 64<<10, Options{Procs: 16})
+	same := Collective(a, core.KindBcast, core.BcastDirectRead, 64<<10, Options{Procs: 16})
+	skewed := Collective(a, core.KindBcast, core.BcastDirectRead, 64<<10, Options{Procs: 16, SkewSeed: 9, MaxSkew: 5000})
+	if base != same {
+		t.Fatalf("deterministic baseline drifted: %g vs %g", base, same)
+	}
+	if skewed == base {
+		t.Fatal("skew had no effect on the contended design")
+	}
+}
+
+func TestMechanismOptionRoutes(t *testing.T) {
+	a := arch.KNL()
+	cma := Collective(a, core.KindGather, core.GatherParallelWrite, 256<<10, Options{Procs: 16})
+	xp := Collective(a, core.KindGather, core.GatherParallelWrite, 256<<10, Options{Procs: 16, Mechanism: kernel.MechXPMEM})
+	if xp >= cma {
+		t.Fatalf("xpmem naive gather %g not below cma %g", xp, cma)
+	}
+}

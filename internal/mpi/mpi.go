@@ -1,0 +1,302 @@
+// Package mpi provides the miniature MPI runtime the collectives run on:
+// a communicator of simulated processes (one per core, block-placed
+// across sockets), point-to-point messaging with the standard two
+// protocols — eager through shared memory for small messages, and
+// rendezvous (RTS/CTS control packets plus a CMA read) for large ones —
+// and the measurement harness used by every experiment.
+//
+// As in the paper's design (§III), every rank learns its peers' PIDs at
+// initialization, so native CMA collectives built on this runtime only
+// exchange buffer addresses (through shared memory) per operation.
+package mpi
+
+import (
+	"fmt"
+
+	"camc/internal/arch"
+	"camc/internal/kernel"
+	"camc/internal/shm"
+	"camc/internal/sim"
+)
+
+// DefaultRendezvousThreshold is the eager/rendezvous switch point in
+// bytes: the paper places the kernel-assisted advantage at >= 16 KiB.
+const DefaultRendezvousThreshold = 16 << 10
+
+// Config describes one intra-node MPI job.
+type Config struct {
+	Arch  *arch.Profile
+	Procs int // ranks; defaults to Arch.DefaultProcs
+
+	// CopyData enables real data movement (tests); disable for large
+	// cost-only sweeps (benchmarks).
+	CopyData bool
+
+	// MemPerProc is each rank's simulated address-space size in bytes.
+	// Defaults to 1 GiB (dataless) — set small when CopyData is on.
+	MemPerProc int64
+
+	// RendezvousThreshold overrides the eager/rendezvous switch point.
+	RendezvousThreshold int64
+
+	// ChunkPages overrides the kernel contention-sampling granularity.
+	ChunkPages int
+
+	// Mechanism selects the kernel-assist facility (CMA by default; see
+	// kernel.Mechanism for KNEM/LiMIC/XPMEM).
+	Mechanism kernel.Mechanism
+}
+
+func (c Config) withDefaults() Config {
+	if c.Procs == 0 {
+		c.Procs = c.Arch.DefaultProcs
+	}
+	if c.MemPerProc == 0 {
+		c.MemPerProc = 1 << 30
+	}
+	if c.RendezvousThreshold == 0 {
+		c.RendezvousThreshold = DefaultRendezvousThreshold
+	}
+	return c
+}
+
+// Comm is an intra-node communicator.
+type Comm struct {
+	Node  *kernel.Node
+	Shm   *shm.Transport
+	Sim   *sim.Simulation
+	cfg   Config
+	ranks []*Rank
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// Rank returns rank i's handle.
+func (c *Comm) Rank(i int) *Rank { return c.ranks[i] }
+
+// Rank is one MPI process: its simulated OS process plus its simulation
+// coroutine.
+type Rank struct {
+	Comm *Comm
+	ID   int
+	SP   *sim.Proc
+	OS   *kernel.Process
+}
+
+// Size returns the communicator size.
+func (r *Rank) Size() int { return r.Comm.Size() }
+
+// Peer returns the OS process behind rank i (the PID table every rank
+// builds at init).
+func (r *Rank) Peer(i int) *kernel.Process { return r.Comm.ranks[i].OS }
+
+// Alloc reserves size bytes in this rank's address space.
+func (r *Rank) Alloc(size int64) kernel.Addr { return r.OS.Alloc(size) }
+
+// Result reports a completed run.
+type Result struct {
+	Time   float64 // virtual time at which the last rank finished, us
+	Events uint64  // simulator dispatches (diagnostics)
+}
+
+// New builds a communicator without running anything; used by harnesses
+// that need to allocate buffers before spawning rank bodies. Most callers
+// want Run.
+func New(cfg Config) *Comm {
+	cfg = cfg.withDefaults()
+	s := sim.New()
+	node := kernel.NewNode(s, cfg.Arch)
+	node.CopyData = cfg.CopyData
+	node.SetMechanism(cfg.Mechanism)
+	if cfg.ChunkPages != 0 {
+		node.ChunkPages = cfg.ChunkPages
+	}
+	c := &Comm{Node: node, Sim: s, cfg: cfg}
+	c.Shm = shm.New(node, cfg.Procs)
+	for i := 0; i < cfg.Procs; i++ {
+		os := node.NewProcess(cfg.MemPerProc)
+		os.SetSocket(cfg.Arch.RankSocket(i, cfg.Procs))
+		c.ranks = append(c.ranks, &Rank{Comm: c, ID: i, OS: os})
+	}
+	return c
+}
+
+// NewOnNode builds a communicator over an existing simulated node (the
+// multi-node cluster creates several nodes on one shared simulation and
+// needs a communicator per node). Runs inherit the node's CopyData
+// setting; MemPerProc applies to the ranks' address spaces.
+func NewOnNode(node *kernel.Node, procs int, memPerProc int64) *Comm {
+	cfg := Config{
+		Arch:       node.Arch,
+		Procs:      procs,
+		CopyData:   node.CopyData,
+		MemPerProc: memPerProc,
+	}.withDefaults()
+	c := &Comm{Node: node, Sim: node.Sim, cfg: cfg}
+	c.Shm = shm.New(node, cfg.Procs)
+	for i := 0; i < cfg.Procs; i++ {
+		os := node.NewProcess(cfg.MemPerProc)
+		os.SetSocket(cfg.Arch.RankSocket(i, cfg.Procs))
+		c.ranks = append(c.ranks, &Rank{Comm: c, ID: i, OS: os})
+	}
+	return c
+}
+
+// Start spawns one simulation process per rank running body.
+func (c *Comm) Start(body func(r *Rank)) {
+	for _, r := range c.ranks {
+		r := r
+		c.Sim.Spawn(fmt.Sprintf("rank%d", r.ID), func(p *sim.Proc) {
+			r.SP = p
+			body(r)
+		})
+	}
+}
+
+// Run builds a communicator, runs body on every rank, and returns the
+// completion time.
+func Run(cfg Config, body func(r *Rank)) (Result, error) {
+	c := New(cfg)
+	c.Start(body)
+	if err := c.Sim.Run(); err != nil {
+		return Result{}, err
+	}
+	return Result{Time: c.Sim.Now(), Events: c.Sim.EventsProcessed()}, nil
+}
+
+// Barrier synchronizes all ranks (dissemination barrier over shared
+// memory).
+func (r *Rank) Barrier() { r.Comm.Shm.Barrier(r.SP, r.ID) }
+
+// pt2pt tags: the two protocols share the per-pair FIFO, so fixed tags
+// keep the handshakes self-describing.
+const (
+	tagEager = 100
+	tagRTS   = 101
+	tagFIN   = 102
+)
+
+// matchCost is the per-message MPI point-to-point envelope overhead:
+// posting/matching against the receive and unexpected-message queues.
+// The native CMA collectives skip the point-to-point stack entirely
+// (addresses ride raw shared-memory slots), which is part of the
+// advantage the paper's Fig 9 isolates.
+const matchCost = 0.3
+
+// Send transmits size bytes at addr to rank dst. Messages below the
+// rendezvous threshold go eagerly through shared memory (two copies);
+// larger ones use the rendezvous protocol: the sender posts an RTS
+// carrying its buffer address, the receiver pulls the payload with a
+// single CMA read, then posts a FIN.
+func (r *Rank) Send(dst int, addr kernel.Addr, size int64) {
+	c := r.Comm
+	r.SP.Sleep(matchCost)
+	if size < c.cfg.RendezvousThreshold {
+		c.Shm.Send(r.SP, r.ID, dst, tagEager, r.OS, addr, size)
+		return
+	}
+	c.Shm.SendCtl(r.SP, r.ID, dst, tagRTS, int64(addr))
+	c.Shm.RecvCtl(r.SP, dst, r.ID, tagFIN)
+}
+
+// Recv receives size bytes from rank src into addr. The protocol is
+// chosen by size exactly as in Send; both sides must agree.
+func (r *Rank) Recv(src int, addr kernel.Addr, size int64) {
+	c := r.Comm
+	r.SP.Sleep(matchCost)
+	if size < c.cfg.RendezvousThreshold {
+		c.Shm.Recv(r.SP, src, r.ID, tagEager, r.OS, addr, size)
+		return
+	}
+	remote := c.Shm.RecvCtl(r.SP, src, r.ID, tagRTS)
+	if err := r.OS.VMRead(r.SP, addr, r.Peer(src), kernel.Addr(remote), size); err != nil {
+		panic(fmt.Sprintf("mpi: rendezvous read %d->%d: %v", src, r.ID, err))
+	}
+	c.Shm.SendCtl(r.SP, r.ID, src, tagFIN, 0)
+}
+
+// Sendrecv performs a simultaneous exchange with two (possibly equal)
+// peers without deadlocking: the outgoing rendezvous RTS is posted before
+// serving the incoming message, and the FIN is collected last. Both
+// directions choose eager vs rendezvous independently by size.
+func (r *Rank) Sendrecv(dst int, sAddr kernel.Addr, sSize int64, src int, rAddr kernel.Addr, rSize int64) {
+	c := r.Comm
+	r.SP.Sleep(matchCost) // send-side envelope; Recv below charges its own
+	sRndv := sSize >= c.cfg.RendezvousThreshold
+	if sRndv {
+		c.Shm.SendCtl(r.SP, r.ID, dst, tagRTS, int64(sAddr))
+	} else {
+		// Eager messages are bounded by the rendezvous threshold, which
+		// fits the per-pair queue, so staging cannot deadlock.
+		c.Shm.Send(r.SP, r.ID, dst, tagEager, r.OS, sAddr, sSize)
+	}
+	r.Recv(src, rAddr, rSize)
+	if sRndv {
+		c.Shm.RecvCtl(r.SP, dst, r.ID, tagFIN)
+	}
+}
+
+// SendShm forces the eager/shared-memory path regardless of size (used
+// by the pure shared-memory baseline designs).
+func (r *Rank) SendShm(dst int, addr kernel.Addr, size int64) {
+	r.SP.Sleep(matchCost)
+	r.Comm.Shm.Send(r.SP, r.ID, dst, tagEager, r.OS, addr, size)
+}
+
+// RecvShm forces the shared-memory path regardless of size.
+func (r *Rank) RecvShm(src int, addr kernel.Addr, size int64) {
+	r.SP.Sleep(matchCost)
+	r.Comm.Shm.Recv(r.SP, src, r.ID, tagEager, r.OS, addr, size)
+}
+
+// SendrecvShm forces a simultaneous shared-memory exchange regardless of
+// size (pure shared-memory baseline for pairwise and ring patterns). The
+// send and receive peers may differ; all ranks of the pattern must call
+// it together.
+func (r *Rank) SendrecvShm(sendPeer int, sAddr kernel.Addr, sSize int64, recvPeer int, rAddr kernel.Addr, rSize int64) {
+	r.SP.Sleep(2 * matchCost) // one send-side + one recv-side envelope
+	r.Comm.Shm.Exchange(r.SP, r.ID, sendPeer, recvPeer, tagEager, r.OS, sAddr, sSize, rAddr, rSize)
+}
+
+// Bcast64 broadcasts an 8-byte value from root (shared-memory control
+// collective).
+func (r *Rank) Bcast64(root int, val int64) int64 {
+	return r.Comm.Shm.Bcast64(r.SP, r.ID, root, val)
+}
+
+// Gather64 gathers one 8-byte value per rank at root.
+func (r *Rank) Gather64(root int, val int64) []int64 {
+	return r.Comm.Shm.Gather64(r.SP, r.ID, root, val)
+}
+
+// Allgather64 gathers one 8-byte value per rank everywhere.
+func (r *Rank) Allgather64(val int64) []int64 {
+	return r.Comm.Shm.Allgather64(r.SP, r.ID, val)
+}
+
+// Notify posts a 0-byte completion message to dst.
+func (r *Rank) Notify(dst int) { r.Comm.Shm.Notify(r.SP, r.ID, dst) }
+
+// WaitNotify consumes a 0-byte completion message from src.
+func (r *Rank) WaitNotify(src int) { r.Comm.Shm.WaitNotify(r.SP, src, r.ID) }
+
+// VMRead pulls size bytes from rank src's address space (native CMA
+// collective building block; the address came from a control exchange).
+func (r *Rank) VMRead(dst kernel.Addr, src int, srcAddr kernel.Addr, size int64) {
+	if err := r.OS.VMRead(r.SP, dst, r.Peer(src), srcAddr, size); err != nil {
+		panic(fmt.Sprintf("mpi: VMRead rank %d <- %d: %v", r.ID, src, err))
+	}
+}
+
+// VMWrite pushes size bytes into rank dst's address space.
+func (r *Rank) VMWrite(src kernel.Addr, dst int, dstAddr kernel.Addr, size int64) {
+	if err := r.OS.VMWrite(r.SP, src, r.Peer(dst), kernel.Addr(dstAddr), size); err != nil {
+		panic(fmt.Sprintf("mpi: VMWrite rank %d -> %d: %v", r.ID, dst, err))
+	}
+}
+
+// LocalCopy is an in-process memcpy.
+func (r *Rank) LocalCopy(dst, src kernel.Addr, size int64) {
+	r.OS.LocalCopy(r.SP, dst, src, size)
+}

@@ -1,0 +1,137 @@
+package shm
+
+// Control collectives over the shared-memory transport. These are the
+// T^sm_<coll> building blocks of the paper's cost model: every native CMA
+// collective starts by moving buffer addresses (8 bytes) or 0-byte
+// completion notifications through shared memory.
+//
+// Bcast64 uses a binomial tree (⌈log2 p⌉ rounds); Gather64 is flat
+// (non-roots post concurrently, the root drains); Allgather64 is a
+// gather to rank 0 followed by a broadcast of the packed vector; Barrier
+// is a dissemination barrier. All are correct for any process count and
+// any root.
+
+import "camc/internal/sim"
+
+// Tag space: the control collectives use tags far above the range the
+// point-to-point layer and the CMA collectives use, so one communicator
+// can interleave them safely.
+const (
+	tagCollBase = 1 << 20
+	tagBcast    = tagCollBase + iota
+	tagGather
+	tagAllgather
+	tagBarrier
+	tagNotify
+)
+
+// Bcast64 broadcasts an 8-byte value from root via a binomial tree and
+// returns the value at every rank.
+func (t *Transport) Bcast64(sp *sim.Proc, me, root int, val int64) int64 {
+	p := t.nranks
+	if p == 1 {
+		return val
+	}
+	rel := (me - root + p) % p // relative rank: root is 0
+	// Find this rank's parent: clear the highest set bit.
+	if rel != 0 {
+		mask := 1
+		for mask <= rel {
+			mask <<= 1
+		}
+		mask >>= 1
+		parent := (rel - mask + root) % p
+		val = t.RecvCtl(sp, parent, me, tagBcast)
+	}
+	// Forward to children: rel+2^k for 2^k > rel.
+	mask := 1
+	for mask <= rel {
+		mask <<= 1
+	}
+	for ; rel+mask < p; mask <<= 1 {
+		child := (rel + mask + root) % p
+		t.SendCtl(sp, me, child, tagBcast, val)
+	}
+	return val
+}
+
+// Gather64 gathers one 8-byte value per rank to root. At root the result
+// has one entry per rank (indexed by rank); other ranks get nil.
+func (t *Transport) Gather64(sp *sim.Proc, me, root int, val int64) []int64 {
+	p := t.nranks
+	if me != root {
+		t.SendCtl(sp, me, root, tagGather, val)
+		return nil
+	}
+	out := make([]int64, p)
+	out[root] = val
+	for r := 0; r < p; r++ {
+		if r == root {
+			continue
+		}
+		out[r] = t.RecvCtl(sp, r, root, tagGather)
+	}
+	return out
+}
+
+// Allgather64 gathers one 8-byte value per rank and distributes the full
+// vector to every rank: a gather to rank 0 followed by a binomial
+// broadcast of the packed vector (p values ride one control message per
+// tree edge, costed as p/8 cells' worth of copies via repeated ctl sends).
+func (t *Transport) Allgather64(sp *sim.Proc, me int, val int64) []int64 {
+	p := t.nranks
+	out := t.Gather64(sp, me, 0, val)
+	if p == 1 {
+		return out
+	}
+	// Broadcast the vector down a binomial tree. Each edge carries the
+	// p-entry vector; we model it as p chained control messages (the
+	// vector is tiny compared to any data message, but the cost should
+	// still scale with p).
+	rel := me
+	if rel != 0 {
+		mask := 1
+		for mask <= rel {
+			mask <<= 1
+		}
+		mask >>= 1
+		parent := rel - mask
+		out = make([]int64, p)
+		for i := 0; i < p; i++ {
+			out[i] = t.RecvCtl(sp, parent, me, tagAllgather)
+		}
+	}
+	mask := 1
+	for mask <= rel {
+		mask <<= 1
+	}
+	for ; rel+mask < p; mask <<= 1 {
+		child := rel + mask
+		for i := 0; i < p; i++ {
+			t.SendCtl(sp, me, child, tagAllgather, out[i])
+		}
+	}
+	return out
+}
+
+// Notify posts a 0-byte completion message to dst.
+func (t *Transport) Notify(sp *sim.Proc, me, dst int) {
+	t.SendCtl(sp, me, dst, tagNotify, 0)
+}
+
+// WaitNotify consumes one 0-byte completion message from src.
+func (t *Transport) WaitNotify(sp *sim.Proc, src, me int) {
+	t.RecvCtl(sp, src, me, tagNotify)
+}
+
+// Barrier is a dissemination barrier: ⌈log2 p⌉ rounds, in round k each
+// rank signals (me+2^k) mod p and waits for (me−2^k) mod p.
+func (t *Transport) Barrier(sp *sim.Proc, me int) {
+	p := t.nranks
+	for dist := 1; dist < p; dist <<= 1 {
+		to := (me + dist) % p
+		from := (me - dist + p) % p
+		t.SendCtl(sp, me, to, tagBarrier, 0)
+		t.RecvCtl(sp, from, me, tagBarrier)
+	}
+}

@@ -1,0 +1,237 @@
+// Package shm implements the shared-memory (two-copy) intra-node
+// transport that MPI libraries use alongside kernel-assisted copies.
+//
+// A message of n bytes is pipelined through fixed-size cells: the sender
+// copies each cell from its buffer into the shared region, and the
+// receiver copies it out — two memcpys per byte, the cost structure the
+// paper contrasts with CMA's single copy. Small 8-byte control messages
+// (buffer addresses, RTS/CTS, 0-byte synchronizations) ride the same
+// per-pair FIFO queues.
+//
+// The package also provides the small-message control collectives the
+// native CMA collectives are built from: Bcast64, Gather64, Allgather64,
+// Notify/WaitNotify and a dissemination Barrier, corresponding to the
+// T^sm_coll terms in the paper's cost model.
+package shm
+
+import (
+	"fmt"
+
+	"camc/internal/kernel"
+	"camc/internal/sim"
+)
+
+// ctlCost is the fixed CPU cost to post or consume one control message
+// (a few cache-line operations), in microseconds.
+const ctlCost = 0.05
+
+// queueDepth is the number of cells in flight per pair before the sender
+// stalls (shared-region flow control).
+const queueDepth = 32
+
+type message struct {
+	tag     int
+	size    int64
+	readyAt float64 // virtual time at which the receiver may consume it
+	ctl     int64   // control payload for 8-byte messages
+	data    []byte  // staged cell payload (nil on dataless nodes)
+	last    bool    // final cell of a data message
+}
+
+// Transport is a shared-memory segment connecting nranks local processes
+// with per-ordered-pair FIFO queues.
+type Transport struct {
+	node   *kernel.Node
+	nranks int
+	queues []*sim.Chan[message] // index src*nranks+dst
+}
+
+// New creates a transport among nranks processes of node.
+func New(node *kernel.Node, nranks int) *Transport {
+	t := &Transport{node: node, nranks: nranks}
+	t.queues = make([]*sim.Chan[message], nranks*nranks)
+	for i := range t.queues {
+		t.queues[i] = sim.NewChan[message](node.Sim, queueDepth)
+	}
+	return t
+}
+
+// Ranks returns the number of ranks the transport connects.
+func (t *Transport) Ranks() int { return t.nranks }
+
+func (t *Transport) queue(src, dst int) *sim.Chan[message] {
+	if src < 0 || src >= t.nranks || dst < 0 || dst >= t.nranks {
+		panic(fmt.Sprintf("shm: rank out of range: %d -> %d (nranks %d)", src, dst, t.nranks))
+	}
+	return t.queues[src*t.nranks+dst]
+}
+
+// SendCtl posts an 8-byte control message from src to dst.
+func (t *Transport) SendCtl(sp *sim.Proc, src, dst, tag int, val int64) {
+	sp.Sleep(ctlCost)
+	t.queue(src, dst).Send(sp, message{
+		tag:     tag,
+		readyAt: sp.Now() + t.node.Arch.ShmLatency,
+		ctl:     val,
+	})
+}
+
+// RecvCtl consumes the next control message from src, asserting the tag
+// matches (a mismatch is a protocol bug in the collective, not a runtime
+// condition).
+func (t *Transport) RecvCtl(sp *sim.Proc, src, dst, tag int) int64 {
+	m := t.queue(src, dst).Recv(sp)
+	if m.tag != tag {
+		panic(fmt.Sprintf("shm: tag mismatch on %d->%d: got %d, want %d", src, dst, m.tag, tag))
+	}
+	if m.size != 0 {
+		panic(fmt.Sprintf("shm: expected control message on %d->%d, got %d-byte data", src, dst, m.size))
+	}
+	if m.readyAt > sp.Now() {
+		sp.Sleep(m.readyAt - sp.Now())
+	}
+	sp.Sleep(ctlCost)
+	return m.ctl
+}
+
+// Send transmits size bytes from srcProc's buffer through the shared
+// region (first copy). It returns once the last cell is staged.
+func (t *Transport) Send(sp *sim.Proc, src, dst, tag int, srcProc *kernel.Process, addr kernel.Addr, size int64) {
+	if size < 0 {
+		panic("shm: negative send size")
+	}
+	a := t.node.Arch
+	cell := int64(a.ShmCellSize)
+	q := t.queue(src, dst)
+	beta := a.ShmCopyBeta()
+	for off := int64(0); ; off += cell {
+		n := cell
+		if size-off < n {
+			n = size - off
+		}
+		if n < 0 {
+			n = 0
+		}
+		t.node.BeginCopy()
+		sp.Sleep(a.ShmCellOverhead + float64(n)*t.node.EffPerByte(beta))
+		t.node.EndCopy()
+		m := message{
+			tag:     tag,
+			size:    n,
+			readyAt: sp.Now() + a.ShmLatency,
+			last:    off+n >= size,
+		}
+		if m.size == 0 {
+			m.size = -1 // distinguish a zero-length data cell from a ctl message
+		}
+		if t.node.CopyData && n > 0 {
+			m.data = append([]byte(nil), srcProc.Bytes(addr+kernel.Addr(off), n)...)
+		}
+		q.Send(sp, m)
+		if m.last {
+			return
+		}
+	}
+}
+
+// Exchange performs a simultaneous send to sendPeer and receive from
+// recvPeer (they may be the same rank, as in a pairwise exchange, or
+// different, as in a ring shift), strictly alternating one staged
+// outgoing cell with one drained incoming cell. All participants of the
+// exchange pattern must call Exchange together; the alternation keeps
+// only a couple of cells in flight per direction, so the bounded queues
+// cannot deadlock even for messages much larger than the queue depth.
+// Copy costs accrue serially, matching a single core alternating between
+// the two copy directions.
+func (t *Transport) Exchange(sp *sim.Proc, me, sendPeer, recvPeer, tag int, proc *kernel.Process, sAddr kernel.Addr, sSize int64, rAddr kernel.Addr, rSize int64) {
+	a := t.node.Arch
+	cell := int64(a.ShmCellSize)
+	beta := a.ShmCopyBeta()
+	out := t.queue(me, sendPeer)
+	in := t.queue(recvPeer, me)
+	var sent, got int64
+	sendDone, recvDone := false, false
+	for !sendDone || !recvDone {
+		if !sendDone {
+			n := cell
+			if sSize-sent < n {
+				n = sSize - sent
+			}
+			if n < 0 {
+				n = 0
+			}
+			t.node.BeginCopy()
+			sp.Sleep(a.ShmCellOverhead + float64(n)*t.node.EffPerByte(beta))
+			t.node.EndCopy()
+			m := message{tag: tag, size: n, readyAt: sp.Now() + a.ShmLatency, last: sent+n >= sSize}
+			if m.size == 0 {
+				m.size = -1
+			}
+			if t.node.CopyData && n > 0 {
+				m.data = append([]byte(nil), proc.Bytes(sAddr+kernel.Addr(sent), n)...)
+			}
+			out.Send(sp, m)
+			sent += n
+			sendDone = m.last
+		}
+		if !recvDone {
+			m := in.Recv(sp)
+			if m.tag != tag {
+				panic(fmt.Sprintf("shm: tag mismatch on %d->%d: got %d, want %d", recvPeer, me, m.tag, tag))
+			}
+			n := m.size
+			if n == -1 {
+				n = 0
+			}
+			if m.readyAt > sp.Now() {
+				sp.Sleep(m.readyAt - sp.Now())
+			}
+			t.node.BeginCopy()
+			sp.Sleep(a.ShmCellOverhead + float64(n)*t.node.EffPerByte(beta))
+			t.node.EndCopy()
+			if t.node.CopyData && n > 0 {
+				copy(proc.Bytes(rAddr+kernel.Addr(got), n), m.data)
+			}
+			got += n
+			recvDone = m.last
+		}
+	}
+	if got != rSize {
+		panic(fmt.Sprintf("shm: exchange size mismatch on %d<-%d: got %d, expected %d", me, recvPeer, got, rSize))
+	}
+}
+
+// Recv receives a size-byte message from src into dstProc's buffer
+// (second copy). size must match what the sender staged.
+func (t *Transport) Recv(sp *sim.Proc, src, dst, tag int, dstProc *kernel.Process, addr kernel.Addr, size int64) {
+	a := t.node.Arch
+	q := t.queue(src, dst)
+	beta := a.ShmCopyBeta()
+	var got int64
+	for {
+		m := q.Recv(sp)
+		if m.tag != tag {
+			panic(fmt.Sprintf("shm: tag mismatch on %d->%d: got %d, want %d", src, dst, m.tag, tag))
+		}
+		n := m.size
+		if n == -1 {
+			n = 0
+		}
+		if m.readyAt > sp.Now() {
+			sp.Sleep(m.readyAt - sp.Now())
+		}
+		t.node.BeginCopy()
+		sp.Sleep(a.ShmCellOverhead + float64(n)*t.node.EffPerByte(beta))
+		t.node.EndCopy()
+		if t.node.CopyData && n > 0 {
+			copy(dstProc.Bytes(addr+kernel.Addr(got), n), m.data)
+		}
+		got += n
+		if m.last {
+			break
+		}
+	}
+	if got != size {
+		panic(fmt.Sprintf("shm: size mismatch on %d->%d: staged %d, expected %d", src, dst, got, size))
+	}
+}

@@ -1,0 +1,131 @@
+package sim
+
+// Chan is a typed message channel operating in virtual time. A Chan with
+// capacity zero is a rendezvous channel: Send blocks until a receiver
+// takes the value. With capacity > 0, Send blocks only when the buffer is
+// full. Message order and waiter wake-up order are FIFO, so channel
+// behaviour is deterministic.
+//
+// Chan transfers are instantaneous in virtual time: any transfer cost is
+// the caller's responsibility (the transports layer costs separately).
+type Chan[T any] struct {
+	sim *Simulation
+	cap int
+	buf []T
+
+	sendq []*sendWaiter[T]
+	recvq []*recvWaiter[T]
+}
+
+type sendWaiter[T any] struct {
+	p   *Proc
+	val T
+}
+
+type recvWaiter[T any] struct {
+	p   *Proc
+	val T
+	ok  bool
+}
+
+// NewChan creates a channel with the given buffer capacity (0 for
+// rendezvous semantics).
+func NewChan[T any](s *Simulation, capacity int) *Chan[T] {
+	if capacity < 0 {
+		panic("sim: negative channel capacity")
+	}
+	return &Chan[T]{sim: s, cap: capacity}
+}
+
+// Len returns the number of buffered messages.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Send delivers v, blocking in virtual time until the channel can accept
+// it.
+func (c *Chan[T]) Send(p *Proc, v T) {
+	// Direct hand-off to a waiting receiver preserves FIFO order only
+	// when no messages are buffered ahead of v.
+	if len(c.recvq) > 0 && len(c.buf) == 0 {
+		w := c.recvq[0]
+		c.recvq = c.recvq[1:]
+		w.val, w.ok = v, true
+		w.p.wake(c.sim.now)
+		return
+	}
+	if len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return
+	}
+	sw := &sendWaiter[T]{p: p, val: v}
+	c.sendq = append(c.sendq, sw)
+	p.block("chan send")
+}
+
+// TrySend delivers v without blocking; it reports whether the value was
+// accepted.
+func (c *Chan[T]) TrySend(v T) bool {
+	if len(c.recvq) > 0 && len(c.buf) == 0 {
+		w := c.recvq[0]
+		c.recvq = c.recvq[1:]
+		w.val, w.ok = v, true
+		w.p.wake(c.sim.now)
+		return true
+	}
+	if len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return true
+	}
+	return false
+}
+
+// Recv blocks in virtual time until a message is available and returns it.
+func (c *Chan[T]) Recv(p *Proc) T {
+	if len(c.buf) > 0 {
+		v := c.buf[0]
+		c.buf = c.buf[1:]
+		// A parked sender can now occupy the freed slot.
+		if len(c.sendq) > 0 {
+			sw := c.sendq[0]
+			c.sendq = c.sendq[1:]
+			c.buf = append(c.buf, sw.val)
+			sw.p.wake(c.sim.now)
+		}
+		return v
+	}
+	if len(c.sendq) > 0 { // rendezvous: take directly from a parked sender
+		sw := c.sendq[0]
+		c.sendq = c.sendq[1:]
+		sw.p.wake(c.sim.now)
+		return sw.val
+	}
+	rw := &recvWaiter[T]{p: p}
+	c.recvq = append(c.recvq, rw)
+	p.block("chan recv")
+	if !rw.ok {
+		panic("sim: chan recv woke without a value")
+	}
+	return rw.val
+}
+
+// TryRecv returns a message if one is immediately available.
+func (c *Chan[T]) TryRecv() (T, bool) {
+	var zero T
+	if len(c.buf) > 0 {
+		v := c.buf[0]
+		c.buf = c.buf[1:]
+		if len(c.sendq) > 0 {
+			sw := c.sendq[0]
+			c.sendq = c.sendq[1:]
+			c.buf = append(c.buf, sw.val)
+			sw.p.wake(c.sim.now)
+		}
+		return v, true
+	}
+	if len(c.sendq) > 0 {
+		sw := c.sendq[0]
+		c.sendq = c.sendq[1:]
+		sw.p.wake(c.sim.now)
+		return sw.val, true
+	}
+	return zero, false
+}

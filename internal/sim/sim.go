@@ -1,0 +1,203 @@
+// Package sim implements a deterministic process-oriented discrete-event
+// simulator used as the execution substrate for the simulated multi-core
+// node, kernel, and MPI runtime.
+//
+// Simulated processes are goroutines, but exactly one of them runs at any
+// instant: a single scheduling token is handed from the scheduler to the
+// runnable process and back. All synchronization primitives (Chan, Mutex,
+// Semaphore, Barrier, WaitGroup) operate in virtual time with FIFO waiter
+// queues and a (time, sequence) ordered event heap, so a simulation run is
+// bit-for-bit reproducible.
+//
+// Virtual time is a float64 measured in microseconds, matching the unit
+// the reproduced paper reports.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is a point in virtual time, in microseconds.
+type Time = float64
+
+// Simulation owns the virtual clock, the event heap and all processes.
+// The zero value is not usable; call New.
+type Simulation struct {
+	now       Time
+	seq       uint64
+	events    eventHeap
+	yield     chan yieldMsg
+	procs     []*Proc
+	live      int // procs spawned and not yet finished
+	blocked   int // procs blocked on a primitive with no pending event
+	running   bool
+	processed uint64 // events dispatched, for stats/tests
+}
+
+type yieldMsg struct {
+	done     bool
+	panicVal any
+}
+
+// New returns an empty simulation at time zero.
+func New() *Simulation {
+	return &Simulation{yield: make(chan yieldMsg)}
+}
+
+// Now returns the current virtual time in microseconds.
+func (s *Simulation) Now() Time { return s.now }
+
+// EventsProcessed returns the number of scheduler dispatches so far.
+func (s *Simulation) EventsProcessed() uint64 { return s.processed }
+
+// Proc is a simulated process. All methods must be called from the
+// goroutine running the process body.
+type Proc struct {
+	sim       *Simulation
+	id        int
+	name      string
+	resume    chan struct{}
+	blockedOn string // diagnostic: what primitive the proc is blocked on
+	started   bool
+	finished  bool
+}
+
+// ID returns the process's spawn index.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the process's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulation this process belongs to.
+func (p *Proc) Sim() *Simulation { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.sim.now }
+
+type event struct {
+	t   Time
+	seq uint64
+	p   *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (s *Simulation) schedule(p *Proc, at Time) {
+	s.seq++
+	heap.Push(&s.events, event{t: at, seq: s.seq, p: p})
+}
+
+// Spawn registers a new process whose body is fn. If called before Run,
+// the process starts at time zero; if called from a running process, it
+// starts at the current virtual time. Spawn order breaks scheduling ties.
+func (s *Simulation) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{sim: s, id: len(s.procs), name: name, resume: make(chan struct{})}
+	s.procs = append(s.procs, p)
+	s.live++
+	go func() {
+		<-p.resume
+		p.started = true
+		var panicked any
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					panicked = r
+				}
+			}()
+			fn(p)
+		}()
+		p.finished = true
+		s.yield <- yieldMsg{done: true, panicVal: panicked}
+	}()
+	s.schedule(p, s.now)
+	return p
+}
+
+// DeadlockError reports that the event heap drained while processes were
+// still blocked on synchronization primitives.
+type DeadlockError struct {
+	Time    Time
+	Blocked []string // "name: blockedOn" for each stuck process
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%.3fus, %d blocked: %v", e.Time, len(e.Blocked), e.Blocked)
+}
+
+// Run dispatches events until every process has finished. It returns a
+// *DeadlockError if processes remain blocked with no pending events, and
+// re-panics any panic raised inside a process body.
+func (s *Simulation) Run() error {
+	if s.running {
+		panic("sim: Run called reentrantly")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(event)
+		if e.t < s.now {
+			panic(fmt.Sprintf("sim: time went backwards: %g < %g", e.t, s.now))
+		}
+		s.now = e.t
+		s.processed++
+		e.p.blockedOn = ""
+		e.p.resume <- struct{}{}
+		msg := <-s.yield
+		if msg.panicVal != nil {
+			panic(fmt.Sprintf("sim: process %q panicked: %v", e.p.name, msg.panicVal))
+		}
+		if msg.done {
+			s.live--
+		}
+	}
+	if s.live > 0 {
+		var stuck []string
+		for _, p := range s.procs {
+			if p.started && !p.finished {
+				stuck = append(stuck, p.name+": "+p.blockedOn)
+			}
+		}
+		sort.Strings(stuck)
+		return &DeadlockError{Time: s.now, Blocked: stuck}
+	}
+	return nil
+}
+
+// block parks the calling process with no scheduled wake-up. Some other
+// process must call wake. why is recorded for deadlock diagnostics.
+func (p *Proc) block(why string) {
+	p.blockedOn = why
+	p.sim.yield <- yieldMsg{}
+	<-p.resume
+}
+
+// wake schedules a blocked process to resume at time at.
+func (p *Proc) wake(at Time) { p.sim.schedule(p, at) }
+
+// Sleep advances the process's virtual time by d microseconds. d must be
+// non-negative; Sleep(0) yields to other processes scheduled at the same
+// instant.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %g", d))
+	}
+	p.sim.schedule(p, p.sim.now+d)
+	p.blockedOn = "sleep"
+	p.sim.yield <- yieldMsg{}
+	<-p.resume
+}
+
+// Yield lets other processes scheduled at the current instant run.
+func (p *Proc) Yield() { p.Sleep(0) }

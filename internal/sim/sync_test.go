@@ -1,0 +1,171 @@
+package sim
+
+import "testing"
+
+func TestMutexTryLockAndState(t *testing.T) {
+	s := New()
+	m := NewMutex(s)
+	s.Spawn("a", func(p *Proc) {
+		if m.Locked() {
+			t.Error("fresh mutex locked")
+		}
+		if !m.TryLock() {
+			t.Error("TryLock on free mutex failed")
+		}
+		if m.TryLock() {
+			t.Error("TryLock on held mutex succeeded")
+		}
+		if !m.Locked() {
+			t.Error("held mutex reports unlocked")
+		}
+		if m.Waiters() != 0 {
+			t.Errorf("waiters = %d", m.Waiters())
+		}
+		m.Unlock()
+		if m.Locked() {
+			t.Error("released mutex reports locked")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutexWaitersCount(t *testing.T) {
+	s := New()
+	m := NewMutex(s)
+	s.Spawn("holder", func(p *Proc) {
+		m.Lock(p)
+		p.Sleep(10)
+		if m.Waiters() != 2 {
+			t.Errorf("waiters = %d, want 2", m.Waiters())
+		}
+		m.Unlock()
+	})
+	for i := 0; i < 2; i++ {
+		s.Spawn("waiter", func(p *Proc) {
+			p.Sleep(1)
+			m.Lock(p)
+			m.Unlock()
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemaphorePanics(t *testing.T) {
+	s := New()
+	for _, f := range []func(){
+		func() { NewSemaphore(s, -1) },
+		func() { NewSemaphore(s, 1).Release(0) },
+		func() { NewBarrier(s, 0) },
+		func() { NewChan[int](s, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSemaphoreAcquireZeroPanics(t *testing.T) {
+	s := New()
+	sem := NewSemaphore(s, 1)
+	s.Spawn("a", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for Acquire(0)")
+			}
+		}()
+		sem.Acquire(p, 0)
+	})
+	defer func() { recover() }() // the proc panic propagates through Run
+	_ = s.Run()
+}
+
+func TestWaitGroupNegativePanics(t *testing.T) {
+	s := New()
+	wg := NewWaitGroup(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	wg.Add(-1)
+}
+
+func TestSemaphoreAvailable(t *testing.T) {
+	s := New()
+	sem := NewSemaphore(s, 3)
+	s.Spawn("a", func(p *Proc) {
+		sem.Acquire(p, 2)
+		if sem.Available() != 1 {
+			t.Errorf("available = %d, want 1", sem.Available())
+		}
+		sem.Release(2)
+		if sem.Available() != 3 {
+			t.Errorf("available = %d, want 3", sem.Available())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChanLen(t *testing.T) {
+	s := New()
+	c := NewChan[int](s, 4)
+	s.Spawn("a", func(p *Proc) {
+		c.Send(p, 1)
+		c.Send(p, 2)
+		if c.Len() != 2 {
+			t.Errorf("len = %d, want 2", c.Len())
+		}
+		c.Recv(p)
+		if c.Len() != 1 {
+			t.Errorf("len = %d, want 1", c.Len())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcAccessors(t *testing.T) {
+	s := New()
+	var id int
+	var name string
+	p := s.Spawn("myproc", func(p *Proc) {
+		id = p.ID()
+		name = p.Name()
+		if p.Sim() != s {
+			t.Error("Sim() mismatch")
+		}
+		p.Yield()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if id != p.ID() || name != "myproc" {
+		t.Fatalf("accessors: id=%d name=%q", id, name)
+	}
+}
+
+func TestRunReentrantPanics(t *testing.T) {
+	s := New()
+	s.Spawn("a", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected reentrant Run panic")
+			}
+		}()
+		_ = s.Run()
+	})
+	defer func() { recover() }()
+	_ = s.Run()
+}

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 3.5 + 2.25*v
+	}
+	a, b, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(a, 3.5, 1e-9) || !almost(b, 2.25, 1e-9) {
+		t.Fatalf("fit = (%g, %g), want (3.5, 2.25)", a, b)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, _, err := LinearFit([]float64{1}, []float64{2}); err == nil {
+		t.Error("single sample should fail")
+	}
+	if _, _, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant x should fail")
+	}
+}
+
+func TestPolyFitRecoversQuadratic(t *testing.T) {
+	coef := []float64{1.5, -0.8, 0.35}
+	var x, y []float64
+	for v := 1.0; v <= 20; v++ {
+		x = append(x, v)
+		y = append(y, coef[0]+coef[1]*v+coef[2]*v*v)
+	}
+	got, err := PolyFit(x, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range coef {
+		if !almost(got[i], coef[i], 1e-6) {
+			t.Fatalf("coef[%d] = %g, want %g", i, got[i], coef[i])
+		}
+	}
+}
+
+func TestPolyFitNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	coef := []float64{2, 1.6, 0.1}
+	var x, y []float64
+	for v := 2.0; v <= 64; v += 2 {
+		x = append(x, v)
+		y = append(y, coef[0]+coef[1]*v+coef[2]*v*v+rng.NormFloat64()*0.5)
+	}
+	got, err := PolyFit(x, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got[2], 0.1, 0.02) {
+		t.Fatalf("quadratic term %g too far from 0.1", got[2])
+	}
+}
+
+func TestLMRecoversExponential(t *testing.T) {
+	// y = a·(1 − e^{−b·x}) — genuinely nonlinear in parameters.
+	f := func(p []float64, x float64) float64 { return p[0] * (1 - math.Exp(-p[1]*x)) }
+	truth := []float64{5.0, 0.7}
+	var x, y []float64
+	for v := 0.5; v <= 10; v += 0.5 {
+		x = append(x, v)
+		y = append(y, f(truth, v))
+	}
+	p, ssr, err := LevenbergMarquardt(f, x, y, []float64{1, 1}, LMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ssr > 1e-10 {
+		t.Fatalf("ssr = %g", ssr)
+	}
+	if !almost(p[0], truth[0], 1e-4) || !almost(p[1], truth[1], 1e-4) {
+		t.Fatalf("params = %v, want %v", p, truth)
+	}
+}
+
+func TestLMGammaShapedFit(t *testing.T) {
+	// The model package fits γ(c) = a + b·c + d·c² — verify LM recovers
+	// it from noisy samples.
+	f := func(p []float64, c float64) float64 { return p[0] + p[1]*c + p[2]*c*c }
+	truth := []float64{0, 1.6, 0.1}
+	rng := rand.New(rand.NewSource(3))
+	var x, y []float64
+	for c := 2.0; c <= 64; c *= 2 {
+		x = append(x, c)
+		y = append(y, f(truth, c)*(1+rng.NormFloat64()*0.01))
+	}
+	p, _, err := LevenbergMarquardt(f, x, y, []float64{1, 1, 1}, LMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(p[2], 0.1, 0.01) {
+		t.Fatalf("quadratic term = %g, want ~0.1", p[2])
+	}
+}
+
+func TestLMFewerSamplesThanParams(t *testing.T) {
+	f := func(p []float64, x float64) float64 { return p[0] + p[1]*x + p[2]*x*x }
+	if _, _, err := LevenbergMarquardt(f, []float64{1, 2}, []float64{1, 2}, []float64{0, 0, 0}, LMOptions{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(100, 110) > 0.1+1e-12 {
+		t.Fatal("RelErr(100,110) should be ~0.0909")
+	}
+	if RelErr(0, 0) != 0 {
+		t.Fatal("RelErr(0,0) should be 0")
+	}
+	f := func(a, b float64) bool {
+		return RelErr(a, b) == RelErr(b, a) && RelErr(a, b) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); !almost(g, 4, 1e-12) {
+		t.Fatalf("GeoMean(2,8) = %g", g)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Fatal("negative input should NaN")
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty input should be 0")
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	if _, err := solve([][]float64{{1, 2}, {2, 4}}, []float64{1, 2}); err == nil {
+		t.Fatal("singular matrix should fail")
+	}
+}
+
+func TestMeanAndSSR(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if s := SumSquaredResiduals([]float64{1, 2}, []float64{1, 4}); s != 4 {
+		t.Fatalf("ssr = %g", s)
+	}
+}
