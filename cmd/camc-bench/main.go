@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"camc/internal/bench"
+	"camc/internal/trace"
 )
 
 func main() {
@@ -25,10 +26,35 @@ func main() {
 		archF  = flag.String("arch", "", "restrict to one architecture: knl, broadwell, power8")
 		quick  = flag.Bool("quick", false, "reduced sweeps (faster, same shapes)")
 		format = flag.String("format", "table", "output format: table, plot, csv")
+		traceF = flag.String("trace", "", "trace the algorithm-comparison measurements (figs 7-11) and write the last cell's Chrome JSON here")
 	)
 	flag.Parse()
 
 	opts := bench.Options{Arch: *archF, Quick: *quick}
+	var lastRec *trace.Recorder
+	var lastLabel string
+	if *traceF != "" {
+		opts.TraceSink = func(archName, algo string, size int64, rec *trace.Recorder) {
+			lastRec, lastLabel = rec, fmt.Sprintf("%s/%s/%d", archName, algo, size)
+		}
+		defer func() {
+			if lastRec == nil {
+				fmt.Fprintln(os.Stderr, "trace: no traced measurement ran (only figs 7-11 are traceable)")
+				return
+			}
+			f, err := os.Create(*traceF)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			if err := trace.WriteChrome(f, lastRec); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			fmt.Printf("trace: wrote %s (%s; load in chrome://tracing or ui.perfetto.dev)\n", *traceF, lastLabel)
+		}()
+	}
 	var f bench.Format
 	switch *format {
 	case "table":

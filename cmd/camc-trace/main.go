@@ -1,0 +1,169 @@
+// Command camc-trace runs one collective invocation with structured
+// tracing enabled and exports the timeline: Chrome trace-event JSON
+// (loadable in chrome://tracing or ui.perfetto.dev), the extracted
+// critical path, the mm-lock contention timeline and the per-rank
+// utilisation decomposition.
+//
+// Usage:
+//
+//	camc-trace -run fig7 -arch knl -size 1M -algo throttled:4 -out trace.json -critical-path
+//	camc-trace -run bcast -arch broadwell -size 256K -algo knomial-read:5 -summary
+//	camc-trace -run fig9 -size 64K -algo pairwise-cma-coll -locks -util
+//
+// -run accepts either the figure id of the algorithm-comparison
+// experiments (fig7 Scatter, fig8 Gather, fig9 Alltoall, fig10
+// Allgather, fig11 Bcast) or the collective name itself. -algo accepts
+// the specs documented on core.LookupAlgorithm ("tuned" by default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"camc/internal/arch"
+	"camc/internal/bench"
+	"camc/internal/core"
+	"camc/internal/measure"
+	"camc/internal/trace"
+)
+
+// runKind maps a -run argument to the collective it measures.
+func runKind(run string) (core.Kind, error) {
+	switch run {
+	case "fig7", "scatter":
+		return core.KindScatter, nil
+	case "fig8", "gather":
+		return core.KindGather, nil
+	case "fig9", "alltoall":
+		return core.KindAlltoall, nil
+	case "fig10", "allgather":
+		return core.KindAllgather, nil
+	case "fig11", "bcast":
+		return core.KindBcast, nil
+	}
+	return "", fmt.Errorf("unknown run %q (want fig7..fig11 or scatter/gather/alltoall/allgather/bcast)", run)
+}
+
+// parseSize parses a byte size with an optional K/M suffix (1024-based).
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}
+
+func main() {
+	var (
+		run      = flag.String("run", "fig7", "figure id (fig7..fig11) or collective name")
+		archF    = flag.String("arch", "knl", "architecture: knl, broadwell, power8")
+		sizeF    = flag.String("size", "1M", "per-rank message size (K/M suffixes)")
+		algoF    = flag.String("algo", "tuned", "algorithm spec (see core.LookupAlgorithm)")
+		procs    = flag.Int("procs", 0, "ranks (0 = architecture default, full subscription)")
+		iters    = flag.Int("iters", 1, "timed invocations")
+		out      = flag.String("out", "", "write Chrome trace-event JSON to this file")
+		critPath = flag.Bool("critical-path", false, "print the critical path per invocation")
+		locks    = flag.Bool("locks", false, "print the mm-lock contention timeline")
+		util     = flag.Bool("util", false, "print the per-rank utilisation decomposition")
+		summary  = flag.Bool("summary", false, "print the full text summary")
+		benchF   = flag.Bool("bench", false, "run the whole bench experiment traced (slow); -out gets the last cell")
+	)
+	flag.Parse()
+
+	kind, err := runKind(*run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	prof, err := arch.ByName(*archF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	size, err := parseSize(*sizeF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	algo, err := core.LookupAlgorithm(kind, *algoF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var lat float64
+	var rec *trace.Recorder
+	if *benchF {
+		// Trace every cell of the figure's sweep; keep the one matching
+		// the requested size and algorithm (or the last cell seen).
+		e, ok := bench.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "-bench requires a figure id, got %q\n", *run)
+			os.Exit(2)
+		}
+		o := bench.Options{Arch: prof.Name, TraceSink: func(archName, algoName string, sz int64, r *trace.Recorder) {
+			if rec == nil || sz == size {
+				rec = r
+			}
+		}}
+		if err := e.Run(os.Stdout, o); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		lat, rec = measure.CollectiveTraced(prof, kind, algo.Run, size, measure.Options{Procs: *procs, Iters: *iters})
+		fmt.Printf("%s %s on %s, %s per rank: latency %.2f us (%d events recorded)\n",
+			kind, algo.Name, prof.Name, *sizeF, lat, rec.Len())
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := trace.WriteChrome(f, rec); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (load in chrome://tracing or ui.perfetto.dev)\n", *out)
+	}
+	if *summary {
+		trace.WriteSummary(os.Stdout, rec)
+	}
+	if *critPath {
+		for _, cp := range trace.CriticalPaths(rec) {
+			trace.WriteCriticalPath(os.Stdout, &cp)
+		}
+	}
+	if *locks && !*summary {
+		for _, st := range trace.LockTimelines(rec) {
+			fmt.Printf("lane %d: held %.2fus, max concurrency %d, max queue %d\n",
+				st.Lane, st.HeldTime, st.MaxConc, st.MaxQueue)
+		}
+	}
+	if *util && !*summary {
+		for _, u := range trace.Utilizations(rec) {
+			fmt.Printf("rank %3d: window %.2fus  syscall %.2f  lock %.2f  pin %.2f  copy %.2f  shmcopy %.2f  wait %.2f  other %.2f\n",
+				u.Lane, u.Window, u.Syscall, u.Lock, u.Pin, u.Copy, u.ShmCopy, u.Wait, u.Other)
+		}
+	}
+	if *out == "" && !*summary && !*critPath && !*locks && !*util {
+		trace.WriteSummary(os.Stdout, rec)
+	}
+}

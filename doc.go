@@ -19,6 +19,9 @@
 //     and NLLS γ fitting.
 //   - internal/libs — MVAPICH2/Intel MPI/Open MPI comparator stacks.
 //   - internal/cluster — the multi-node network extension (Fig 17).
+//   - internal/trace — structured tracing of simulated runs: spans,
+//     counters and message edges in virtual time, critical-path and
+//     contention analyses, Chrome trace-event export (cmd/camc-trace).
 //   - internal/bench — one experiment per figure/table of the paper.
 //
 // The benchmarks in bench_test.go regenerate every evaluation figure and

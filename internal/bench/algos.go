@@ -33,8 +33,9 @@ func throttlesFor(a *arch.Profile) []int {
 	}
 }
 
-// sweepAlgos measures each algorithm across the size ladder.
-func sweepAlgos(a *arch.Profile, kind core.Kind, algos []namedAlgo, sizes []int64) Table {
+// sweepAlgos measures each algorithm across the size ladder, tracing
+// each cell when the options carry a TraceSink.
+func sweepAlgos(o Options, a *arch.Profile, kind core.Kind, algos []namedAlgo, sizes []int64) Table {
 	t := Table{
 		XHeader: "size",
 		XLabels: sizeLabels(sizes),
@@ -43,7 +44,13 @@ func sweepAlgos(a *arch.Profile, kind core.Kind, algos []namedAlgo, sizes []int6
 	for _, al := range algos {
 		s := Series{Name: al.name}
 		for _, sz := range sizes {
-			s.Values = append(s.Values, measure.Collective(a, kind, al.run, sz, measure.Options{}))
+			if o.TraceSink != nil {
+				lat, rec := measure.CollectiveTraced(a, kind, al.run, sz, measure.Options{})
+				o.TraceSink(a.Name, al.name, sz, rec)
+				s.Values = append(s.Values, lat)
+			} else {
+				s.Values = append(s.Values, measure.Collective(a, kind, al.run, sz, measure.Options{}))
+			}
 		}
 		t.Series = append(t.Series, s)
 	}
@@ -65,7 +72,7 @@ func init() {
 					namedAlgo{"parallel-read", core.ScatterParallelRead},
 					namedAlgo{"sequential-write", core.ScatterSeqWrite},
 				)
-				t := sweepAlgos(a, core.KindScatter, algos, sweepSizes(o.Quick, largestSize(a)))
+				t := sweepAlgos(o, a, core.KindScatter, algos, sweepSizes(o.Quick, largestSize(a)))
 				t.Title = "Fig 7: Scatter algorithms, " + a.Display
 				tables = append(tables, t)
 			}
@@ -87,7 +94,7 @@ func init() {
 					namedAlgo{"parallel-write", core.GatherParallelWrite},
 					namedAlgo{"sequential-read", core.GatherSeqRead},
 				)
-				t := sweepAlgos(a, core.KindGather, algos, sweepSizes(o.Quick, largestSize(a)))
+				t := sweepAlgos(o, a, core.KindGather, algos, sweepSizes(o.Quick, largestSize(a)))
 				t.Title = "Fig 8: Gather algorithms, " + a.Display
 				tables = append(tables, t)
 			}
@@ -106,7 +113,7 @@ func init() {
 					{"CMA-pt2pt", core.AlltoallPairwisePt2pt},
 					{"CMA-coll", core.AlltoallPairwiseColl},
 				}
-				t := sweepAlgos(a, core.KindAlltoall, algos, sweepSizes(o.Quick, 1<<20))
+				t := sweepAlgos(o, a, core.KindAlltoall, algos, sweepSizes(o.Quick, 1<<20))
 				t.Title = "Fig 9: Pairwise Alltoall implementations, " + a.Display
 				t.Notes = append(t.Notes, "CMA-coll avoids the per-message RTS/CTS of CMA-pt2pt")
 				tables = append(tables, t)
@@ -140,7 +147,7 @@ func init() {
 						core.AllgatherRingNeighbor(stride),
 					})
 				}
-				t := sweepAlgos(a, core.KindAllgather, algos, sweepSizes(o.Quick, 1<<20))
+				t := sweepAlgos(o, a, core.KindAllgather, algos, sweepSizes(o.Quick, 1<<20))
 				t.Title = "Fig 10: Allgather algorithms, " + a.Display
 				tables = append(tables, t)
 			}
@@ -162,7 +169,7 @@ func init() {
 					{fmt.Sprintf("knomial-read-%d", k), core.BcastKnomialRead(k)},
 					{fmt.Sprintf("knomial-write-%d", k), core.BcastKnomialWrite(k)},
 				}
-				t := sweepAlgos(a, core.KindBcast, algos, sweepSizes(o.Quick, largestSize(a)))
+				t := sweepAlgos(o, a, core.KindBcast, algos, sweepSizes(o.Quick, largestSize(a)))
 				t.Title = "Fig 11: Broadcast algorithms, " + a.Display
 				tables = append(tables, t)
 			}

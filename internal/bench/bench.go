@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"camc/internal/arch"
+	"camc/internal/trace"
 )
 
 // Options tunes an experiment run.
@@ -26,6 +27,12 @@ type Options struct {
 	// Quick trims sweeps (fewer sizes, smaller concurrency ladders) for
 	// test and benchmark use; shapes remain intact.
 	Quick bool
+	// TraceSink, when non-nil, runs every measurement of the
+	// algorithm-comparison experiments (figs 7-11) with a trace recorder
+	// attached and hands each cell's recorder to the sink, labelled by
+	// architecture, algorithm and message size. Latencies are unchanged
+	// (recording never perturbs virtual time).
+	TraceSink func(archName, algo string, size int64, rec *trace.Recorder)
 }
 
 func (o Options) archs(defaults ...*arch.Profile) []*arch.Profile {

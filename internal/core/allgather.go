@@ -26,6 +26,8 @@ func AllgatherRingNeighbor(j int) func(r *mpi.Rank, a Args) {
 	}
 	return func(r *mpi.Rank, a Args) {
 		a.validate(r)
+		rec, span := beginColl(r, "allgather:ring-neighbor-"+itoa(j), a)
+		defer rec.End(span)
 		p := r.Size()
 		if gcd(p, j%p) != 1 && p > 1 {
 			panic(fmt.Sprintf("core: ring-neighbor-%d invalid for p=%d (gcd != 1)", j, p))
@@ -42,6 +44,7 @@ func AllgatherRingNeighbor(j int) func(r *mpi.Rank, a Args) {
 		r.Notify(to) // own block staged (step 0 complete)
 		for i := 1; i < p; i++ {
 			r.WaitNotify(from) // neighbor finished step i-1
+			collStep(r, i, from)
 			blk := (r.ID - i*j%p + p) % p
 			r.VMRead(a.Recv+kernel.Addr(int64(blk)*a.Count), from,
 				kernel.Addr(addrs[from])+kernel.Addr(int64(blk)*a.Count), a.Count)
@@ -60,6 +63,8 @@ func AllgatherRingNeighbor(j int) func(r *mpi.Rank, a Args) {
 //	T = T_memcpy + T^sm_allgather + (p−1)(α + ηβ + l·⌈η/s⌉) + T_barrier
 func AllgatherRingSourceRead(r *mpi.Rank, a Args) {
 	a.validate(r)
+	rec, span := beginColl(r, "allgather:ring-source-read", a)
+	defer rec.End(span)
 	p := r.Size()
 	srcAddr := a.Send
 	if a.InPlace {
@@ -81,6 +86,8 @@ func AllgatherRingSourceRead(r *mpi.Rank, a Args) {
 //	T = T_memcpy + T^sm_allgather + (p−1)(α + ηβ + l·⌈η/s⌉) + T_barrier
 func AllgatherRingSourceWrite(r *mpi.Rank, a Args) {
 	a.validate(r)
+	rec, span := beginColl(r, "allgather:ring-source-write", a)
+	defer rec.End(span)
 	p := r.Size()
 	srcAddr := a.Send
 	if a.InPlace {
@@ -192,6 +199,8 @@ func contiguousRuns(blocks []int) [][2]int {
 // transfers) that cost recursive doubling its advantage on Broadwell.
 func AllgatherRecursiveDoubling(r *mpi.Rank, a Args) {
 	a.validate(r)
+	rec, span := beginColl(r, "allgather:recursive-doubling", a)
+	defer rec.End(span)
 	p := r.Size()
 	me := r.ID
 	srcOwn := a.Send
@@ -218,6 +227,7 @@ func AllgatherRecursiveDoubling(r *mpi.Rank, a Args) {
 		// Handshake: both sides must have completed step k-1.
 		r.Notify(partner)
 		r.WaitNotify(partner)
+		collStep(r, k, partner)
 		// Read the blocks the partner has (after step k) that we lack.
 		want := diffSorted(have[k][me], have[k][partner])
 		for _, run := range contiguousRuns(want) {
@@ -248,6 +258,8 @@ func allBlocks(p int) []int {
 // wins small messages and loses large ones.
 func AllgatherBruck(r *mpi.Rank, a Args) {
 	a.validate(r)
+	rec, span := beginColl(r, "allgather:bruck", a)
+	defer rec.End(span)
 	p := r.Size()
 	me := r.ID
 	if p == 1 {
@@ -276,6 +288,7 @@ func AllgatherBruck(r *mpi.Rank, a Args) {
 		// the peer we read from.
 		r.Notify((me - filled + p) % p)
 		r.WaitNotify(peer)
+		collStep(r, step, peer)
 		r.VMRead(work+kernel.Addr(int64(filled)*a.Count), peer, kernel.Addr(addrs[peer]), int64(n)*a.Count)
 		filled += n
 		step++

@@ -29,6 +29,8 @@ func alltoallPeer(rank, i, p int) int {
 //	T = T^sm_allgather + (p−1)(α + ηβ + l·⌈η/s⌉) + T_barrier
 func AlltoallPairwiseColl(r *mpi.Rank, a Args) {
 	a.validate(r)
+	rec, span := beginColl(r, "alltoall:pairwise-cma-coll", a)
+	defer rec.End(span)
 	p := r.Size()
 	if !a.InPlace {
 		r.LocalCopy(a.Recv+kernel.Addr(int64(r.ID)*a.Count), a.Send+kernel.Addr(int64(r.ID)*a.Count), a.Count)
@@ -36,6 +38,7 @@ func AlltoallPairwiseColl(r *mpi.Rank, a Args) {
 	addrs := r.Allgather64(int64(a.Send))
 	for i := 1; i < p; i++ {
 		peer := alltoallPeer(r.ID, i, p)
+		collStep(r, i, peer)
 		// Read the block peer addressed to us.
 		r.VMRead(a.Recv+kernel.Addr(int64(peer)*a.Count), peer,
 			kernel.Addr(addrs[peer])+kernel.Addr(int64(r.ID)*a.Count), a.Count)
@@ -49,6 +52,8 @@ func AlltoallPairwiseColl(r *mpi.Rank, a Args) {
 // native collective eliminates.
 func AlltoallPairwisePt2pt(r *mpi.Rank, a Args) {
 	a.validate(r)
+	rec, span := beginColl(r, "alltoall:pairwise-cma-pt2pt", a)
+	defer rec.End(span)
 	p := r.Size()
 	if !a.InPlace {
 		r.LocalCopy(a.Recv+kernel.Addr(int64(r.ID)*a.Count), a.Send+kernel.Addr(int64(r.ID)*a.Count), a.Count)
@@ -71,6 +76,8 @@ func AlltoallPairwisePt2pt(r *mpi.Rank, a Args) {
 // two-copy shared-memory transport at every size.
 func AlltoallPairwiseShm(r *mpi.Rank, a Args) {
 	a.validate(r)
+	rec, span := beginColl(r, "alltoall:pairwise-shmem", a)
+	defer rec.End(span)
 	p := r.Size()
 	if !a.InPlace {
 		r.LocalCopy(a.Recv+kernel.Addr(int64(r.ID)*a.Count), a.Send+kernel.Addr(int64(r.ID)*a.Count), a.Count)
@@ -96,6 +103,8 @@ func AlltoallPairwiseShm(r *mpi.Rank, a Args) {
 // copies make it lose above small sizes — exactly the paper's point.
 func AlltoallBruck(r *mpi.Rank, a Args) {
 	a.validate(r)
+	rec, span := beginColl(r, "alltoall:bruck", a)
+	defer rec.End(span)
 	p := r.Size()
 	me := r.ID
 	if p == 1 {

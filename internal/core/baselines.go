@@ -49,6 +49,14 @@ func (tr Transport) sendrecv(r *mpi.Rank, dst int, sa kernel.Addr, sn int64, src
 	}
 }
 
+// name returns the transport's trace label.
+func (tr Transport) name() string {
+	if tr == TransportShm {
+		return "shm"
+	}
+	return "pt2pt"
+}
+
 // lowbit returns the lowest set bit of v (v > 0).
 func lowbit(v int) int { return v & -v }
 
@@ -59,6 +67,8 @@ func lowbit(v int) int { return v & -v }
 func ScatterBinomial(tr Transport) func(r *mpi.Rank, a Args) {
 	return func(r *mpi.Rank, a Args) {
 		a.validate(r)
+		rec, span := beginColl(r, "scatter:binomial-"+tr.name(), a)
+		defer rec.End(span)
 		p := r.Size()
 		rel := relRank(r.ID, a.Root, p)
 		if p == 1 {
@@ -133,6 +143,8 @@ func ScatterBinomial(tr Transport) func(r *mpi.Rank, a Args) {
 func GatherBinomial(tr Transport) func(r *mpi.Rank, a Args) {
 	return func(r *mpi.Rank, a Args) {
 		a.validate(r)
+		rec, span := beginColl(r, "gather:binomial-"+tr.name(), a)
+		defer rec.End(span)
 		p := r.Size()
 		rel := relRank(r.ID, a.Root, p)
 		if p == 1 {
@@ -209,6 +221,8 @@ func GatherBinomial(tr Transport) func(r *mpi.Rank, a Args) {
 func BcastBinomial(tr Transport) func(r *mpi.Rank, a Args) {
 	return func(r *mpi.Rank, a Args) {
 		a.validate(r)
+		rec, span := beginColl(r, "bcast:binomial-"+tr.name(), a)
+		defer rec.End(span)
 		p := r.Size()
 		rel := relRank(r.ID, a.Root, p)
 		buf := bcastBuf(r, a)
@@ -238,6 +252,8 @@ func BcastBinomial(tr Transport) func(r *mpi.Rank, a Args) {
 func AllgatherRing(tr Transport) func(r *mpi.Rank, a Args) {
 	return func(r *mpi.Rank, a Args) {
 		a.validate(r)
+		rec, span := beginColl(r, "allgather:ring-"+tr.name(), a)
+		defer rec.End(span)
 		p := r.Size()
 		me := r.ID
 		if !a.InPlace {
@@ -262,6 +278,8 @@ func AllgatherRing(tr Transport) func(r *mpi.Rank, a Args) {
 func BcastVanDeGeijn(tr Transport) func(r *mpi.Rank, a Args) {
 	return func(r *mpi.Rank, a Args) {
 		a.validate(r)
+		rec, span := beginColl(r, "bcast:vandegeijn-"+tr.name(), a)
+		defer rec.End(span)
 		p := r.Size()
 		buf := bcastBuf(r, a)
 		if p == 1 {

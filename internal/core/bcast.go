@@ -3,6 +3,7 @@ package core
 import (
 	"camc/internal/kernel"
 	"camc/internal/mpi"
+	"camc/internal/trace"
 )
 
 // Bcast semantics: the root's Count bytes at Send end up at Recv on every
@@ -23,6 +24,8 @@ func bcastBuf(r *mpi.Rank, a Args) kernel.Addr {
 //	T = T^sm_bcast + α + ηβ + l·γ_{p−1}·⌈η/s⌉ + T^sm_gather
 func BcastDirectRead(r *mpi.Rank, a Args) {
 	a.validate(r)
+	rec, span := beginColl(r, "bcast:direct-read", a)
+	defer rec.End(span)
 	p := r.Size()
 	srcAddr := kernel.Addr(r.Bcast64(a.Root, int64(a.Send)))
 	if r.ID == a.Root {
@@ -41,6 +44,8 @@ func BcastDirectRead(r *mpi.Rank, a Args) {
 //	T = T^sm_gather + (p−1)(α + ηβ + l·⌈η/s⌉) + T^sm_bcast
 func BcastDirectWrite(r *mpi.Rank, a Args) {
 	a.validate(r)
+	rec, span := beginColl(r, "bcast:direct-write", a)
+	defer rec.End(span)
 	p := r.Size()
 	addrs := r.Gather64(a.Root, int64(a.Recv))
 	if r.ID == a.Root {
@@ -101,6 +106,8 @@ func BcastKnomialRead(k int) func(r *mpi.Rank, a Args) {
 	}
 	return func(r *mpi.Rank, a Args) {
 		a.validate(r)
+		rec, span := beginColl(r, "bcast:knomial-read-"+itoa(k), a)
+		defer rec.End(span)
 		p := r.Size()
 		buf := bcastBuf(r, a)
 		addrs := r.Allgather64(int64(buf))
@@ -112,13 +119,16 @@ func BcastKnomialRead(k int) func(r *mpi.Rank, a Args) {
 			r.VMRead(a.Recv, pr, kernel.Addr(addrs[pr]), a.Count)
 			r.Notify(pr) // read complete
 		}
-		for _, lvl := range levels {
+		for li, lvl := range levels {
+			ls := beginPhase(r, "serve_level",
+				trace.F("level", float64(li)), trace.F("fanout", float64(len(lvl))))
 			for _, c := range lvl {
 				r.Notify(absRank(c, a.Root, p))
 			}
 			for _, c := range lvl {
 				r.WaitNotify(absRank(c, a.Root, p))
 			}
+			endPhase(r, ls)
 		}
 	}
 }
@@ -134,6 +144,8 @@ func BcastKnomialWrite(k int) func(r *mpi.Rank, a Args) {
 	}
 	return func(r *mpi.Rank, a Args) {
 		a.validate(r)
+		rec, span := beginColl(r, "bcast:knomial-write-"+itoa(k), a)
+		defer rec.End(span)
 		p := r.Size()
 		buf := bcastBuf(r, a)
 		addrs := r.Allgather64(int64(buf))
@@ -144,12 +156,15 @@ func BcastKnomialWrite(k int) func(r *mpi.Rank, a Args) {
 			pr := absRank(parent, a.Root, p)
 			r.WaitNotify(pr) // parent finished writing to us
 		}
-		for _, lvl := range levels {
+		for li, lvl := range levels {
+			ls := beginPhase(r, "serve_level",
+				trace.F("level", float64(li)), trace.F("fanout", float64(len(lvl))))
 			for _, c := range lvl {
 				ca := absRank(c, a.Root, p)
 				r.VMWrite(srcAddr, ca, kernel.Addr(addrs[ca]), a.Count)
 				r.Notify(ca)
 			}
+			endPhase(r, ls)
 		}
 	}
 }
@@ -162,6 +177,8 @@ func BcastKnomialWrite(k int) func(r *mpi.Rank, a Args) {
 //	T = T^sm_allgather + T_scatter(η/p) + T_allgather(η/p)
 func BcastScatterAllgather(r *mpi.Rank, a Args) {
 	a.validate(r)
+	rec, span := beginColl(r, "bcast:scatter-allgather", a)
+	defer rec.End(span)
 	p := r.Size()
 	buf := bcastBuf(r, a)
 	if p == 1 {
@@ -188,6 +205,7 @@ func BcastScatterAllgather(r *mpi.Rank, a Args) {
 	// (one writer), and each delivery is signalled so the ring can start
 	// pipelined behind the scatter.
 	rel := relRank(me, a.Root, p)
+	sc := beginPhase(r, "scatter_phase", trace.F("chunk", float64(chunk)))
 	if me == a.Root {
 		for relDst := 1; relDst < p; relDst++ {
 			dst := absRank(relDst, a.Root, p)
@@ -200,6 +218,7 @@ func BcastScatterAllgather(r *mpi.Rank, a Args) {
 	} else {
 		r.WaitNotify(a.Root)
 	}
+	endPhase(r, sc)
 
 	// Phase 2: ring-neighbor allgather of the chunks in relative space:
 	// in step i, read chunk (rel−i) mod p from the previous ring member,
@@ -210,6 +229,7 @@ func BcastScatterAllgather(r *mpi.Rank, a Args) {
 	// which already holds everything), so it posts no notifications;
 	// every posted notification is consumed, keeping the shared-memory
 	// queues clean across invocations.
+	rg := beginPhase(r, "ring_phase")
 	next := absRank((rel+1)%p, a.Root, p)
 	prev := absRank((rel-1+p)%p, a.Root, p)
 	feeds := rel != p-1
@@ -233,6 +253,7 @@ func BcastScatterAllgather(r *mpi.Rank, a Args) {
 			}
 		}
 	}
+	endPhase(r, rg)
 	r.Barrier()
 }
 

@@ -16,6 +16,8 @@ import (
 //	T = T^sm_bcast + α + ηβ + l·γ_{p−1}·⌈η/s⌉ + T^sm_gather
 func GatherParallelWrite(r *mpi.Rank, a Args) {
 	a.validate(r)
+	rec, span := beginColl(r, "gather:parallel-write", a)
+	defer rec.End(span)
 	p := r.Size()
 	recvAddr := kernel.Addr(r.Bcast64(a.Root, int64(a.Recv)))
 	if r.ID == a.Root {
@@ -38,6 +40,8 @@ func GatherParallelWrite(r *mpi.Rank, a Args) {
 //	T = T_memcpy + T^sm_gather + (p−1)(α + ηβ + l·⌈η/s⌉) + T^sm_bcast
 func GatherSeqRead(r *mpi.Rank, a Args) {
 	a.validate(r)
+	rec, span := beginColl(r, "gather:sequential-read", a)
+	defer rec.End(span)
 	p := r.Size()
 	addrs := r.Gather64(a.Root, int64(a.Send))
 	if r.ID == a.Root {
@@ -63,6 +67,8 @@ func GatherThrottled(k int) func(r *mpi.Rank, a Args) {
 	}
 	return func(r *mpi.Rank, a Args) {
 		a.validate(r)
+		rec, span := beginColl(r, "gather:"+throttleName(k), a)
+		defer rec.End(span)
 		p := r.Size()
 		recvAddr := kernel.Addr(r.Bcast64(a.Root, int64(a.Recv)))
 		if r.ID == a.Root {
@@ -82,10 +88,14 @@ func GatherThrottled(k int) func(r *mpi.Rank, a Args) {
 		if idx-k >= 0 {
 			r.WaitNotify(nonRootByIndex(idx-k, a.Root, p))
 		}
+		tokenAcquire(r, k)
 		r.VMWrite(a.Send, a.Root, recvAddr+kernel.Addr(int64(r.ID)*a.Count), a.Count)
 		if idx+k <= p-2 {
-			r.Notify(nonRootByIndex(idx+k, a.Root, p))
+			to := nonRootByIndex(idx+k, a.Root, p)
+			tokenRelease(r, to, k)
+			r.Notify(to)
 		} else {
+			tokenRelease(r, a.Root, k)
 			r.Notify(a.Root)
 		}
 	}

@@ -16,6 +16,8 @@ import (
 //	T = T^sm_bcast + α + ηβ + l·γ_{p−1}·⌈η/s⌉ + T^sm_gather
 func ScatterParallelRead(r *mpi.Rank, a Args) {
 	a.validate(r)
+	rec, span := beginColl(r, "scatter:parallel-read", a)
+	defer rec.End(span)
 	p := r.Size()
 	sendAddr := kernel.Addr(r.Bcast64(a.Root, int64(a.Send)))
 	if r.ID == a.Root {
@@ -38,6 +40,8 @@ func ScatterParallelRead(r *mpi.Rank, a Args) {
 //	T = T_memcpy + T^sm_gather + (p−1)(α + ηβ + l·⌈η/s⌉) + T^sm_bcast
 func ScatterSeqWrite(r *mpi.Rank, a Args) {
 	a.validate(r)
+	rec, span := beginColl(r, "scatter:sequential-write", a)
+	defer rec.End(span)
 	p := r.Size()
 	addrs := r.Gather64(a.Root, int64(a.Recv))
 	if r.ID == a.Root {
@@ -65,6 +69,8 @@ func ScatterThrottled(k int) func(r *mpi.Rank, a Args) {
 	}
 	return func(r *mpi.Rank, a Args) {
 		a.validate(r)
+		rec, span := beginColl(r, "scatter:"+throttleName(k), a)
+		defer rec.End(span)
 		p := r.Size()
 		sendAddr := kernel.Addr(r.Bcast64(a.Root, int64(a.Send)))
 		if r.ID == a.Root {
@@ -85,10 +91,14 @@ func ScatterThrottled(k int) func(r *mpi.Rank, a Args) {
 		if idx-k >= 0 {
 			r.WaitNotify(nonRootByIndex(idx-k, a.Root, p))
 		}
+		tokenAcquire(r, k)
 		r.VMRead(a.Recv, a.Root, sendAddr+kernel.Addr(int64(r.ID)*a.Count), a.Count)
 		if idx+k <= p-2 {
-			r.Notify(nonRootByIndex(idx+k, a.Root, p))
+			to := nonRootByIndex(idx+k, a.Root, p)
+			tokenRelease(r, to, k)
+			r.Notify(to)
 		} else {
+			tokenRelease(r, a.Root, k)
 			r.Notify(a.Root)
 		}
 	}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"camc/internal/mpi"
+	"camc/internal/trace"
+)
+
+// Trace hooks for the collective algorithms. Every helper is a no-op
+// (no allocation, no virtual-time cost) when no recorder is attached
+// to the rank's communicator, so traced and untraced runs take the
+// same simulated time.
+
+// beginColl opens the rank-local invocation span for one collective
+// algorithm; close it with rec.End(span) (both are nil-safe).
+func beginColl(r *mpi.Rank, name string, a Args) (*trace.Recorder, trace.SpanID) {
+	rec := r.Tracer()
+	if rec == nil {
+		return nil, trace.NoSpan
+	}
+	return rec, rec.Begin(r.ID, trace.CatColl, name,
+		trace.F("count", float64(a.Count)), trace.F("root", float64(a.Root)))
+}
+
+// collStep marks one algorithm step (round i against peer) on the
+// rank's lane.
+func collStep(r *mpi.Rank, i, peer int) {
+	if rec := r.Tracer(); rec != nil {
+		rec.Instant(r.ID, trace.CatColl, "step",
+			trace.F("i", float64(i)), trace.F("peer", float64(peer)))
+	}
+}
+
+// tokenAcquire marks a throttled rank obtaining its read/write slot
+// (either released by the rank k positions ahead, or free because the
+// rank is in the first wave).
+func tokenAcquire(r *mpi.Rank, k int) {
+	if rec := r.Tracer(); rec != nil {
+		rec.Instant(r.ID, trace.CatThrottle, "token_acquire", trace.F("k", float64(k)))
+	}
+}
+
+// tokenRelease marks a throttled rank handing its slot to rank `to`
+// (or back to the root when the chain ends).
+func tokenRelease(r *mpi.Rank, to, k int) {
+	if rec := r.Tracer(); rec != nil {
+		rec.Instant(r.ID, trace.CatThrottle, "token_release",
+			trace.F("to", float64(to)), trace.F("k", float64(k)))
+	}
+}
+
+// beginPhase opens a named sub-phase span of a composed algorithm
+// (e.g. the scatter and ring halves of Van de Geijn broadcast).
+func beginPhase(r *mpi.Rank, name string, args ...trace.Arg) trace.SpanID {
+	if rec := r.Tracer(); rec != nil {
+		return rec.Begin(r.ID, trace.CatColl, name, args...)
+	}
+	return trace.NoSpan
+}
+
+// endPhase closes a span opened with beginPhase.
+func endPhase(r *mpi.Rank, span trace.SpanID) {
+	r.Tracer().End(span)
+}

@@ -59,6 +59,8 @@ func cmaThreshold(kind Kind) int64 {
 // TunedScatter picks the proposed Scatter design for the architecture
 // and size.
 func TunedScatter(r *mpi.Rank, a Args) {
+	rec, span := beginColl(r, "scatter:tuned", a)
+	defer rec.End(span)
 	prof := r.Comm.Node.Arch
 	if a.Count < cmaThreshold(KindScatter) {
 		ScatterBinomial(TransportShm)(r, a)
@@ -69,6 +71,8 @@ func TunedScatter(r *mpi.Rank, a Args) {
 
 // TunedGather picks the proposed Gather design.
 func TunedGather(r *mpi.Rank, a Args) {
+	rec, span := beginColl(r, "gather:tuned", a)
+	defer rec.End(span)
 	prof := r.Comm.Node.Arch
 	if a.Count < cmaThreshold(KindGather) {
 		GatherBinomial(TransportShm)(r, a)
@@ -79,6 +83,8 @@ func TunedGather(r *mpi.Rank, a Args) {
 
 // TunedBcast picks the proposed Bcast design.
 func TunedBcast(r *mpi.Rank, a Args) {
+	rec, span := beginColl(r, "bcast:tuned", a)
+	defer rec.End(span)
 	prof := r.Comm.Node.Arch
 	k := TunedThrottle(prof)
 	switch prof.Name {
@@ -121,6 +127,8 @@ func TunedBcast(r *mpi.Rank, a Args) {
 // stays intra-socket while source reads cross the interconnect for half
 // of theirs (the paper's "intra- and inter-socket awareness", §VII-E).
 func TunedAllgather(r *mpi.Rank, a Args) {
+	rec, span := beginColl(r, "allgather:tuned", a)
+	defer rec.End(span)
 	if a.Count < cmaThreshold(KindAllgather) {
 		AllgatherBruck(r, a)
 		return
@@ -134,6 +142,8 @@ func TunedAllgather(r *mpi.Rank, a Args) {
 
 // TunedAlltoall picks the proposed Alltoall design.
 func TunedAlltoall(r *mpi.Rank, a Args) {
+	rec, span := beginColl(r, "alltoall:tuned", a)
+	defer rec.End(span)
 	if a.Count < 1<<10 {
 		AlltoallPairwiseShm(r, a)
 		return

@@ -25,6 +25,7 @@ import (
 
 	"camc/internal/arch"
 	"camc/internal/sim"
+	"camc/internal/trace"
 )
 
 // Addr is an offset into a simulated process's address space.
@@ -60,7 +61,8 @@ type Node struct {
 	mechanism     Mechanism
 	xpmemAttached map[xpmemKey]bool
 
-	trace *Trace // optional breakdown accounting, nil when disabled
+	trace *Trace          // optional breakdown accounting, nil when disabled
+	rec   *trace.Recorder // optional structured event recorder, nil when disabled
 }
 
 // NewNode creates a node on the given simulation for the given
@@ -97,11 +99,26 @@ func (n *Node) EffPerByte(base float64) float64 {
 }
 
 // EnableTrace starts ftrace-style breakdown accounting and returns the
-// accumulator.
+// accumulator. When a structured Recorder is also attached, both views
+// are fed from the same record call in vmTransfer, so the aggregate
+// totals and the timeline cannot drift.
 func (n *Node) EnableTrace() *Trace {
 	n.trace = &Trace{}
 	return n.trace
 }
+
+// SetRecorder attaches a structured event recorder to the node and
+// binds it to the node's simulation clock. A nil recorder disables
+// structured tracing (the default); every emission site is nil-guarded,
+// so disabled runs are cost-identical and allocation-free.
+func (n *Node) SetRecorder(rec *trace.Recorder) {
+	rec.Bind(n.Sim)
+	n.rec = rec
+}
+
+// Recorder returns the attached structured recorder (nil when tracing
+// is disabled).
+func (n *Node) Recorder() *trace.Recorder { return n.rec }
 
 // Procs returns the processes spawned on this node, in pid order.
 func (n *Node) Procs() []*Process { return n.procs }
@@ -241,12 +258,28 @@ func (n *Node) vmTransfer(sp *sim.Proc, caller *Process, callerAddr Addr, remote
 	var bd Breakdown
 	a := n.Arch
 
+	// Structured tracing: one span per CMA op on the caller's lane,
+	// closed by record() with the phase breakdown as args.
+	span := trace.NoSpan
+	callerLane, remoteLane := 0, 0
+	if n.rec != nil {
+		callerLane = n.rec.LaneForPid(caller.pid)
+		remoteLane = n.rec.LaneForPid(remote.pid)
+		name := "vm_read"
+		if !read {
+			name = "vm_write"
+		}
+		span = n.rec.Begin(callerLane, trace.CatCMA, name,
+			trace.F("peer", float64(remoteLane)),
+			trace.F("bytes", float64(min64(localBytes, remoteBytes))))
+	}
+
 	// Phase 1: syscall entry, plus the descriptor management the
 	// module-based mechanisms (KNEM/LiMIC) add on the control path.
 	bd.Syscall = a.Alpha*a.SyscallFrac + n.mechanism.extraCost()
 	sp.Sleep(bd.Syscall)
 	if remoteBytes <= 0 {
-		n.record(bd, 0)
+		n.record(span, bd, 0)
 		return bd, nil
 	}
 
@@ -255,7 +288,7 @@ func (n *Node) vmTransfer(sp *sim.Proc, caller *Process, callerAddr Addr, remote
 	bd.PermCheck = a.Alpha * (1 - a.SyscallFrac)
 	sp.Sleep(bd.PermCheck)
 	if caller.uid != remote.uid {
-		n.record(bd, 0)
+		n.record(span, bd, 0)
 		return bd, &PermissionError{CallerPID: caller.pid, TargetPID: remote.pid}
 	}
 
@@ -264,10 +297,12 @@ func (n *Node) vmTransfer(sp *sim.Proc, caller *Process, callerAddr Addr, remote
 		copyBytes = remoteBytes
 	}
 	if err := n.checkRange(remote, remoteAddr, remoteBytes); err != nil {
+		n.abortSpan(span, bd)
 		return bd, err
 	}
 	if copyBytes > 0 {
 		if err := n.checkRange(caller, callerAddr, copyBytes); err != nil {
+			n.abortSpan(span, bd)
 			return bd, err
 		}
 	}
@@ -292,6 +327,9 @@ func (n *Node) vmTransfer(sp *sim.Proc, caller *Process, callerAddr Addr, remote
 	// remote mm's in-flight set for the whole loop; γ is re-sampled per
 	// chunk so overlapping transfers see each other.
 	remote.mmInFlight++
+	if n.rec != nil {
+		n.rec.Counter(remoteLane, trace.CatLock, trace.CounterInFlight, float64(remote.mmInFlight))
+	}
 	// Let transfers arriving at this same instant register before γ is
 	// first sampled: without this, simultaneous arrivals would see a
 	// staggered ramp that exists only as a scheduling-order artifact.
@@ -307,11 +345,24 @@ func (n *Node) vmTransfer(sp *sim.Proc, caller *Process, callerAddr Addr, remote
 		if c > maxC {
 			maxC = c
 		}
+		// mm-lock acquire/release instants are emitted at the chunk
+		// granularity — the same granularity γ is sampled at.
+		if n.rec != nil {
+			n.rec.Instant(remoteLane, trace.CatLock, "mm_lock_acquire",
+				trace.F("holder", float64(callerLane)), trace.F("pages", float64(cp)), trace.F("c", float64(c)))
+		}
 		if n.EmergentLock {
 			// Explicit FIFO mm lock: acquire once per page, hold for the
 			// lock portion of l. Wait time is emergent queueing delay.
 			if remote.mmLock == nil {
 				remote.mmLock = sim.NewMutex(n.Sim)
+			}
+			if n.rec != nil {
+				depth := remote.mmLock.Waiters()
+				if remote.mmLock.Locked() {
+					depth++
+				}
+				n.rec.Counter(remoteLane, trace.CatLock, trace.CounterQueue, float64(depth))
 			}
 			lockStart := n.Sim.Now()
 			for pg := int64(0); pg < cp; pg++ {
@@ -325,11 +376,19 @@ func (n *Node) vmTransfer(sp *sim.Proc, caller *Process, callerAddr Addr, remote
 			sp.Sleep(pt)
 		} else {
 			gamma := a.Gamma(c)
+			if n.rec != nil {
+				n.rec.Instant(callerLane, trace.CatCMA, "gamma",
+					trace.F("gamma", gamma), trace.F("c", float64(c)), trace.F("page", float64(page)))
+			}
 			lt := float64(cp) * lockCost * gamma
 			pt := float64(cp) * pinCost
 			bd.Lock += lt
 			bd.Pin += pt
 			sp.Sleep(lt + pt)
+		}
+		if n.rec != nil {
+			n.rec.Instant(remoteLane, trace.CatLock, "mm_lock_release",
+				trace.F("holder", float64(callerLane)))
 		}
 
 		// Copy the bytes that fall inside this chunk of remote pages.
@@ -360,8 +419,18 @@ func (n *Node) vmTransfer(sp *sim.Proc, caller *Process, callerAddr Addr, remote
 		}
 	}
 	remote.mmInFlight--
-	n.record(bd, maxC)
+	if n.rec != nil {
+		n.rec.Counter(remoteLane, trace.CatLock, trace.CounterInFlight, float64(remote.mmInFlight))
+	}
+	n.record(span, bd, maxC)
 	return bd, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 func (n *Node) checkRange(p *Process, a Addr, size int64) error {
@@ -371,7 +440,18 @@ func (n *Node) checkRange(p *Process, a Addr, size int64) error {
 	return nil
 }
 
-func (n *Node) record(bd Breakdown, maxC int) {
+// record finalizes one kernel-assisted op: it closes the op's recorder
+// span with the phase breakdown and folds the same Breakdown into the
+// aggregate Trace accumulator. Both accounting views are fed from this
+// single call, so the ftrace-style totals (Fig 4) and the structured
+// timeline cannot drift.
+func (n *Node) record(span trace.SpanID, bd Breakdown, maxC int) {
+	if n.rec != nil {
+		n.rec.End(span,
+			trace.F("syscall", bd.Syscall), trace.F("perm", bd.PermCheck),
+			trace.F("lock", bd.Lock), trace.F("pin", bd.Pin),
+			trace.F("copy", bd.Copy), trace.F("maxc", float64(maxC)))
+	}
 	if n.trace == nil {
 		return
 	}
@@ -379,6 +459,17 @@ func (n *Node) record(bd Breakdown, maxC int) {
 	n.trace.Sum.add(bd)
 	if maxC > n.trace.MaxC {
 		n.trace.MaxC = maxC
+	}
+}
+
+// abortSpan closes an op span on an error path that the aggregate
+// accounting has never counted (address-range violations).
+func (n *Node) abortSpan(span trace.SpanID, bd Breakdown) {
+	if n.rec != nil {
+		n.rec.End(span,
+			trace.F("syscall", bd.Syscall), trace.F("perm", bd.PermCheck),
+			trace.F("lock", bd.Lock), trace.F("pin", bd.Pin),
+			trace.F("copy", bd.Copy), trace.F("aborted", 1))
 	}
 }
 

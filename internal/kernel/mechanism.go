@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"camc/internal/sim"
+	"camc/internal/trace"
 )
 
 // Mechanism selects which kernel-assisted copy facility the node
@@ -77,6 +78,16 @@ type xpmemKey struct{ caller, remote int }
 // node memory system and pays the cross-socket penalty.
 func (n *Node) xpmemTransfer(sp *sim.Proc, caller *Process, callerAddr Addr, remote *Process, remoteAddr Addr, size int64, read bool) (Breakdown, error) {
 	var bd Breakdown
+	span := trace.NoSpan
+	if n.rec != nil {
+		name := "xpmem_read"
+		if !read {
+			name = "xpmem_write"
+		}
+		span = n.rec.Begin(n.rec.LaneForPid(caller.pid), trace.CatCMA, name,
+			trace.F("peer", float64(n.rec.LaneForPid(remote.pid))),
+			trace.F("bytes", float64(size)))
+	}
 	key := xpmemKey{caller: caller.pid, remote: remote.pid}
 	if !n.xpmemAttached[key] {
 		// Attach: establish the mapping (this is where XPMEM pays its
@@ -84,7 +95,7 @@ func (n *Node) xpmemTransfer(sp *sim.Proc, caller *Process, callerAddr Addr, rem
 		bd.Syscall = xpmemAttachCost
 		sp.Sleep(xpmemAttachCost)
 		if caller.uid != remote.uid {
-			n.record(bd, 0)
+			n.record(span, bd, 0)
 			return bd, &PermissionError{CallerPID: caller.pid, TargetPID: remote.pid}
 		}
 		if n.xpmemAttached == nil {
@@ -93,9 +104,11 @@ func (n *Node) xpmemTransfer(sp *sim.Proc, caller *Process, callerAddr Addr, rem
 		n.xpmemAttached[key] = true
 	}
 	if err := n.checkRange(remote, remoteAddr, size); err != nil {
+		n.abortSpan(span, bd)
 		return bd, err
 	}
 	if err := n.checkRange(caller, callerAddr, size); err != nil {
+		n.abortSpan(span, bd)
 		return bd, err
 	}
 	sp.Sleep(xpmemOpCost)
@@ -131,7 +144,7 @@ func (n *Node) xpmemTransfer(sp *sim.Proc, caller *Process, callerAddr Addr, rem
 			}
 		}
 	}
-	n.record(bd, 0)
+	n.record(span, bd, 0)
 	return bd, nil
 }
 

@@ -1,0 +1,99 @@
+package kernel
+
+import (
+	"testing"
+
+	"camc/internal/sim"
+	"camc/internal/trace"
+)
+
+// TestTraceDelegation checks the single-code-path property of record():
+// the aggregate ftrace-style accumulator (EnableTrace) and the
+// structured timeline (SetRecorder) are fed by the same call, so their
+// totals must match exactly — including under concurrency, where the
+// lock phase inflates with γ(c).
+func TestTraceDelegation(t *testing.T) {
+	s := sim.New()
+	n := newKNLNode(s)
+	agg := n.EnableTrace()
+	rec := trace.NewUnbound()
+	n.SetRecorder(rec)
+
+	target := n.NewProcess(1 << 20)
+	const size = 64 << 10
+	ta := target.Alloc(size)
+	// Three concurrent readers of one target mm: lock contention drives
+	// maxC above 1.
+	for i := 0; i < 3; i++ {
+		caller := n.NewProcess(1 << 20)
+		da := caller.Alloc(size)
+		s.Spawn("reader", func(p *sim.Proc) {
+			for op := 0; op < 2; op++ {
+				if err := caller.VMRead(p, da, target, ta, size); err != nil {
+					t.Errorf("VMRead: %v", err)
+				}
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	sum := trace.SummarizeCMA(rec)
+	if sum.Ops != agg.Ops || sum.Ops != 6 {
+		t.Fatalf("ops: timeline %d, aggregate %d, want 6", sum.Ops, agg.Ops)
+	}
+	if sum.MaxC != agg.MaxC {
+		t.Fatalf("maxC: timeline %d, aggregate %d", sum.MaxC, agg.MaxC)
+	}
+	if agg.MaxC < 2 {
+		t.Fatalf("maxC = %d, want >= 2 (no contention observed)", agg.MaxC)
+	}
+	// Phase totals must agree bit-for-bit: both views receive the same
+	// Breakdown values from the same record() call.
+	pairs := []struct {
+		name     string
+		tl, aggv float64
+	}{
+		{"syscall", sum.Syscall, agg.Sum.Syscall},
+		{"perm", sum.Perm, agg.Sum.PermCheck},
+		{"lock", sum.Lock, agg.Sum.Lock},
+		{"pin", sum.Pin, agg.Sum.Pin},
+		{"copy", sum.Copy, agg.Sum.Copy},
+	}
+	for _, p := range pairs {
+		if p.tl != p.aggv {
+			t.Errorf("%s: timeline %v != aggregate %v", p.name, p.tl, p.aggv)
+		}
+	}
+	if sum.Total() != agg.Sum.Total() {
+		t.Errorf("total: timeline %v != aggregate %v", sum.Total(), agg.Sum.Total())
+	}
+}
+
+// TestTraceDelegationSkipsAborted: an address-range violation closes the
+// op's span as aborted; neither accounting view counts it as an op.
+func TestTraceDelegationSkipsAborted(t *testing.T) {
+	s := sim.New()
+	n := newKNLNode(s)
+	agg := n.EnableTrace()
+	rec := trace.NewUnbound()
+	n.SetRecorder(rec)
+
+	target := n.NewProcess(1 << 20)
+	caller := n.NewProcess(1 << 20)
+	da := caller.Alloc(4096)
+	s.Spawn("bad-reader", func(p *sim.Proc) {
+		// Source range beyond the target's address space: EFAULT.
+		if err := caller.VMRead(p, da, target, Addr(1<<20), 4096); err == nil {
+			t.Error("out-of-range VMRead succeeded")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sum := trace.SummarizeCMA(rec)
+	if agg.Ops != 0 || sum.Ops != 0 {
+		t.Fatalf("aborted op counted: aggregate %d, timeline %d", agg.Ops, sum.Ops)
+	}
+}

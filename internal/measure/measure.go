@@ -12,6 +12,7 @@ import (
 	"camc/internal/core"
 	"camc/internal/kernel"
 	"camc/internal/mpi"
+	"camc/internal/trace"
 )
 
 // Options configures a measurement.
@@ -37,6 +38,20 @@ type Options struct {
 // operation to the instant the last rank leaves it, averaged over
 // Options.Iters invocations. Runs are cost-only (no data movement).
 func Collective(a *arch.Profile, kind core.Kind, algo func(*mpi.Rank, core.Args), count int64, opts Options) float64 {
+	return collective(a, kind, algo, count, opts, nil)
+}
+
+// CollectiveTraced measures exactly like Collective but with a trace
+// recorder attached, returning the recorder alongside the latency.
+// Recording never sleeps, so the returned latency is bit-identical to
+// the untraced one (asserted by TestTraceDeterminism).
+func CollectiveTraced(a *arch.Profile, kind core.Kind, algo func(*mpi.Rank, core.Args), count int64, opts Options) (float64, *trace.Recorder) {
+	rec := trace.NewUnbound()
+	lat := collective(a, kind, algo, count, opts, rec)
+	return lat, rec
+}
+
+func collective(a *arch.Profile, kind core.Kind, algo func(*mpi.Rank, core.Args), count int64, opts Options, rec *trace.Recorder) float64 {
 	procs := opts.Procs
 	if procs == 0 {
 		procs = a.DefaultProcs
@@ -55,6 +70,7 @@ func Collective(a *arch.Profile, kind core.Kind, algo func(*mpi.Rank, core.Args)
 		}
 	}
 	c := mpi.New(mpi.Config{Arch: a, Procs: procs, CopyData: false, MemPerProc: mem, Mechanism: opts.Mechanism})
+	c.AttachTrace(rec)
 	var skew []float64
 	if opts.SkewSeed != 0 && opts.MaxSkew > 0 {
 		rng := rand.New(rand.NewSource(opts.SkewSeed))

@@ -1,0 +1,90 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"camc/internal/arch"
+	"camc/internal/core"
+	"camc/internal/trace"
+)
+
+// TestTracedRunIsBitIdentical is the zero-overhead regression test:
+// recording never advances virtual time, so a traced run must report
+// exactly the same latency as an untraced one — not approximately, but
+// bit-for-bit. The configuration mirrors a Fig 7 cell (throttled
+// scatter on KNL at full subscription).
+func TestTracedRunIsBitIdentical(t *testing.T) {
+	a := arch.KNL()
+	opts := Options{Iters: 2}
+	const size = 64 << 10
+	plain := Collective(a, core.KindScatter, core.ScatterThrottled(4), size, opts)
+	traced, rec := CollectiveTraced(a, core.KindScatter, core.ScatterThrottled(4), size, opts)
+	if traced != plain {
+		t.Fatalf("traced latency %v != untraced %v", traced, plain)
+	}
+	if rec == nil || rec.Len() == 0 {
+		t.Fatal("traced run recorded nothing")
+	}
+}
+
+// TestTracedRunIsBitIdenticalAcrossAlgos extends the determinism check
+// over the shm and pt2pt code paths, which carry their own emission
+// sites (edges, shm copy spans, MPI op spans).
+func TestTracedRunIsBitIdenticalAcrossAlgos(t *testing.T) {
+	a := arch.Broadwell()
+	algos := []struct {
+		name string
+		kind core.Kind
+		spec string
+	}{
+		{"bcast-knomial", core.KindBcast, "knomial-read:4"},
+		{"bcast-binomial-shm", core.KindBcast, "binomial-shm"},
+		{"allgather-rd", core.KindAllgather, "recursive-doubling"},
+		{"alltoall-pt2pt", core.KindAlltoall, "pairwise-cma-pt2pt"},
+	}
+	for _, tc := range algos {
+		al, err := core.LookupAlgorithm(tc.kind, tc.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		opts := Options{Procs: 8}
+		plain := Collective(a, tc.kind, al.Run, 16<<10, opts)
+		traced, _ := CollectiveTraced(a, tc.kind, al.Run, 16<<10, opts)
+		if traced != plain {
+			t.Errorf("%s: traced %v != untraced %v", tc.name, traced, plain)
+		}
+	}
+}
+
+// TestCriticalPathMatchesLatency: the extracted critical path must
+// account for the measured latency — its total may exceed the latency
+// only by the residual entry skew ranks carry out of the separating
+// barrier (well under a percent).
+func TestCriticalPathMatchesLatency(t *testing.T) {
+	a := arch.KNL()
+	lat, rec := CollectiveTraced(a, core.KindScatter, core.ScatterThrottled(4), 256<<10, Options{Iters: 1})
+	cps := trace.CriticalPaths(rec)
+	if len(cps) != 1 {
+		t.Fatalf("got %d critical paths, want 1", len(cps))
+	}
+	cp := cps[0]
+	if cp.Latency != lat {
+		t.Errorf("per-invocation latency %v != measured %v", cp.Latency, lat)
+	}
+	rel := math.Abs(cp.Total()-lat) / lat
+	if rel > 0.01 {
+		t.Errorf("critical path total %v vs latency %v (%.2f%% off)", cp.Total(), lat, 100*rel)
+	}
+	// Walk-back continuity: segments tile [Start, End].
+	prev := cp.Start
+	for i, s := range cp.Segments {
+		if math.Abs(s.Start-prev) > 1e-9 {
+			t.Fatalf("gap before segment %d", i)
+		}
+		prev = s.End
+	}
+	if math.Abs(prev-cp.End) > 1e-9 {
+		t.Fatalf("path ends at %v, want %v", prev, cp.End)
+	}
+}

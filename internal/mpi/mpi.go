@@ -17,6 +17,7 @@ import (
 	"camc/internal/kernel"
 	"camc/internal/shm"
 	"camc/internal/sim"
+	"camc/internal/trace"
 )
 
 // DefaultRendezvousThreshold is the eager/rendezvous switch point in
@@ -72,6 +73,25 @@ type Comm struct {
 // Size returns the number of ranks.
 func (c *Comm) Size() int { return len(c.ranks) }
 
+// AttachTrace attaches a structured-event recorder to the communicator:
+// it binds the recorder to the node (so kernel-level CMA events are
+// captured too) and registers one trace lane per rank, keyed by the
+// rank's simulated OS pid. Attach before Start; a nil recorder is a
+// no-op (tracing stays disabled).
+func (c *Comm) AttachTrace(rec *trace.Recorder) {
+	if rec == nil {
+		return
+	}
+	c.Node.SetRecorder(rec)
+	for _, r := range c.ranks {
+		rec.RegisterLane(r.ID, fmt.Sprintf("rank %d", r.ID), r.OS.PID())
+	}
+}
+
+// Tracer returns the attached recorder (nil when tracing is disabled;
+// all recorder methods are nil-safe).
+func (c *Comm) Tracer() *trace.Recorder { return c.Node.Recorder() }
+
 // Rank returns rank i's handle.
 func (c *Comm) Rank(i int) *Rank { return c.ranks[i] }
 
@@ -86,6 +106,10 @@ type Rank struct {
 
 // Size returns the communicator size.
 func (r *Rank) Size() int { return r.Comm.Size() }
+
+// Tracer returns the recorder attached to this rank's communicator
+// (nil when tracing is disabled).
+func (r *Rank) Tracer() *trace.Recorder { return r.Comm.Tracer() }
 
 // Peer returns the OS process behind rank i (the PID table every rank
 // builds at init).
@@ -167,7 +191,14 @@ func Run(cfg Config, body func(r *Rank)) (Result, error) {
 
 // Barrier synchronizes all ranks (dissemination barrier over shared
 // memory).
-func (r *Rank) Barrier() { r.Comm.Shm.Barrier(r.SP, r.ID) }
+func (r *Rank) Barrier() {
+	span := trace.NoSpan
+	if rec := r.Tracer(); rec != nil {
+		span = rec.Begin(r.ID, trace.CatMPI, "barrier")
+	}
+	r.Comm.Shm.Barrier(r.SP, r.ID)
+	r.Tracer().End(span)
+}
 
 // pt2pt tags: the two protocols share the per-pair FIFO, so fixed tags
 // keep the handshakes self-describing.
@@ -191,22 +222,47 @@ const matchCost = 0.3
 // single CMA read, then posts a FIN.
 func (r *Rank) Send(dst int, addr kernel.Addr, size int64) {
 	c := r.Comm
+	span := trace.NoSpan
+	rec := r.Tracer()
+	rndv := size >= c.cfg.RendezvousThreshold
+	if rec != nil {
+		name := "send_eager"
+		if rndv {
+			name = "send_rndv"
+		}
+		span = rec.Begin(r.ID, trace.CatMPI, name,
+			trace.F("peer", float64(dst)), trace.F("bytes", float64(size)))
+	}
 	r.SP.Sleep(matchCost)
-	if size < c.cfg.RendezvousThreshold {
+	if !rndv {
 		c.Shm.Send(r.SP, r.ID, dst, tagEager, r.OS, addr, size)
+		rec.End(span)
 		return
 	}
 	c.Shm.SendCtl(r.SP, r.ID, dst, tagRTS, int64(addr))
 	c.Shm.RecvCtl(r.SP, dst, r.ID, tagFIN)
+	rec.End(span)
 }
 
 // Recv receives size bytes from rank src into addr. The protocol is
 // chosen by size exactly as in Send; both sides must agree.
 func (r *Rank) Recv(src int, addr kernel.Addr, size int64) {
 	c := r.Comm
+	span := trace.NoSpan
+	rec := r.Tracer()
+	rndv := size >= c.cfg.RendezvousThreshold
+	if rec != nil {
+		name := "recv_eager"
+		if rndv {
+			name = "recv_rndv"
+		}
+		span = rec.Begin(r.ID, trace.CatMPI, name,
+			trace.F("peer", float64(src)), trace.F("bytes", float64(size)))
+	}
 	r.SP.Sleep(matchCost)
-	if size < c.cfg.RendezvousThreshold {
+	if !rndv {
 		c.Shm.Recv(r.SP, src, r.ID, tagEager, r.OS, addr, size)
+		rec.End(span)
 		return
 	}
 	remote := c.Shm.RecvCtl(r.SP, src, r.ID, tagRTS)
@@ -214,6 +270,7 @@ func (r *Rank) Recv(src int, addr kernel.Addr, size int64) {
 		panic(fmt.Sprintf("mpi: rendezvous read %d->%d: %v", src, r.ID, err))
 	}
 	c.Shm.SendCtl(r.SP, r.ID, src, tagFIN, 0)
+	rec.End(span)
 }
 
 // Sendrecv performs a simultaneous exchange with two (possibly equal)

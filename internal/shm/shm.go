@@ -19,6 +19,7 @@ import (
 
 	"camc/internal/kernel"
 	"camc/internal/sim"
+	"camc/internal/trace"
 )
 
 // ctlCost is the fixed CPU cost to post or consume one control message
@@ -66,6 +67,31 @@ func (t *Transport) queue(src, dst int) *sim.Chan[message] {
 	return t.queues[src*t.nranks+dst]
 }
 
+// tagName maps the transport's well-known tags — including the pt2pt
+// protocol tags internal/mpi layers on top (100 eager, 101 RTS,
+// 102 FIN) — to stable trace-event names.
+func tagName(tag int) string {
+	switch tag {
+	case 100:
+		return "eager"
+	case 101:
+		return "rts"
+	case 102:
+		return "fin"
+	case tagBcast:
+		return "bcast64"
+	case tagGather:
+		return "gather64"
+	case tagAllgather:
+		return "allgather64"
+	case tagBarrier:
+		return "barrier"
+	case tagNotify:
+		return "notify"
+	}
+	return fmt.Sprintf("tag%d", tag)
+}
+
 // SendCtl posts an 8-byte control message from src to dst.
 func (t *Transport) SendCtl(sp *sim.Proc, src, dst, tag int, val int64) {
 	sp.Sleep(ctlCost)
@@ -80,6 +106,7 @@ func (t *Transport) SendCtl(sp *sim.Proc, src, dst, tag int, val int64) {
 // matches (a mismatch is a protocol bug in the collective, not a runtime
 // condition).
 func (t *Transport) RecvCtl(sp *sim.Proc, src, dst, tag int) int64 {
+	waitStart := sp.Now()
 	m := t.queue(src, dst).Recv(sp)
 	if m.tag != tag {
 		panic(fmt.Sprintf("shm: tag mismatch on %d->%d: got %d, want %d", src, dst, m.tag, tag))
@@ -87,10 +114,16 @@ func (t *Transport) RecvCtl(sp *sim.Proc, src, dst, tag int) int64 {
 	if m.size != 0 {
 		panic(fmt.Sprintf("shm: expected control message on %d->%d, got %d-byte data", src, dst, m.size))
 	}
-	if m.readyAt > sp.Now() {
+	readyTs := sp.Now()
+	if m.readyAt > readyTs {
+		readyTs = m.readyAt
 		sp.Sleep(m.readyAt - sp.Now())
 	}
 	sp.Sleep(ctlCost)
+	if rec := t.node.Recorder(); rec != nil {
+		rec.Edge(src, dst, trace.CatShm, tagName(tag),
+			m.readyAt-t.node.Arch.ShmLatency, readyTs, waitStart, sp.Now())
+	}
 	return m.ctl
 }
 
@@ -104,6 +137,13 @@ func (t *Transport) Send(sp *sim.Proc, src, dst, tag int, srcProc *kernel.Proces
 	cell := int64(a.ShmCellSize)
 	q := t.queue(src, dst)
 	beta := a.ShmCopyBeta()
+	rec := t.node.Recorder()
+	span := trace.NoSpan
+	copyT := 0.0
+	if rec != nil {
+		span = rec.Begin(src, trace.CatShm, "shm_send",
+			trace.F("peer", float64(dst)), trace.F("bytes", float64(size)))
+	}
 	for off := int64(0); ; off += cell {
 		n := cell
 		if size-off < n {
@@ -112,8 +152,9 @@ func (t *Transport) Send(sp *sim.Proc, src, dst, tag int, srcProc *kernel.Proces
 		if n < 0 {
 			n = 0
 		}
+		ct := a.ShmCellOverhead + float64(n)*t.node.EffPerByte(beta)
 		t.node.BeginCopy()
-		sp.Sleep(a.ShmCellOverhead + float64(n)*t.node.EffPerByte(beta))
+		sp.Sleep(ct)
 		t.node.EndCopy()
 		m := message{
 			tag:     tag,
@@ -129,8 +170,12 @@ func (t *Transport) Send(sp *sim.Proc, src, dst, tag int, srcProc *kernel.Proces
 		}
 		q.Send(sp, m)
 		if m.last {
+			if rec != nil {
+				rec.End(span, trace.F("copy", copyT+ct))
+			}
 			return
 		}
+		copyT += ct
 	}
 }
 
@@ -149,6 +194,14 @@ func (t *Transport) Exchange(sp *sim.Proc, me, sendPeer, recvPeer, tag int, proc
 	beta := a.ShmCopyBeta()
 	out := t.queue(me, sendPeer)
 	in := t.queue(recvPeer, me)
+	rec := t.node.Recorder()
+	span := trace.NoSpan
+	copyT, waitStart, readyTs, lastReadyAt := 0.0, 0.0, 0.0, 0.0
+	if rec != nil {
+		span = rec.Begin(me, trace.CatShm, "shm_exchange",
+			trace.F("send_peer", float64(sendPeer)), trace.F("recv_peer", float64(recvPeer)),
+			trace.F("sbytes", float64(sSize)), trace.F("rbytes", float64(rSize)))
+	}
 	var sent, got int64
 	sendDone, recvDone := false, false
 	for !sendDone || !recvDone {
@@ -160,8 +213,10 @@ func (t *Transport) Exchange(sp *sim.Proc, me, sendPeer, recvPeer, tag int, proc
 			if n < 0 {
 				n = 0
 			}
+			ct := a.ShmCellOverhead + float64(n)*t.node.EffPerByte(beta)
+			copyT += ct
 			t.node.BeginCopy()
-			sp.Sleep(a.ShmCellOverhead + float64(n)*t.node.EffPerByte(beta))
+			sp.Sleep(ct)
 			t.node.EndCopy()
 			m := message{tag: tag, size: n, readyAt: sp.Now() + a.ShmLatency, last: sent+n >= sSize}
 			if m.size == 0 {
@@ -175,6 +230,7 @@ func (t *Transport) Exchange(sp *sim.Proc, me, sendPeer, recvPeer, tag int, proc
 			sendDone = m.last
 		}
 		if !recvDone {
+			waitStart = sp.Now()
 			m := in.Recv(sp)
 			if m.tag != tag {
 				panic(fmt.Sprintf("shm: tag mismatch on %d->%d: got %d, want %d", recvPeer, me, m.tag, tag))
@@ -183,11 +239,16 @@ func (t *Transport) Exchange(sp *sim.Proc, me, sendPeer, recvPeer, tag int, proc
 			if n == -1 {
 				n = 0
 			}
-			if m.readyAt > sp.Now() {
+			readyTs = sp.Now()
+			lastReadyAt = m.readyAt
+			if m.readyAt > readyTs {
+				readyTs = m.readyAt
 				sp.Sleep(m.readyAt - sp.Now())
 			}
+			ct := a.ShmCellOverhead + float64(n)*t.node.EffPerByte(beta)
+			copyT += ct
 			t.node.BeginCopy()
-			sp.Sleep(a.ShmCellOverhead + float64(n)*t.node.EffPerByte(beta))
+			sp.Sleep(ct)
 			t.node.EndCopy()
 			if t.node.CopyData && n > 0 {
 				copy(proc.Bytes(rAddr+kernel.Addr(got), n), m.data)
@@ -195,6 +256,14 @@ func (t *Transport) Exchange(sp *sim.Proc, me, sendPeer, recvPeer, tag int, proc
 			got += n
 			recvDone = m.last
 		}
+	}
+	if rec != nil {
+		// The edge covers the final incoming cell: the hand-off that can
+		// gate this rank's completion of the exchange.
+		rec.Edge(recvPeer, me, trace.CatShm, tagName(tag),
+			lastReadyAt-a.ShmLatency, readyTs, waitStart, sp.Now(),
+			trace.F("bytes", float64(rSize)))
+		rec.End(span, trace.F("copy", copyT))
 	}
 	if got != rSize {
 		panic(fmt.Sprintf("shm: exchange size mismatch on %d<-%d: got %d, expected %d", me, recvPeer, got, rSize))
@@ -207,8 +276,16 @@ func (t *Transport) Recv(sp *sim.Proc, src, dst, tag int, dstProc *kernel.Proces
 	a := t.node.Arch
 	q := t.queue(src, dst)
 	beta := a.ShmCopyBeta()
+	rec := t.node.Recorder()
+	span := trace.NoSpan
+	copyT, waitStart, readyTs, lastReadyAt := 0.0, 0.0, 0.0, 0.0
+	if rec != nil {
+		span = rec.Begin(dst, trace.CatShm, "shm_recv",
+			trace.F("peer", float64(src)), trace.F("bytes", float64(size)))
+	}
 	var got int64
 	for {
+		waitStart = sp.Now()
 		m := q.Recv(sp)
 		if m.tag != tag {
 			panic(fmt.Sprintf("shm: tag mismatch on %d->%d: got %d, want %d", src, dst, m.tag, tag))
@@ -217,11 +294,16 @@ func (t *Transport) Recv(sp *sim.Proc, src, dst, tag int, dstProc *kernel.Proces
 		if n == -1 {
 			n = 0
 		}
-		if m.readyAt > sp.Now() {
+		readyTs = sp.Now()
+		lastReadyAt = m.readyAt
+		if m.readyAt > readyTs {
+			readyTs = m.readyAt
 			sp.Sleep(m.readyAt - sp.Now())
 		}
+		ct := a.ShmCellOverhead + float64(n)*t.node.EffPerByte(beta)
+		copyT += ct
 		t.node.BeginCopy()
-		sp.Sleep(a.ShmCellOverhead + float64(n)*t.node.EffPerByte(beta))
+		sp.Sleep(ct)
 		t.node.EndCopy()
 		if t.node.CopyData && n > 0 {
 			copy(dstProc.Bytes(addr+kernel.Addr(got), n), m.data)
@@ -230,6 +312,14 @@ func (t *Transport) Recv(sp *sim.Proc, src, dst, tag int, dstProc *kernel.Proces
 		if m.last {
 			break
 		}
+	}
+	if rec != nil {
+		// The edge covers the final cell — the hand-off that gates this
+		// receive's completion when the sender is the slower side.
+		rec.Edge(src, dst, trace.CatShm, tagName(tag),
+			lastReadyAt-a.ShmLatency, readyTs, waitStart, sp.Now(),
+			trace.F("bytes", float64(size)))
+		rec.End(span, trace.F("copy", copyT))
 	}
 	if got != size {
 		panic(fmt.Sprintf("shm: size mismatch on %d->%d: staged %d, expected %d", src, dst, got, size))

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event exporter: the recorded timeline as JSON loadable
+// by chrome://tracing and Perfetto (ui.perfetto.dev). One pid per rank
+// lane, timestamps in microseconds (the simulator's native unit).
+//
+// Mapping:
+//   - span        -> "X" complete event (ts, dur) on the lane's pid
+//   - instant     -> "i" thread-scoped instant
+//   - counter     -> "C" counter event (e.g. mm_inflight per target)
+//   - edge        -> an "X" wait span on the receiver (when it blocked)
+//     plus an "s"/"f" flow arrow from the sender's post to
+//     the receiver's consumption
+
+type chromeEvent struct {
+	Name  string             `json:"name"`
+	Cat   string             `json:"cat,omitempty"`
+	Ph    string             `json:"ph"`
+	Ts    float64            `json:"ts"`
+	Dur   float64            `json:"dur,omitempty"`
+	Pid   int                `json:"pid"`
+	Tid   int                `json:"tid"`
+	ID    int                `json:"id,omitempty"`
+	Scope string             `json:"s,omitempty"`
+	BP    string             `json:"bp,omitempty"`
+	Args  map[string]float64 `json:"args,omitempty"`
+}
+
+type chromeMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []json.RawMessage `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+}
+
+// chromePid maps a lane to a non-negative Chrome pid: registered rank
+// lanes map to themselves; negative pseudo-lanes (unregistered OS pids)
+// map back to the pid value.
+func chromePid(lane int) int {
+	if lane >= 0 {
+		return lane
+	}
+	return -lane
+}
+
+func argMap(args []Arg) map[string]float64 {
+	if len(args) == 0 {
+		return nil
+	}
+	m := make(map[string]float64, len(args))
+	for _, a := range args {
+		m[a.Key] = a.Val
+	}
+	return m
+}
+
+// WriteChrome exports the recorded trace as Chrome trace-event JSON.
+// Events are sorted by timestamp (metadata first), so the stream is
+// monotonic.
+func WriteChrome(w io.Writer, rec *Recorder) error {
+	var evs []chromeEvent
+	flowID := 0
+	for i := range rec.Events() {
+		e := &rec.Events()[i]
+		switch e.Kind {
+		case KindSpan:
+			if e.End < e.Start {
+				continue // still open: nothing well-formed to emit
+			}
+			evs = append(evs, chromeEvent{
+				Name: e.Name, Cat: string(e.Cat), Ph: "X",
+				Ts: e.Start, Dur: e.End - e.Start,
+				Pid: chromePid(e.Lane), Tid: 0, Args: argMap(e.Args),
+			})
+		case KindInstant:
+			evs = append(evs, chromeEvent{
+				Name: e.Name, Cat: string(e.Cat), Ph: "i",
+				Ts: e.Start, Pid: chromePid(e.Lane), Tid: 0,
+				Scope: "t", Args: argMap(e.Args),
+			})
+		case KindCounter:
+			evs = append(evs, chromeEvent{
+				Name: e.Name, Cat: string(e.Cat), Ph: "C",
+				Ts: e.Start, Pid: chromePid(e.Lane), Tid: 0,
+				Args: map[string]float64{"value": e.Value},
+			})
+		case KindEdge:
+			flowID++
+			if e.Waited {
+				evs = append(evs, chromeEvent{
+					Name: "wait:" + e.Name, Cat: string(e.Cat), Ph: "X",
+					Ts: e.Start, Dur: e.End - e.Start,
+					Pid: chromePid(e.Lane), Tid: 0,
+					Args: map[string]float64{"from": float64(e.From), "ready": e.ReadyTs},
+				})
+			}
+			evs = append(evs, chromeEvent{
+				Name: e.Name, Cat: string(e.Cat), Ph: "s",
+				Ts: e.SendTs, Pid: chromePid(e.From), Tid: 0, ID: flowID,
+			}, chromeEvent{
+				Name: e.Name, Cat: string(e.Cat), Ph: "f", BP: "e",
+				Ts: e.End, Pid: chromePid(e.Lane), Tid: 0, ID: flowID,
+			})
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Ts < evs[j].Ts })
+
+	var raw []json.RawMessage
+	for _, l := range rec.Lanes() {
+		name := l.Name
+		if name == "" {
+			name = "lane " + itoa(l.ID)
+		}
+		for _, m := range []chromeMeta{
+			{Name: "process_name", Ph: "M", Pid: chromePid(l.ID), Args: map[string]string{"name": name}},
+			{Name: "thread_name", Ph: "M", Pid: chromePid(l.ID), Args: map[string]string{"name": "main"}},
+		} {
+			b, err := json.Marshal(m)
+			if err != nil {
+				return err
+			}
+			raw = append(raw, b)
+		}
+	}
+	for _, e := range evs {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		raw = append(raw, b)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: raw, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Aligned text reports over a recorded trace: the inspection companion
+// to the Chrome export, usable straight from a terminal.
+
+// WriteSummary prints event counts, the per-rank utilisation
+// decomposition and the mm-lock contention timelines.
+func WriteSummary(w io.Writer, rec *Recorder) {
+	if rec == nil {
+		fmt.Fprintln(w, "trace: disabled (no recorder)")
+		return
+	}
+	counts := map[Cat]int{}
+	kinds := map[Kind]int{}
+	for i := range rec.Events() {
+		e := &rec.Events()[i]
+		counts[e.Cat]++
+		kinds[e.Kind]++
+	}
+	fmt.Fprintf(w, "trace: %d events (%d spans, %d instants, %d counters, %d edges)\n",
+		rec.Len(), kinds[KindSpan], kinds[KindInstant], kinds[KindCounter], kinds[KindEdge])
+	var cats []string
+	for c := range counts {
+		cats = append(cats, string(c))
+	}
+	sort.Strings(cats)
+	for _, c := range cats {
+		fmt.Fprintf(w, "  %-9s %6d\n", c, counts[Cat(c)])
+	}
+
+	utils := Utilizations(rec)
+	if len(utils) > 0 {
+		fmt.Fprintf(w, "\nper-rank utilisation (us):\n")
+		fmt.Fprintf(w, "%5s  %10s  %9s  %9s  %9s  %9s  %9s  %9s  %9s\n",
+			"rank", "window", "syscall", "lock", "pin", "copy", "shmcopy", "wait", "other")
+		for _, u := range utils {
+			fmt.Fprintf(w, "%5d  %10.2f  %9.2f  %9.2f  %9.2f  %9.2f  %9.2f  %9.2f  %9.2f\n",
+				u.Lane, u.Window, u.Syscall, u.Lock, u.Pin, u.Copy, u.ShmCopy, u.Wait, u.Other)
+		}
+	}
+
+	locks := LockTimelines(rec)
+	if len(locks) > 0 {
+		fmt.Fprintf(w, "\nmm-lock contention (per target process):\n")
+		for _, st := range locks {
+			fmt.Fprintf(w, "  lane %d: held %.2fus, max concurrency %d", st.Lane, st.HeldTime, st.MaxConc)
+			if st.MaxQueue > 0 {
+				fmt.Fprintf(w, ", max queue depth %d", st.MaxQueue)
+			}
+			fmt.Fprintln(w)
+			var levels []int
+			for c := range st.TimeAtConc {
+				levels = append(levels, c)
+			}
+			sort.Ints(levels)
+			for _, c := range levels {
+				fmt.Fprintf(w, "    c=%-3d %10.2fus\n", c, st.TimeAtConc[c])
+			}
+		}
+	}
+
+	if sum := SummarizeCMA(rec); sum.Ops > 0 {
+		fmt.Fprintf(w, "\nCMA phase totals over %d ops (us): syscall %.2f, perm %.2f, lock %.2f, pin %.2f, copy %.2f (max concurrency %d)\n",
+			sum.Ops, sum.Syscall, sum.Perm, sum.Lock, sum.Pin, sum.Copy, sum.MaxC)
+	}
+}
+
+// WriteCriticalPath prints one critical path, segment by segment.
+func WriteCriticalPath(w io.Writer, cp *CriticalPath) {
+	fmt.Fprintf(w, "critical path, invocation %d (%s): total %.2fus over [%.2f, %.2f], measured latency %.2fus\n",
+		cp.Invocation, cp.Name, cp.Total(), cp.Start, cp.End, cp.Latency)
+	work := cp.WorkByLane()
+	var lanes []int
+	for l := range work {
+		lanes = append(lanes, l)
+	}
+	sort.Ints(lanes)
+	fmt.Fprintf(w, "  wait on path: %.2fus; work by rank:", cp.WaitTime())
+	for _, l := range lanes {
+		fmt.Fprintf(w, " %d:%.2f", l, work[l])
+	}
+	fmt.Fprintln(w)
+	for _, s := range cp.Segments {
+		kind := "work"
+		if s.Wait {
+			kind = "wait"
+		}
+		fmt.Fprintf(w, "  rank %-3d %s [%10.2f, %10.2f] %8.2fus  %s\n", s.Lane, kind, s.Start, s.End, s.Dur(), s.Label)
+	}
+}

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Tier-1 verification (see ROADMAP.md), plus static checks and a race
+# pass over the concurrency-sensitive packages. Run from the repo root:
+#
+#     sh scripts/verify.sh
+set -eu
+
+echo '== go build ./...'
+go build ./...
+
+echo '== go vet ./...'
+go vet ./...
+
+echo '== gofmt -l'
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+echo '== go test ./...'
+go test ./...
+
+# The simulator hands the scheduler token between goroutines and the
+# trace recorder piggybacks on that happens-before edge instead of
+# locking; the race detector proves the edge is real.
+echo '== go test -race ./internal/sim/... ./internal/trace/...'
+go test -race ./internal/sim/... ./internal/trace/...
+
+echo 'verify: OK'
