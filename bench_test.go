@@ -75,6 +75,13 @@ func BenchmarkTab05Hardware(b *testing.B)       { benchExperiment(b, "tab5", qui
 func BenchmarkTab06MaxSpeedup(b *testing.B)     { benchExperiment(b, "tab6", knlOnly) }
 func BenchmarkTab07LargestSpeedup(b *testing.B) { benchExperiment(b, "tab7", knlOnly) }
 
+// BenchmarkTab06MaxSpeedupSerial pins the sweep engine to one worker;
+// the ratio against BenchmarkTab06MaxSpeedup (Jobs=0 = GOMAXPROCS) is
+// the parallel engine's wall-clock win on the host.
+func BenchmarkTab06MaxSpeedupSerial(b *testing.B) {
+	benchExperiment(b, "tab6", bench.Options{Quick: true, Arch: "knl", Jobs: 1})
+}
+
 // Collective micro-benchmarks: simulated latency of the headline designs
 // at full KNL subscription, reported as sim-us/op so tuning changes show
 // up in benchstat diffs.

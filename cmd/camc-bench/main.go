@@ -5,7 +5,9 @@
 //
 //	camc-bench -list
 //	camc-bench -run fig7
+//	camc-bench -run fig7,fig8,tab6 -j 8
 //	camc-bench -run fig7 -arch knl -quick
+//	camc-bench -run all
 //	camc-bench -all
 package main
 
@@ -13,7 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"camc/internal/arch"
 	"camc/internal/bench"
 	"camc/internal/trace"
 )
@@ -21,16 +25,23 @@ import (
 func main() {
 	var (
 		list   = flag.Bool("list", false, "list available experiments")
-		run    = flag.String("run", "", "experiment id to run (e.g. fig7, tab6)")
+		run    = flag.String("run", "", "experiment id(s) to run: one id (fig7), a comma-separated list (fig7,tab6), or all")
 		all    = flag.Bool("all", false, "run every experiment")
 		archF  = flag.String("arch", "", "restrict to one architecture: knl, broadwell, power8")
 		quick  = flag.Bool("quick", false, "reduced sweeps (faster, same shapes)")
+		jobs   = flag.Int("j", 0, "worker goroutines for experiment cells (0 = GOMAXPROCS; output is identical for any value)")
 		format = flag.String("format", "table", "output format: table, plot, csv")
 		traceF = flag.String("trace", "", "trace the algorithm-comparison measurements (figs 7-11) and write the last cell's Chrome JSON here")
 	)
 	flag.Parse()
 
-	opts := bench.Options{Arch: *archF, Quick: *quick}
+	if *archF != "" {
+		if _, err := arch.ByName(*archF); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	opts := bench.Options{Arch: *archF, Quick: *quick, Jobs: *jobs}
 	var lastRec *trace.Recorder
 	var lastLabel string
 	if *traceF != "" {
@@ -67,30 +78,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
 		os.Exit(2)
 	}
+	var exps []*bench.Experiment
 	switch {
 	case *list:
 		for _, e := range bench.Registry() {
 			fmt.Printf("%-7s %s\n", e.ID, e.Title)
 		}
-	case *all:
-		for _, e := range bench.Registry() {
-			if err := e.RunFormat(os.Stdout, opts, f); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-				os.Exit(1)
-			}
-		}
+		return
+	case *all || *run == "all":
+		exps = bench.Registry()
 	case *run != "":
-		e, ok := bench.ByID(*run)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *run)
-			os.Exit(2)
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			e, ok := bench.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
 		}
+	}
+	if len(exps) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, e := range exps {
 		if err := e.RunFormat(os.Stdout, opts, f); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-	default:
-		flag.Usage()
-		os.Exit(2)
 	}
 }

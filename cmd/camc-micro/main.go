@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"camc/internal/arch"
 	"camc/internal/bench"
 )
 
@@ -22,8 +23,15 @@ func main() {
 		fig   = flag.Int("fig", 0, "figure to reproduce: 2, 3, 4, or 6")
 		archF = flag.String("arch", "", "restrict to one architecture: knl, broadwell, power8")
 		quick = flag.Bool("quick", false, "reduced sweeps")
+		jobs  = flag.Int("j", 0, "worker goroutines for experiment cells (0 = GOMAXPROCS; output is identical for any value)")
 	)
 	flag.Parse()
+	if *archF != "" {
+		if _, err := arch.ByName(*archF); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 	ids := map[int]string{2: "fig2", 3: "fig3", 4: "fig4", 6: "fig6"}
 	id, ok := ids[*fig]
 	if !ok {
@@ -31,7 +39,7 @@ func main() {
 		os.Exit(2)
 	}
 	e, _ := bench.ByID(id)
-	if err := e.Run(os.Stdout, bench.Options{Arch: *archF, Quick: *quick}); err != nil {
+	if err := e.Run(os.Stdout, bench.Options{Arch: *archF, Quick: *quick, Jobs: *jobs}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -28,9 +28,16 @@ func main() {
 		params = flag.Bool("params", false, "print estimated parameters with fitted gamma curves")
 		archF  = flag.String("arch", "", "restrict to one architecture")
 		quick  = flag.Bool("quick", false, "reduced sweeps")
+		jobs   = flag.Int("j", 0, "worker goroutines for experiment cells (0 = GOMAXPROCS; output is identical for any value)")
 	)
 	flag.Parse()
-	opts := bench.Options{Arch: *archF, Quick: *quick}
+	if *archF != "" {
+		if _, err := arch.ByName(*archF); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	opts := bench.Options{Arch: *archF, Quick: *quick, Jobs: *jobs}
 	ran := false
 	runExp := func(id string) {
 		ran = true

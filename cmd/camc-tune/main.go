@@ -23,6 +23,7 @@ func main() {
 	var (
 		archF = flag.String("arch", "", "architecture: knl, broadwell, power8 (default: all)")
 		procs = flag.Int("procs", 0, "override the process count (default: full subscription)")
+		jobs  = flag.Int("j", 0, "worker goroutines for probe measurements (0 = GOMAXPROCS; the table is identical for any value)")
 	)
 	flag.Parse()
 	profiles := arch.All()
@@ -35,7 +36,7 @@ func main() {
 		profiles = []*arch.Profile{p}
 	}
 	for _, a := range profiles {
-		tab := tuner.Autotune(a, tuner.Config{Procs: *procs})
+		tab := tuner.Autotune(a, tuner.Config{Procs: *procs, Jobs: *jobs})
 		tab.Fprint(os.Stdout)
 		fmt.Println()
 	}

@@ -7,6 +7,7 @@ import (
 	"camc/internal/core"
 	"camc/internal/measure"
 	"camc/internal/mpi"
+	"camc/internal/trace"
 )
 
 // Algorithm-comparison experiments (Figs 7–11): the paper's §IV–§V
@@ -34,23 +35,35 @@ func throttlesFor(a *arch.Profile) []int {
 }
 
 // sweepAlgos measures each algorithm across the size ladder, tracing
-// each cell when the options carry a TraceSink.
+// each cell when the options carry a TraceSink. Cells run on the
+// parallel engine; recorders are handed to the sink serially in cell
+// order during assembly, so tracing stays deterministic.
 func sweepAlgos(o Options, a *arch.Profile, kind core.Kind, algos []namedAlgo, sizes []int64) Table {
 	t := Table{
 		XHeader: "size",
 		XLabels: sizeLabels(sizes),
 		Notes:   []string{fmt.Sprintf("latency (us), %d processes, full subscription", a.DefaultProcs)},
 	}
-	for _, al := range algos {
+	type cell struct {
+		lat float64
+		rec *trace.Recorder
+	}
+	cells := parMap(o, len(algos)*len(sizes), func(i int) cell {
+		al, sz := algos[i/len(sizes)], sizes[i%len(sizes)]
+		if o.TraceSink == nil {
+			return cell{lat: measure.Collective(a, kind, al.run, sz, measure.Options{})}
+		}
+		lat, rec := measure.CollectiveTraced(a, kind, al.run, sz, measure.Options{})
+		return cell{lat, rec}
+	})
+	for ai, al := range algos {
 		s := Series{Name: al.name}
-		for _, sz := range sizes {
+		for si, sz := range sizes {
+			c := cells[ai*len(sizes)+si]
 			if o.TraceSink != nil {
-				lat, rec := measure.CollectiveTraced(a, kind, al.run, sz, measure.Options{})
-				o.TraceSink(a.Name, al.name, sz, rec)
-				s.Values = append(s.Values, lat)
-			} else {
-				s.Values = append(s.Values, measure.Collective(a, kind, al.run, sz, measure.Options{}))
+				o.TraceSink(a.Name, al.name, sz, c.rec)
 			}
+			s.Values = append(s.Values, c.lat)
 		}
 		t.Series = append(t.Series, s)
 	}

@@ -27,6 +27,11 @@ type Options struct {
 	// Quick trims sweeps (fewer sizes, smaller concurrency ladders) for
 	// test and benchmark use; shapes remain intact.
 	Quick bool
+	// Jobs caps the worker goroutines evaluating independent experiment
+	// cells (0 = GOMAXPROCS, 1 = sequential). Cells are deterministic
+	// simulations assembled by index, so emitted tables are identical
+	// for any value; only wall-clock time changes.
+	Jobs int
 	// TraceSink, when non-nil, runs every measurement of the
 	// algorithm-comparison experiments (figs 7-11) with a trace recorder
 	// attached and hands each cell's recorder to the sink, labelled by

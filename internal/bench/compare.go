@@ -29,18 +29,19 @@ func libsFor(a *arch.Profile) []libs.Library {
 }
 
 // compareLibraries builds one proposed-vs-libraries panel.
-func compareLibraries(a *arch.Profile, kind core.Kind, sizes []int64) Table {
+func compareLibraries(o Options, a *arch.Profile, kind core.Kind, sizes []int64) Table {
 	t := Table{
 		XHeader: "size",
 		XLabels: sizeLabels(sizes),
 		Notes:   []string{fmt.Sprintf("latency (us), %d processes", a.DefaultProcs)},
 	}
-	for _, l := range libsFor(a) {
-		s := Series{Name: l.Name}
-		for _, sz := range sizes {
-			s.Values = append(s.Values, measure.Collective(a, kind, l.Collective(kind), sz, measure.Options{}))
-		}
-		t.Series = append(t.Series, s)
+	ls := libsFor(a)
+	vals := parMap(o, len(ls)*len(sizes), func(i int) float64 {
+		l, sz := ls[i/len(sizes)], sizes[i%len(sizes)]
+		return measure.Collective(a, kind, l.Collective(kind), sz, measure.Options{})
+	})
+	for li, l := range ls {
+		t.Series = append(t.Series, Series{Name: l.Name, Values: vals[li*len(sizes) : (li+1)*len(sizes)]})
 	}
 	return t
 }
@@ -53,7 +54,7 @@ func libraryFigure(id, figTitle string, kind core.Kind, archs func() []*arch.Pro
 		Tables: func(o Options) []Table {
 			var tables []Table
 			for _, a := range o.archs(archs()...) {
-				t := compareLibraries(a, kind, sweepSizes(o.Quick, maxSize(a)))
+				t := compareLibraries(o, a, kind, sweepSizes(o.Quick, maxSize(a)))
 				t.Title = fmt.Sprintf("%s, %s", figTitle, a.Display)
 				tables = append(tables, t)
 			}
@@ -127,22 +128,51 @@ func speedupTables(o Options, largestOnly bool) []Table {
 		for i, l := range comparators {
 			series[i] = Series{Name: l.Name}
 		}
-		for _, kind := range kinds {
-			t.XLabels = append(t.XLabels, string(kind))
+		// Flatten the (kind, library, size) grid into one cell list: per
+		// kind, the proposed row first, then one row per comparator.
+		type measureCell struct {
+			kind core.Kind
+			lib  libs.Library
+			size int64
+		}
+		var cells []measureCell
+		type kindSpec struct {
+			sizes  []int64
+			propAt int   // cell index of the proposed row
+			compAt []int // cell index of each comparator's row
+		}
+		specs := make([]kindSpec, len(kinds))
+		proposed := libs.Proposed()
+		for ki, kind := range kinds {
 			sizes := sweepSizes(o.Quick, collectiveMax(kind, a))
 			if largestOnly {
 				sizes = sizes[len(sizes)-1:]
 			}
-			prop := make([]float64, len(sizes))
-			for si, sz := range sizes {
-				prop[si] = measure.Collective(a, kind, libs.Proposed().Collective(kind), sz, measure.Options{})
+			specs[ki].sizes = sizes
+			specs[ki].propAt = len(cells)
+			for _, sz := range sizes {
+				cells = append(cells, measureCell{kind, proposed, sz})
 			}
-			for i, l := range comparators {
+			for _, l := range comparators {
+				specs[ki].compAt = append(specs[ki].compAt, len(cells))
+				for _, sz := range sizes {
+					cells = append(cells, measureCell{kind, l, sz})
+				}
+			}
+		}
+		lats := parMap(o, len(cells), func(i int) float64 {
+			c := cells[i]
+			return measure.Collective(a, c.kind, c.lib.Collective(c.kind), c.size, measure.Options{})
+		})
+		for ki, kind := range kinds {
+			t.XLabels = append(t.XLabels, string(kind))
+			sp := specs[ki]
+			prop := lats[sp.propAt : sp.propAt+len(sp.sizes)]
+			for i := range comparators {
 				best := 0.0
-				for si, sz := range sizes {
-					lat := measure.Collective(a, kind, l.Collective(kind), sz, measure.Options{})
-					if sp := lat / prop[si]; sp > best {
-						best = sp
+				for si := range sp.sizes {
+					if s := lats[sp.compAt[i]+si] / prop[si]; s > best {
+						best = s
 					}
 				}
 				series[i].Values = append(series[i].Values, best)

@@ -44,14 +44,23 @@ func init() {
 				XLabels: sizeLabels(sizes),
 				Notes:   []string{"the contention-unaware design: mechanism choice matters far more here"},
 			}
-			for _, m := range mechs {
+			type pair struct{ throttled, naive float64 }
+			cells := parMap(o, len(mechs)*len(sizes), func(i int) pair {
+				m, sz := mechs[i/len(sizes)], sizes[i%len(sizes)]
+				return pair{
+					throttled: measure.Collective(a, core.KindGather,
+						core.GatherThrottled(8), sz, measure.Options{Mechanism: m}),
+					naive: measure.Collective(a, core.KindGather,
+						core.GatherParallelWrite, sz, measure.Options{Mechanism: m}),
+				}
+			})
+			for mi, m := range mechs {
 				s := Series{Name: m.String()}
 				ns := Series{Name: m.String()}
-				for _, sz := range sizes {
-					s.Values = append(s.Values, measure.Collective(a, core.KindGather,
-						core.GatherThrottled(8), sz, measure.Options{Mechanism: m}))
-					ns.Values = append(ns.Values, measure.Collective(a, core.KindGather,
-						core.GatherParallelWrite, sz, measure.Options{Mechanism: m}))
+				for si := range sizes {
+					c := cells[mi*len(sizes)+si]
+					s.Values = append(s.Values, c.throttled)
+					ns.Values = append(ns.Values, c.naive)
 				}
 				t.Series = append(t.Series, s)
 				naive.Series = append(naive.Series, ns)
@@ -77,17 +86,26 @@ func init() {
 			for i, sk := range skews {
 				labels[i] = fmt.Sprintf("%.0f", sk)
 			}
-			runAt := func(kind core.Kind, algo namedAlgo) Series {
-				s := Series{Name: algo.name}
-				for _, sk := range skews {
-					opts := measure.Options{}
-					if sk > 0 {
-						opts.SkewSeed = 42
-						opts.MaxSkew = sk
-					}
-					s.Values = append(s.Values, measure.Collective(a, kind, algo.run, size, opts))
+			specs := []struct {
+				kind core.Kind
+				algo namedAlgo
+			}{
+				{core.KindBcast, namedAlgo{"direct-read", core.BcastDirectRead}},
+				{core.KindScatter, namedAlgo{"scatter-throttle-8", core.ScatterThrottled(8)}},
+				{core.KindAllgather, namedAlgo{"ring-source-read", core.AllgatherRingSourceRead}},
+				{core.KindAllgather, namedAlgo{"ring-neighbor-1", core.AllgatherRingNeighbor(1)}},
+			}
+			vals := parMap(o, len(specs)*len(skews), func(i int) float64 {
+				sp, sk := specs[i/len(skews)], skews[i%len(skews)]
+				opts := measure.Options{}
+				if sk > 0 {
+					opts.SkewSeed = 42
+					opts.MaxSkew = sk
 				}
-				return s
+				return measure.Collective(a, sp.kind, sp.algo.run, size, opts)
+			})
+			rowOf := func(idx int) Series {
+				return Series{Name: specs[idx].algo.name, Values: vals[idx*len(skews) : (idx+1)*len(skews)]}
 			}
 			relief := Table{
 				Title:   fmt.Sprintf("One-to-all designs (256K) under per-rank start skew, %s", a.Display),
@@ -101,10 +119,7 @@ func init() {
 					"it already bounds concurrency by construction",
 				},
 			}
-			relief.Series = append(relief.Series,
-				runAt(core.KindBcast, namedAlgo{"direct-read", core.BcastDirectRead}),
-				runAt(core.KindScatter, namedAlgo{"scatter-throttle-8", core.ScatterThrottled(8)}),
-			)
+			relief.Series = append(relief.Series, rowOf(0), rowOf(1))
 			robust := Table{
 				Title:   fmt.Sprintf("Allgather rings (256K) under per-rank start skew, %s", a.Display),
 				XHeader: "max-skew(us)",
@@ -115,10 +130,7 @@ func init() {
 					"schedules tolerate even milliseconds of skew",
 				},
 			}
-			robust.Series = append(robust.Series,
-				runAt(core.KindAllgather, namedAlgo{"ring-source-read", core.AllgatherRingSourceRead}),
-				runAt(core.KindAllgather, namedAlgo{"ring-neighbor-1", core.AllgatherRingNeighbor(1)}),
-			)
+			robust.Series = append(robust.Series, rowOf(2), rowOf(3))
 			return []Table{relief, robust}
 		},
 	})
@@ -150,12 +162,15 @@ func init() {
 				{"parallel-write", core.ReduceParallelWrite},
 				{"flat-sequential", core.ReduceFlat},
 			}
-			for _, al := range algos {
-				s := Series{Name: al.name}
-				for _, sz := range sizes {
-					s.Values = append(s.Values, measure.Collective(a, core.KindGather, al.run, sz, measure.Options{}))
-				}
-				t.Series = append(t.Series, s)
+			vals := parMap(o, len(algos)*len(sizes), func(i int) float64 {
+				return measure.Collective(a, core.KindGather,
+					algos[i/len(sizes)].run, sizes[i%len(sizes)], measure.Options{})
+			})
+			for ai, al := range algos {
+				t.Series = append(t.Series, Series{
+					Name:   al.name,
+					Values: vals[ai*len(sizes) : (ai+1)*len(sizes)],
+				})
 			}
 			return []Table{t}
 		},
@@ -184,12 +199,14 @@ func init() {
 				{"pipelined-4", cluster.GatherTwoLevelPipelined(core.TunedGather, 4)},
 				{"pipelined-8", cluster.GatherTwoLevelPipelined(core.TunedGather, 8)},
 			}
-			for _, d := range designs {
-				s := Series{Name: d.name}
-				for _, sz := range sizes {
-					s.Values = append(s.Values, multinodeGather(a, nodes, ppn, sz, d.run))
-				}
-				t.Series = append(t.Series, s)
+			vals := parMap(o, len(designs)*len(sizes), func(i int) float64 {
+				return multinodeGather(a, nodes, ppn, sizes[i%len(sizes)], designs[i/len(sizes)].run)
+			})
+			for di, d := range designs {
+				t.Series = append(t.Series, Series{
+					Name:   d.name,
+					Values: vals[di*len(sizes) : (di+1)*len(sizes)],
+				})
 			}
 			return []Table{t}
 		},
@@ -202,7 +219,7 @@ func init() {
 		Title: "[extension] Autotuned dispatch tables (the MVAPICH2 tuning framework analogue)",
 		Tables: func(o Options) []Table {
 			archs := o.archs(arch.All()...)
-			cfg := tuner.Config{}
+			cfg := tuner.Config{Jobs: o.Jobs}
 			if o.Quick {
 				cfg.ProbeSizes = []int64{16 << 10, 1 << 20}
 			}

@@ -72,10 +72,14 @@ func init() {
 			for i, sz := range sizes {
 				cols[i] = Series{Name: sizeLabel(sz)}
 			}
-			for _, row := range rows {
+			measured := parMap(o, len(rows)*len(sizes), func(i int) float64 {
+				row, sz := rows[i/len(sizes)], sizes[i%len(sizes)]
+				return measure.Collective(a, row.kind, row.run, sz, measure.Options{})
+			})
+			for ri, row := range rows {
 				t.XLabels = append(t.XLabels, row.name)
 				for i, sz := range sizes {
-					m := measure.Collective(a, row.kind, row.run, sz, measure.Options{})
+					m := measured[ri*len(sizes)+i]
 					cols[i].Values = append(cols[i].Values, 100*stats.RelErr(row.predict(sz), m))
 				}
 			}
@@ -109,10 +113,13 @@ func init() {
 			emergent := Series{Name: "emergent-fifo"}
 			curve := Series{Name: "calibrated-gamma"}
 			linear := Series{Name: "linear-reference"}
+			lockTimes := parMap(o, len(concs), func(i int) float64 {
+				return emergentLockTime(a, concs[i])
+			})
 			base := 0.0
-			for _, c := range concs {
+			for ci, c := range concs {
 				t.XLabels = append(t.XLabels, fmt.Sprintf("%d", c))
-				lt := emergentLockTime(a, c)
+				lt := lockTimes[ci]
 				if c == 1 {
 					base = lt
 				}

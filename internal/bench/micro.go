@@ -121,20 +121,25 @@ func init() {
 					return oneToAllLatency(a, r, s, false)
 				}},
 			}
+			vals := parMap(o, len(panels)*len(readers)*len(sizes), func(i int) float64 {
+				p := panels[i/(len(readers)*len(sizes))]
+				r := readers[(i/len(sizes))%len(readers)]
+				return p.f(r, sizes[i%len(sizes)])
+			})
 			var tables []Table
-			for _, p := range panels {
+			for pi, p := range panels {
 				t := Table{
 					Title:   "Fig 2" + p.title,
 					XHeader: "size",
 					XLabels: sizeLabels(sizes),
 					Notes:   []string{"CMA read latency (us) on Knights Landing"},
 				}
-				for _, r := range readers {
-					s := Series{Name: fmt.Sprintf("%d readers", r)}
-					for _, sz := range sizes {
-						s.Values = append(s.Values, p.f(r, sz))
-					}
-					t.Series = append(t.Series, s)
+				for ri, r := range readers {
+					at := (pi*len(readers) + ri) * len(sizes)
+					t.Series = append(t.Series, Series{
+						Name:   fmt.Sprintf("%d readers", r),
+						Values: vals[at : at+len(sizes)],
+					})
 				}
 				tables = append(tables, t)
 			}
@@ -155,12 +160,15 @@ func init() {
 					XLabels: sizeLabels(sizes),
 					Notes:   []string{"latency (us) for N concurrent readers of one source process"},
 				}
-				for _, r := range readerLadder(a.DefaultProcs, o.Quick) {
-					s := Series{Name: fmt.Sprintf("%d readers", r)}
-					for _, sz := range sizes {
-						s.Values = append(s.Values, oneToAllLatency(a, r, sz, false))
-					}
-					t.Series = append(t.Series, s)
+				readers := readerLadder(a.DefaultProcs, o.Quick)
+				vals := parMap(o, len(readers)*len(sizes), func(i int) float64 {
+					return oneToAllLatency(a, readers[i/len(sizes)], sizes[i%len(sizes)], false)
+				})
+				for ri, r := range readers {
+					t.Series = append(t.Series, Series{
+						Name:   fmt.Sprintf("%d readers", r),
+						Values: vals[ri*len(sizes) : (ri+1)*len(sizes)],
+					})
 				}
 				tables = append(tables, t)
 			}
@@ -177,8 +185,12 @@ func init() {
 			if o.Quick {
 				pages = []int{16, 256}
 			}
+			extras := []int{0, 4, 27}
+			bds := parMap(o, len(extras)*len(pages), func(i int) kernel.Breakdown {
+				return breakdownOf(a, pages[i%len(pages)], extras[i/len(pages)])
+			})
 			var tables []Table
-			for _, extra := range []int{0, 4, 27} {
+			for ei, extra := range extras {
 				label := "no contention"
 				if extra > 0 {
 					label = fmt.Sprintf("%d concurrent readers", extra+1)
@@ -194,8 +206,8 @@ func init() {
 				lock := Series{Name: "acquire-locks"}
 				pin := Series{Name: "pin-pages"}
 				cp := Series{Name: "copy-data"}
-				for _, pg := range pages {
-					bd := breakdownOf(a, pg, extra)
+				for pi, pg := range pages {
+					bd := bds[ei*len(pages)+pi]
 					t.XLabels = append(t.XLabels, fmt.Sprintf("%d", pg))
 					syscall.Values = append(syscall.Values, bd.Syscall)
 					perm.Values = append(perm.Values, bd.PermCheck)
@@ -226,14 +238,19 @@ func init() {
 						"values > 1 mean added concurrency still pays; the per-size maximum is the throttle sweet spot",
 					},
 				}
-				base := make([]float64, len(sizes))
-				for i, sz := range sizes {
-					base[i] = oneToAllLatency(a, 1, sz, false)
-				}
-				for _, r := range readerLadder(a.DefaultProcs, o.Quick) {
+				// Cell block 0 is the single-reader baseline; blocks 1.. are
+				// the ladder rows (the ladder's own r=1 row measures the
+				// identical deterministic cell, as the sequential code did).
+				ladder := readerLadder(a.DefaultProcs, o.Quick)
+				rows := append([]int{1}, ladder...)
+				lats := parMap(o, len(rows)*len(sizes), func(i int) float64 {
+					return oneToAllLatency(a, rows[i/len(sizes)], sizes[i%len(sizes)], false)
+				})
+				base := lats[:len(sizes)]
+				for ri, r := range ladder {
 					s := Series{Name: fmt.Sprintf("%d readers", r)}
-					for i, sz := range sizes {
-						lat := oneToAllLatency(a, r, sz, false)
+					for i := range sizes {
+						lat := lats[(ri+1)*len(sizes)+i]
 						s.Values = append(s.Values, float64(r)*base[i]/lat)
 					}
 					t.Series = append(t.Series, s)

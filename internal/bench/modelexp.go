@@ -19,10 +19,11 @@ func init() {
 		ID:    "tab3",
 		Title: "Step isolation via truncated iovecs (Table III)",
 		Tables: func(o Options) []Table {
-			var tables []Table
-			for _, a := range o.archs(arch.All()...) {
+			archs := o.archs(arch.All()...)
+			return parMap(o, len(archs), func(i int) Table {
+				a := archs[i]
 				st := model.MeasureSteps(a, 100)
-				tables = append(tables, Table{
+				return Table{
 					Title:   "Table III: isolated CMA phases, " + a.Display + " (N=100 pages)",
 					XHeader: "operation",
 					XLabels: []string{"T1 syscall", "T2 +access-check", "T3 +lock+pin", "T4 +copy"},
@@ -31,9 +32,8 @@ func init() {
 						Values: []float64{st.T1, st.T2, st.T3, st.T4},
 					}},
 					Notes: []string{"each step includes the previous ones: T1 <= T2 <= T3 <= T4"},
-				})
-			}
-			return tables
+				}
+			})
 		},
 	})
 
@@ -50,13 +50,15 @@ func init() {
 					"paper's measured values: alpha 1.43/0.98/0.75, l 0.25/0.10/0.53, s 4096/4096/65536 (KNL/BDW/P8)",
 				},
 			}
-			for _, a := range o.archs(arch.All()...) {
+			archs := o.archs(arch.All()...)
+			t.Series = parMap(o, len(archs), func(i int) Series {
+				a := archs[i]
 				p := model.Estimate(a)
 				concs := gammaConcurrencies(a, o.Quick)
 				if _, err := p.FitGamma(model.MeasureGammaCurve(a, []int{50}, concs)); err != nil {
 					panic(err)
 				}
-				t.Series = append(t.Series, Series{
+				return Series{
 					Name: a.Name,
 					Values: []float64{
 						p.Alpha,
@@ -67,8 +69,8 @@ func init() {
 						p.Gamma(16),
 						p.Gamma(a.DefaultProcs - 1),
 					},
-				})
-			}
+				}
+			})
 			return []Table{t}
 		},
 	})
@@ -92,16 +94,23 @@ func init() {
 					t.XLabels = append(t.XLabels, fmt.Sprintf("%d", c))
 				}
 				pageCounts := []int{10, 50, 100}
-				for _, pg := range pageCounts {
+				// The cell grid is exactly MeasureGammaCurve's sample set in
+				// its (pages, concurrency) order, so it feeds both the
+				// series and the NLLS fit — each deterministic cell measured
+				// once instead of twice.
+				samples := parMap(o, len(pageCounts)*len(concs), func(i int) model.GammaSample {
+					return model.MeasureGamma(a, pageCounts[i/len(concs)], concs[i%len(concs)])
+				})
+				for pi, pg := range pageCounts {
 					s := Series{Name: fmt.Sprintf("%d pages", pg)}
-					for _, c := range concs {
-						s.Values = append(s.Values, model.MeasureGamma(a, pg, c).Gamma)
+					for ci := range concs {
+						s.Values = append(s.Values, samples[pi*len(concs)+ci].Gamma)
 					}
 					t.Series = append(t.Series, s)
 				}
 				// Best fit over all samples.
 				p := model.Estimate(a)
-				if _, err := p.FitGamma(model.MeasureGammaCurve(a, pageCounts, concs)); err != nil {
+				if _, err := p.FitGamma(samples); err != nil {
 					panic(err)
 				}
 				fit := Series{Name: "best-fit"}
@@ -154,12 +163,14 @@ func init() {
 					}},
 					{"model-3", pr.BcastScatterAllgather},
 				}
-				for _, al := range algos {
-					s := Series{Name: al.name}
-					for _, sz := range sizes {
-						s.Values = append(s.Values, al.f(sz))
-					}
-					t.Series = append(t.Series, s)
+				vals := parMap(o, len(algos)*len(sizes), func(i int) float64 {
+					return algos[i/len(sizes)].f(sizes[i%len(sizes)])
+				})
+				for ai, al := range algos {
+					t.Series = append(t.Series, Series{
+						Name:   al.name,
+						Values: vals[ai*len(sizes) : (ai+1)*len(sizes)],
+					})
 				}
 				tables = append(tables, t)
 			}

@@ -53,39 +53,46 @@ func init() {
 				{"flat-pt2pt (mvapich2-like)", cluster.ScatterFlat(core.TransportPt2pt)},
 				{"flat-shm (intelmpi-like)", cluster.ScatterFlat(core.TransportShm)},
 			}
+			// One flat cell grid: the gather panels followed by the
+			// companion scatter panel at the largest node count, so every
+			// cluster simulation of the figure shares the worker pool.
+			last := nodeCounts[len(nodeCounts)-1]
+			gatherN := len(nodeCounts) * len(designs) * len(sizes)
+			vals := parMap(o, gatherN+len(scatterDesigns)*len(sizes), func(i int) float64 {
+				if i < gatherN {
+					nodes := nodeCounts[i/(len(designs)*len(sizes))]
+					d := designs[(i/len(sizes))%len(designs)]
+					return multinodeGather(a, nodes, ppn, sizes[i%len(sizes)], d.run)
+				}
+				j := i - gatherN
+				return multinodeGather(a, last, ppn, sizes[j%len(sizes)], scatterDesigns[j/len(sizes)].run)
+			})
 			var tables []Table
-			for _, nodes := range nodeCounts {
+			for ni, nodes := range nodeCounts {
 				t := Table{
 					Title:   fmt.Sprintf("Fig 17: Gather on %d KNL nodes (%d processes)", nodes, nodes*ppn),
 					XHeader: "size",
 					XLabels: sizeLabels(sizes),
 					Notes:   []string{"latency (us); per-rank message size on the x axis"},
 				}
-				for _, d := range designs {
-					s := Series{Name: d.name}
-					for _, sz := range sizes {
-						s.Values = append(s.Values, multinodeGather(a, nodes, ppn, sz, d.run))
-					}
-					t.Series = append(t.Series, s)
+				for di, d := range designs {
+					at := (ni*len(designs) + di) * len(sizes)
+					t.Series = append(t.Series, Series{Name: d.name, Values: vals[at : at+len(sizes)]})
 				}
 				tables = append(tables, t)
 			}
 			// §VII-G: "Similar performance improvements were observed
 			// with MPI_Scatter" — the root-to-all panel at the largest
 			// node count.
-			last := nodeCounts[len(nodeCounts)-1]
 			ts := Table{
 				Title:   fmt.Sprintf("Fig 17 (companion): Scatter on %d KNL nodes (%d processes)", last, last*ppn),
 				XHeader: "size",
 				XLabels: sizeLabels(sizes),
 				Notes:   []string{"the same two-level advantage in the root-to-all direction"},
 			}
-			for _, d := range scatterDesigns {
-				s := Series{Name: d.name}
-				for _, sz := range sizes {
-					s.Values = append(s.Values, multinodeGather(a, last, ppn, sz, d.run))
-				}
-				ts.Series = append(ts.Series, s)
+			for di, d := range scatterDesigns {
+				at := gatherN + di*len(sizes)
+				ts.Series = append(ts.Series, Series{Name: d.name, Values: vals[at : at+len(sizes)]})
 			}
 			tables = append(tables, ts)
 			return tables

@@ -1,0 +1,18 @@
+package bench
+
+import "camc/internal/par"
+
+// The parallel sweep engine. Every experiment is a grid of independent
+// cells — one deterministic simulation per (algorithm, size) or
+// (readers, size) point — so the harness evaluates cells on a worker
+// pool and assembles series from index-owned slots. Tables come out
+// byte-identical to a sequential run for any Jobs value; only
+// wall-clock time changes. Side effects that must stay ordered
+// (TraceSink delivery) happen during assembly, after the parallel fill.
+
+// parMap evaluates f over n cells on the options' worker budget and
+// returns the results in index order. A panicking cell re-raises
+// deterministically (lowest index wins) after all cells ran.
+func parMap[T any](o Options, n int, f func(i int) T) []T {
+	return par.Map(par.Workers(o.Jobs), n, f)
+}

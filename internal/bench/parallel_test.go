@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"camc/internal/trace"
+)
+
+// TestParallelMatchesSequential is the parallel engine's core contract:
+// for every registered experiment, the rendered tables under -j 8 are
+// byte-identical to a sequential -j 1 run.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			var seq, par8 bytes.Buffer
+			if err := e.Run(&seq, Options{Quick: true, Jobs: 1}); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Run(&par8, Options{Quick: true, Jobs: 8}); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(seq.Bytes(), par8.Bytes()) {
+				t.Errorf("%s: output differs between -j1 and -j8\n--- j1 ---\n%s\n--- j8 ---\n%s",
+					e.ID, seq.String(), par8.String())
+			}
+		})
+	}
+}
+
+// TestTraceSinkOrderDeterministic pins the serialized TraceSink
+// contract: delivery order and labels are identical for any Jobs value,
+// and every recorder is non-nil.
+func TestTraceSinkOrderDeterministic(t *testing.T) {
+	e, ok := ByID("fig9")
+	if !ok {
+		t.Fatal("fig9 not registered")
+	}
+	order := func(jobs int) []string {
+		var got []string
+		o := Options{Quick: true, Arch: "knl", Jobs: jobs,
+			TraceSink: func(archName, algo string, size int64, rec *trace.Recorder) {
+				if rec == nil {
+					t.Fatalf("nil recorder for %s/%s/%d", archName, algo, size)
+				}
+				got = append(got, fmt.Sprintf("%s/%s/%d", archName, algo, size))
+			}}
+		var buf bytes.Buffer
+		if err := e.Run(&buf, o); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	seq := order(1)
+	if len(seq) == 0 {
+		t.Fatal("sink never called")
+	}
+	par := order(8)
+	if len(par) != len(seq) {
+		t.Fatalf("sink call count: j8=%d j1=%d", len(par), len(seq))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("sink order diverged at %d: j1=%s j8=%s", i, seq[i], par[i])
+		}
+	}
+}

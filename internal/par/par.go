@@ -1,0 +1,84 @@
+// Package par is the worker-pool primitive behind the parallel sweep
+// engine: run n independent experiment cells on up to w goroutines, each
+// cell writing only index-owned storage, so the assembled output is
+// byte-identical to a sequential run. Cells are deterministic
+// simulations, which makes this safe: parallelism changes wall-clock
+// time, never values.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: n if positive, otherwise
+// GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Do runs fn(i) for every i in [0,n) on up to workers goroutines. fn
+// must only write state owned by its index. Every cell runs even if one
+// panics; the panic with the lowest index is then re-raised in the
+// caller, so the surfaced failure does not depend on goroutine
+// scheduling and matches what a sequential loop would hit first.
+func Do(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		panicIdx = n
+		panicVal any
+	)
+	next.Store(-1)
+	cell := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				mu.Lock()
+				if i < panicIdx {
+					panicIdx, panicVal = i, r
+				}
+				mu.Unlock()
+			}
+		}()
+		fn(i)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				cell(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}
+
+// Map evaluates f(i) for i in [0,n) on up to workers goroutines and
+// returns the results in index order.
+func Map[T any](workers, n int, f func(i int) T) []T {
+	out := make([]T, n)
+	Do(workers, n, func(i int) { out[i] = f(i) })
+	return out
+}

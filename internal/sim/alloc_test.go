@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The hot-path allocation budget. The seed dispatcher boxed every event
+// through container/heap (~2 allocs per dispatch); the typed heap and
+// the Sleep fast path bring the steady state to zero.
+
+func TestScheduleZeroAllocSteadyState(t *testing.T) {
+	s := New()
+	p := &Proc{sim: s, name: "x"}
+	// Warm the heap's backing array, then assert the push/pop cycle
+	// allocates nothing at all.
+	for i := 0; i < 64; i++ {
+		s.schedule(p, float64(i))
+	}
+	for len(s.events) > 0 {
+		s.popEvent()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.schedule(p, 1)
+		s.popEvent()
+	})
+	if allocs != 0 {
+		t.Errorf("schedule+pop allocates %v per cycle, want 0", allocs)
+	}
+}
+
+func TestSleepSelfWakeAllocs(t *testing.T) {
+	// One process running 1024 self-wake sleeps: the whole simulation
+	// (spawn included) must stay within a small constant budget — the
+	// fast path itself must not allocate per event.
+	const sleeps = 1024
+	allocs := testing.AllocsPerRun(10, func() {
+		s := New()
+		s.Spawn("solo", func(sp *Proc) {
+			for k := 0; k < sleeps; k++ {
+				sp.Sleep(0.5)
+			}
+		})
+		if err := s.Run(); err != nil {
+			panic(err)
+		}
+	})
+	if allocs > 32 {
+		t.Errorf("self-wake run of %d sleeps allocates %v, want <= 32 (constant spawn overhead only)", sleeps, allocs)
+	}
+}
+
+func TestContendedDispatchAllocBound(t *testing.T) {
+	// 16 processes ping-ponging sleeps: >1000 dispatches through the
+	// heap. Per-event allocations must stay well below one — the seed
+	// dispatcher's boxing alone cost ~2 per event.
+	const procs, sleeps = 16, 64
+	var events uint64
+	allocs := testing.AllocsPerRun(10, func() {
+		s := New()
+		for p := 0; p < procs; p++ {
+			p := p
+			s.Spawn(fmt.Sprintf("p%d", p), func(sp *Proc) {
+				for k := 0; k < sleeps; k++ {
+					sp.Sleep(float64(1 + (p+k)%3))
+				}
+			})
+		}
+		if err := s.Run(); err != nil {
+			panic(err)
+		}
+		events = s.EventsProcessed()
+	})
+	if perEvent := allocs / float64(events); perEvent > 0.25 {
+		t.Errorf("contended run: %v allocs over %d events = %.3f/event, want <= 0.25", allocs, events, perEvent)
+	}
+}

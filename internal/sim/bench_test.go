@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkDispatch measures the scheduler's per-event cost in the
+// contended regime: 16 processes ping-ponging short sleeps so nearly
+// every dispatch hands the token to a different process.
+func BenchmarkDispatch(b *testing.B) {
+	const procs = 16
+	b.ReportAllocs()
+	events := 0
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for p := 0; p < procs; p++ {
+			p := p
+			s.Spawn(fmt.Sprintf("p%d", p), func(sp *Proc) {
+				for k := 0; k < 64; k++ {
+					sp.Sleep(float64(1 + (p+k)%3))
+				}
+			})
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+		events = int(s.EventsProcessed())
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*events), "ns/event")
+}
+
+// BenchmarkDispatchSelfWake measures the dominant pattern of the kernel
+// hot path: one process advancing through a long run of sleeps with no
+// competing event, the case the optimised scheduler short-circuits.
+func BenchmarkDispatchSelfWake(b *testing.B) {
+	b.ReportAllocs()
+	const sleeps = 1024
+	for i := 0; i < b.N; i++ {
+		s := New()
+		s.Spawn("solo", func(sp *Proc) {
+			for k := 0; k < sleeps; k++ {
+				sp.Sleep(0.5)
+			}
+		})
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*sleeps), "ns/event")
+}
+
+// BenchmarkSchedule measures the raw event-heap push/pop cycle.
+func BenchmarkSchedule(b *testing.B) {
+	b.ReportAllocs()
+	s := New()
+	p := &Proc{sim: s, name: "x"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.schedule(p, float64(i%64))
+		s.popEvent()
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"camc/internal/core"
 	"camc/internal/measure"
 	"camc/internal/mpi"
+	"camc/internal/par"
 )
 
 // Entry maps one message-size bucket to its winning algorithm.
@@ -111,6 +112,11 @@ type Config struct {
 	// ProbeSizes are the bucket boundaries; defaults to 1K..4M powers of
 	// four (1K, 4K, 16K, 64K, 256K, 1M, 4M).
 	ProbeSizes []int64
+	// Jobs caps the worker goroutines probing (candidate, size) cells
+	// (0 = GOMAXPROCS, 1 = sequential). Each probe is an independent
+	// deterministic simulation, so the resulting table is identical for
+	// any value.
+	Jobs int
 }
 
 func (c Config) withDefaults(a *arch.Profile) Config {
@@ -239,7 +245,8 @@ func Autotune(a *arch.Profile, cfg Config) *Table {
 	return t
 }
 
-// measureKind returns latencies[candidate][probeSize].
+// measureKind returns latencies[candidate][probeSize], probing the
+// (candidate, size) grid on a worker pool.
 func measureKind(a *arch.Profile, kind core.Kind, cands []core.Algorithm, cfg Config) [][]float64 {
 	mKind := kind
 	if kind == core.KindReduce {
@@ -247,12 +254,13 @@ func measureKind(a *arch.Profile, kind core.Kind, cands []core.Algorithm, cfg Co
 		mKind = core.KindGather
 	}
 	out := make([][]float64, len(cands))
-	for ci, c := range cands {
+	for ci := range cands {
 		out[ci] = make([]float64, len(cfg.ProbeSizes))
-		for si, size := range cfg.ProbeSizes {
-			out[ci][si] = measure.Collective(a, mKind, c.Run, size, measure.Options{Procs: cfg.Procs})
-		}
 	}
+	par.Do(par.Workers(cfg.Jobs), len(cands)*len(cfg.ProbeSizes), func(i int) {
+		ci, si := i/len(cfg.ProbeSizes), i%len(cfg.ProbeSizes)
+		out[ci][si] = measure.Collective(a, mKind, cands[ci].Run, cfg.ProbeSizes[si], measure.Options{Procs: cfg.Procs})
+	})
 	return out
 }
 

@@ -1,6 +1,7 @@
 package tuner
 
 import (
+	"bytes"
 	"math"
 	"strings"
 	"testing"
@@ -155,5 +156,22 @@ func TestTunedReduceCorrectViaTable(t *testing.T) {
 		if got[j] != want {
 			t.Fatalf("offset %d: got %d want %d", j, got[j], want)
 		}
+	}
+}
+
+// TestAutotuneParallelMatchesSequential checks that the probe worker
+// pool never changes the tuned table: Jobs=8 renders byte-identical to
+// Jobs=1.
+func TestAutotuneParallelMatchesSequential(t *testing.T) {
+	render := func(jobs int) string {
+		cfg := fastCfg
+		cfg.Jobs = jobs
+		var buf bytes.Buffer
+		Autotune(arch.KNL(), cfg).Fprint(&buf)
+		return buf.String()
+	}
+	seq, par := render(1), render(8)
+	if seq != par {
+		t.Fatalf("tables differ:\n--- j1 ---\n%s--- j8 ---\n%s", seq, par)
 	}
 }

@@ -24,8 +24,9 @@ go test ./...
 
 # The simulator hands the scheduler token between goroutines and the
 # trace recorder piggybacks on that happens-before edge instead of
-# locking; the race detector proves the edge is real.
-echo '== go test -race ./internal/sim/... ./internal/trace/...'
-go test -race ./internal/sim/... ./internal/trace/...
+# locking; the sweep engine fans cells out across a worker pool. The
+# race detector proves those happens-before edges are real.
+echo '== go test -race ./internal/sim/... ./internal/trace/... ./internal/par/...'
+go test -race ./internal/sim/... ./internal/trace/... ./internal/par/...
 
 echo 'verify: OK'
