@@ -7,6 +7,8 @@
 //	camc-bench -run fig7
 //	camc-bench -run fig7,fig8,tab6 -j 8
 //	camc-bench -run fig7 -arch knl -quick
+//	camc-bench -run x8 -faults heavy
+//	camc-bench -run x8 -faults partial=0.3,eagain=0.5,seed=7
 //	camc-bench -run all
 //	camc-bench -all
 package main
@@ -14,34 +16,56 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"camc/internal/arch"
 	"camc/internal/bench"
+	"camc/internal/fault"
 	"camc/internal/trace"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, runs the selected
+// experiments to stdout, and returns the process exit code (0 success,
+// 2 usage error, 1 runtime failure).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("camc-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		list   = flag.Bool("list", false, "list available experiments")
-		run    = flag.String("run", "", "experiment id(s) to run: one id (fig7), a comma-separated list (fig7,tab6), or all")
-		all    = flag.Bool("all", false, "run every experiment")
-		archF  = flag.String("arch", "", "restrict to one architecture: knl, broadwell, power8")
-		quick  = flag.Bool("quick", false, "reduced sweeps (faster, same shapes)")
-		jobs   = flag.Int("j", 0, "worker goroutines for experiment cells (0 = GOMAXPROCS; output is identical for any value)")
-		format = flag.String("format", "table", "output format: table, plot, csv")
-		traceF = flag.String("trace", "", "trace the algorithm-comparison measurements (figs 7-11) and write the last cell's Chrome JSON here")
+		list   = fs.Bool("list", false, "list available experiments")
+		runF   = fs.String("run", "", "experiment id(s) to run: one id (fig7), a comma-separated list (fig7,tab6), or all")
+		all    = fs.Bool("all", false, "run every experiment")
+		archF  = fs.String("arch", "", "restrict to one architecture: knl, broadwell, power8")
+		quick  = fs.Bool("quick", false, "reduced sweeps (faster, same shapes)")
+		jobs   = fs.Int("j", 0, "worker goroutines for experiment cells (0 = GOMAXPROCS; output is identical for any value)")
+		format = fs.String("format", "table", "output format: table, plot, csv")
+		traceF = fs.String("trace", "", "trace the algorithm-comparison measurements (figs 7-11) and write the last cell's Chrome JSON here")
+		faults = fs.String("faults", "", "add a custom fault scenario to x8: a preset (none/light/moderate/heavy) and/or key=value overrides, e.g. heavy or partial=0.3,eagain=0.5,seed=7")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *archF != "" {
 		if _, err := arch.ByName(*archF); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "%v (use -arch knl, broadwell, or power8)\n", err)
+			return 2
 		}
 	}
 	opts := bench.Options{Arch: *archF, Quick: *quick, Jobs: *jobs}
+	if *faults != "" {
+		cfg, err := fault.Parse(*faults)
+		if err != nil {
+			fmt.Fprintf(stderr, "%v\nusage: -faults <preset>[,key=value...], e.g. -faults heavy or -faults partial=0.3,seed=7\n", err)
+			return 2
+		}
+		opts.Fault = &cfg
+	}
 	var lastRec *trace.Recorder
 	var lastLabel string
 	if *traceF != "" {
@@ -50,20 +74,20 @@ func main() {
 		}
 		defer func() {
 			if lastRec == nil {
-				fmt.Fprintln(os.Stderr, "trace: no traced measurement ran (only figs 7-11 are traceable)")
+				fmt.Fprintln(stderr, "trace: no traced measurement ran (only figs 7-11 are traceable)")
 				return
 			}
 			f, err := os.Create(*traceF)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				fmt.Fprintln(stderr, err)
 				return
 			}
 			defer f.Close()
 			if err := trace.WriteChrome(f, lastRec); err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				fmt.Fprintln(stderr, err)
 				return
 			}
-			fmt.Printf("trace: wrote %s (%s; load in chrome://tracing or ui.perfetto.dev)\n", *traceF, lastLabel)
+			fmt.Fprintf(stdout, "trace: wrote %s (%s; load in chrome://tracing or ui.perfetto.dev)\n", *traceF, lastLabel)
 		}()
 	}
 	var f bench.Format
@@ -75,40 +99,41 @@ func main() {
 	case "csv":
 		f = bench.FormatCSV
 	default:
-		fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown format %q (use -format table, plot, or csv)\n", *format)
+		return 2
 	}
 	var exps []*bench.Experiment
 	switch {
 	case *list:
 		for _, e := range bench.Registry() {
-			fmt.Printf("%-7s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-7s %s\n", e.ID, e.Title)
 		}
-		return
-	case *all || *run == "all":
+		return 0
+	case *all || *runF == "all":
 		exps = bench.Registry()
-	case *run != "":
-		for _, id := range strings.Split(*run, ",") {
+	case *runF != "":
+		for _, id := range strings.Split(*runF, ",") {
 			id = strings.TrimSpace(id)
 			if id == "" {
 				continue
 			}
 			e, ok := bench.ByID(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "unknown experiment %q; use -list\n", id)
+				return 2
 			}
 			exps = append(exps, e)
 		}
 	}
 	if len(exps) == 0 {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 	for _, e := range exps {
-		if err := e.RunFormat(os.Stdout, opts, f); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-			os.Exit(1)
+		if err := e.RunFormat(stdout, opts, f); err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", e.ID, err)
+			return 1
 		}
 	}
+	return 0
 }

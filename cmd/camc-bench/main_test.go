@@ -1,0 +1,126 @@
+package main
+
+// Golden-file tests pin the exact text tables camc-bench prints — the
+// experiment output is deterministic by design (virtual time, seeded
+// fault plans, order-independent parallel cells), so any byte of drift
+// is a real behaviour change. Regenerate after an intentional change
+// with:
+//
+//	go test ./cmd/camc-bench -run TestGolden -update
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+// goldenCases keeps to quick/static experiments so the tier-1 suite
+// stays fast: the x8 robustness sweep (with an explicit -j to prove the
+// output is identical under parallel cell evaluation), the static tab5
+// hardware table, and the fig5 contention-factor fit.
+var goldenCases = []struct {
+	name string
+	args []string
+}{
+	{"x8_quick", []string{"-run", "x8", "-quick", "-j", "3"}},
+	{"tab5", []string{"-run", "tab5"}},
+	{"fig5_quick", []string{"-run", "fig5", "-quick"}},
+}
+
+func TestGolden(t *testing.T) {
+	for _, tc := range goldenCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+			}
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, stdout.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create it)", err)
+			}
+			if !bytes.Equal(stdout.Bytes(), want) {
+				t.Fatalf("output differs from %s (rerun with -update if intentional)\n--- got ---\n%s", path, stdout.String())
+			}
+		})
+	}
+}
+
+// TestGoldenJobsInvariance reruns the x8 golden sequentially: the same
+// bytes must come out at -j 1 as at -j 3, the user-visible face of the
+// per-cell fault-plan isolation.
+func TestGoldenJobsInvariance(t *testing.T) {
+	var seq, par bytes.Buffer
+	if code := run([]string{"-run", "x8", "-quick", "-j", "1"}, &seq, &par); code != 0 {
+		t.Fatalf("exit %d: %s", code, par.String())
+	}
+	par.Reset()
+	var stderr bytes.Buffer
+	if code := run([]string{"-run", "x8", "-quick", "-j", "3"}, &par, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Fatal("x8 output differs between -j 1 and -j 3")
+	}
+}
+
+// Flag-validation coverage: every malformed invocation must exit
+// non-zero with a hint on stderr, never panic or silently no-op.
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		hint string // substring stderr must contain
+	}{
+		{"unknown_run", []string{"-run", "fig99"}, "use -list"},
+		{"bad_arch", []string{"-run", "tab5", "-arch", "sparc"}, "-arch knl, broadwell, or power8"},
+		{"bad_format", []string{"-run", "tab5", "-format", "xml"}, "-format table, plot, or csv"},
+		{"bad_fault_preset", []string{"-run", "x8", "-faults", "catastrophic"}, "usage: -faults"},
+		{"bad_fault_key", []string{"-run", "x8", "-faults", "partial=0.3,bogus=1"}, "usage: -faults"},
+		{"bad_fault_value", []string{"-run", "x8", "-faults", "partial=high"}, "usage: -faults"},
+		{"no_experiments", []string{}, "Usage"},
+		{"undefined_flag", []string{"-frobnicate"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2; stderr: %s", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.hint) {
+				t.Fatalf("stderr missing hint %q:\n%s", tc.hint, stderr.String())
+			}
+		})
+	}
+}
+
+// TestListSucceeds pins the one flag that must keep working for the
+// hints above to be actionable.
+func TestListSucceeds(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	for _, id := range []string{"fig7", "tab6", "x8"} {
+		if !strings.Contains(stdout.String(), id) {
+			t.Fatalf("-list output missing %s:\n%s", id, stdout.String())
+		}
+	}
+}

@@ -9,23 +9,31 @@
 //	camc-trace -run fig7 -arch knl -size 1M -algo throttled:4 -out trace.json -critical-path
 //	camc-trace -run bcast -arch broadwell -size 256K -algo knomial-read:5 -summary
 //	camc-trace -run fig9 -size 64K -algo pairwise-cma-coll -locks -util
+//	camc-trace -run scatter -faults heavy -summary
 //
 // -run accepts either the figure id of the algorithm-comparison
 // experiments (fig7 Scatter, fig8 Gather, fig9 Alltoall, fig10
 // Allgather, fig11 Bcast) or the collective name itself. -algo accepts
 // the specs documented on core.LookupAlgorithm ("tuned" by default).
+// -faults attaches a deterministic fault-injection plan (see
+// internal/fault); injected faults and degraded-mode reactions appear
+// in the timeline under the "fault" category and are tallied after the
+// run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"camc/internal/arch"
 	"camc/internal/bench"
 	"camc/internal/core"
+	"camc/internal/fault"
 	"camc/internal/measure"
 	"camc/internal/trace"
 )
@@ -63,42 +71,88 @@ func parseSize(s string) (int64, error) {
 	return v * mult, nil
 }
 
-func main() {
-	var (
-		run      = flag.String("run", "fig7", "figure id (fig7..fig11) or collective name")
-		archF    = flag.String("arch", "knl", "architecture: knl, broadwell, power8")
-		sizeF    = flag.String("size", "1M", "per-rank message size (K/M suffixes)")
-		algoF    = flag.String("algo", "tuned", "algorithm spec (see core.LookupAlgorithm)")
-		procs    = flag.Int("procs", 0, "ranks (0 = architecture default, full subscription)")
-		iters    = flag.Int("iters", 1, "timed invocations")
-		out      = flag.String("out", "", "write Chrome trace-event JSON to this file")
-		critPath = flag.Bool("critical-path", false, "print the critical path per invocation")
-		locks    = flag.Bool("locks", false, "print the mm-lock contention timeline")
-		util     = flag.Bool("util", false, "print the per-rank utilisation decomposition")
-		summary  = flag.Bool("summary", false, "print the full text summary")
-		benchF   = flag.Bool("bench", false, "run the whole bench experiment traced (slow); -out gets the last cell")
-	)
-	flag.Parse()
+// faultTally prints the injected-fault instants recorded in the trace,
+// grouped by event name — the CLI's view of what the plan did.
+func faultTally(w io.Writer, rec *trace.Recorder) {
+	counts := map[string]int{}
+	for _, e := range rec.Events() {
+		if e.Kind == trace.KindInstant && e.Cat == trace.CatFault {
+			counts[e.Name]++
+		}
+	}
+	if len(counts) == 0 {
+		fmt.Fprintln(w, "faults: none fired (plan active but no decision hit)")
+		return
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprint(w, "faults:")
+	for _, n := range names {
+		fmt.Fprintf(w, " %s=%d", n, counts[n])
+	}
+	fmt.Fprintln(w)
+}
 
-	kind, err := runKind(*run)
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, traces the requested
+// run to stdout, and returns the process exit code (0 success, 2 usage
+// error, 1 runtime failure).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("camc-trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		runF     = fs.String("run", "fig7", "figure id (fig7..fig11) or collective name")
+		archF    = fs.String("arch", "knl", "architecture: knl, broadwell, power8")
+		sizeF    = fs.String("size", "1M", "per-rank message size (K/M suffixes)")
+		algoF    = fs.String("algo", "tuned", "algorithm spec (see core.LookupAlgorithm)")
+		procs    = fs.Int("procs", 0, "ranks (0 = architecture default, full subscription)")
+		iters    = fs.Int("iters", 1, "timed invocations")
+		out      = fs.String("out", "", "write Chrome trace-event JSON to this file")
+		critPath = fs.Bool("critical-path", false, "print the critical path per invocation")
+		locks    = fs.Bool("locks", false, "print the mm-lock contention timeline")
+		util     = fs.Bool("util", false, "print the per-rank utilisation decomposition")
+		summary  = fs.Bool("summary", false, "print the full text summary")
+		benchF   = fs.Bool("bench", false, "run the whole bench experiment traced (slow); -out gets the last cell")
+		faults   = fs.String("faults", "", "attach a fault-injection plan: a preset (none/light/moderate/heavy) and/or key=value overrides, e.g. heavy or partial=0.3,seed=7")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	kind, err := runKind(*runF)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "%v\n", err)
+		return 2
 	}
 	prof, err := arch.ByName(*archF)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "%v (use -arch knl, broadwell, or power8)\n", err)
+		return 2
 	}
 	size, err := parseSize(*sizeF)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "%v\n", err)
+		return 2
 	}
 	algo, err := core.LookupAlgorithm(kind, *algoF)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "%v (see core.LookupAlgorithm for specs)\n", err)
+		return 2
+	}
+	var faultCfg *fault.Config
+	if *faults != "" {
+		cfg, err := fault.Parse(*faults)
+		if err != nil {
+			fmt.Fprintf(stderr, "%v\nusage: -faults <preset>[,key=value...], e.g. -faults heavy or -faults partial=0.3,seed=7\n", err)
+			return 2
+		}
+		faultCfg = &cfg
 	}
 
 	var lat float64
@@ -106,64 +160,68 @@ func main() {
 	if *benchF {
 		// Trace every cell of the figure's sweep; keep the one matching
 		// the requested size and algorithm (or the last cell seen).
-		e, ok := bench.ByID(*run)
+		e, ok := bench.ByID(*runF)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "-bench requires a figure id, got %q\n", *run)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "-bench requires a figure id, got %q\n", *runF)
+			return 2
 		}
-		o := bench.Options{Arch: prof.Name, TraceSink: func(archName, algoName string, sz int64, r *trace.Recorder) {
+		o := bench.Options{Arch: prof.Name, Fault: faultCfg, TraceSink: func(archName, algoName string, sz int64, r *trace.Recorder) {
 			if rec == nil || sz == size {
 				rec = r
 			}
 		}}
-		if err := e.Run(os.Stdout, o); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := e.Run(stdout, o); err != nil {
+			fmt.Fprintf(stderr, "%v\n", err)
+			return 1
 		}
 	} else {
-		lat, rec = measure.CollectiveTraced(prof, kind, algo.Run, size, measure.Options{Procs: *procs, Iters: *iters})
-		fmt.Printf("%s %s on %s, %s per rank: latency %.2f us (%d events recorded)\n",
+		lat, rec = measure.CollectiveTraced(prof, kind, algo.Run, size, measure.Options{Procs: *procs, Iters: *iters, Fault: faultCfg})
+		fmt.Fprintf(stdout, "%s %s on %s, %s per rank: latency %.2f us (%d events recorded)\n",
 			kind, algo.Name, prof.Name, *sizeF, lat, rec.Len())
+		if faultCfg != nil {
+			faultTally(stdout, rec)
+		}
 	}
 
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "%v\n", err)
+			return 1
 		}
 		if err := trace.WriteChrome(f, rec); err != nil {
 			f.Close()
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "%v\n", err)
+			return 1
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "%v\n", err)
+			return 1
 		}
-		fmt.Printf("wrote %s (load in chrome://tracing or ui.perfetto.dev)\n", *out)
+		fmt.Fprintf(stdout, "wrote %s (load in chrome://tracing or ui.perfetto.dev)\n", *out)
 	}
 	if *summary {
-		trace.WriteSummary(os.Stdout, rec)
+		trace.WriteSummary(stdout, rec)
 	}
 	if *critPath {
 		for _, cp := range trace.CriticalPaths(rec) {
-			trace.WriteCriticalPath(os.Stdout, &cp)
+			trace.WriteCriticalPath(stdout, &cp)
 		}
 	}
 	if *locks && !*summary {
 		for _, st := range trace.LockTimelines(rec) {
-			fmt.Printf("lane %d: held %.2fus, max concurrency %d, max queue %d\n",
+			fmt.Fprintf(stdout, "lane %d: held %.2fus, max concurrency %d, max queue %d\n",
 				st.Lane, st.HeldTime, st.MaxConc, st.MaxQueue)
 		}
 	}
 	if *util && !*summary {
 		for _, u := range trace.Utilizations(rec) {
-			fmt.Printf("rank %3d: window %.2fus  syscall %.2f  lock %.2f  pin %.2f  copy %.2f  shmcopy %.2f  wait %.2f  other %.2f\n",
+			fmt.Fprintf(stdout, "rank %3d: window %.2fus  syscall %.2f  lock %.2f  pin %.2f  copy %.2f  shmcopy %.2f  wait %.2f  other %.2f\n",
 				u.Lane, u.Window, u.Syscall, u.Lock, u.Pin, u.Copy, u.ShmCopy, u.Wait, u.Other)
 		}
 	}
 	if *out == "" && !*summary && !*critPath && !*locks && !*util {
-		trace.WriteSummary(os.Stdout, rec)
+		trace.WriteSummary(stdout, rec)
 	}
+	return 0
 }

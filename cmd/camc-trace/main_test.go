@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Flag-validation coverage: malformed invocations exit 2 with a hint on
+// stderr; nothing panics or half-runs.
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		hint string
+	}{
+		{"unknown_run", []string{"-run", "fig99"}, "unknown run"},
+		{"bad_arch", []string{"-arch", "sparc"}, "-arch knl, broadwell, or power8"},
+		{"bad_size", []string{"-size", "huge"}, "bad size"},
+		{"bad_algo", []string{"-run", "scatter", "-algo", "quantum"}, "core.LookupAlgorithm"},
+		{"bad_fault_spec", []string{"-run", "scatter", "-faults", "partial=lots"}, "usage: -faults"},
+		{"bench_needs_figure", []string{"-run", "scatter", "-bench"}, "-bench requires a figure id"},
+		{"undefined_flag", []string{"-frobnicate"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2; stderr: %s", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.hint) {
+				t.Fatalf("stderr missing hint %q:\n%s", tc.hint, stderr.String())
+			}
+		})
+	}
+}
+
+// TestTraceRunsAndTalliesFaults smoke-tests the happy path with a fault
+// plan attached: exit 0, a latency line, and the injected-fault tally.
+func TestTraceRunsAndTalliesFaults(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-run", "scatter", "-arch", "broadwell", "-size", "64K",
+		"-procs", "8", "-algo", "throttled:4", "-faults", "heavy"}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "latency") {
+		t.Fatalf("missing latency line:\n%s", out)
+	}
+	if !strings.Contains(out, "faults:") {
+		t.Fatalf("missing fault tally:\n%s", out)
+	}
+}
+
+// TestTraceDeterministicOutput pins end-to-end CLI determinism on the
+// fault path: two invocations with the same flags print the same bytes.
+func TestTraceDeterministicOutput(t *testing.T) {
+	invoke := func() string {
+		var stdout, stderr bytes.Buffer
+		args := []string{"-run", "gather", "-size", "16K", "-procs", "6",
+			"-faults", "moderate", "-summary"}
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("exit %d: %s", code, stderr.String())
+		}
+		return stdout.String()
+	}
+	if a, b := invoke(), invoke(); a != b {
+		t.Fatal("camc-trace output differs between identical invocations")
+	}
+}

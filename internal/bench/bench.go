@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"camc/internal/arch"
+	"camc/internal/fault"
 	"camc/internal/trace"
 )
 
@@ -38,6 +39,11 @@ type Options struct {
 	// architecture, algorithm and message size. Latencies are unchanged
 	// (recording never perturbs virtual time).
 	TraceSink func(archName, algo string, size int64, rec *trace.Recorder)
+
+	// Fault, when non-nil and active, adds a "custom" scenario with this
+	// configuration to the x8 robustness experiment (the camc-bench
+	// -faults flag).
+	Fault *fault.Config
 }
 
 func (o Options) archs(defaults ...*arch.Profile) []*arch.Profile {

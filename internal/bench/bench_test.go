@@ -8,8 +8,25 @@ import (
 
 var quick = Options{Quick: true}
 
+// raceExpensive marks the experiments whose quick-mode sweeps are too
+// slow to re-run under the race detector on the single-CPU CI hosts
+// (each >=1s natively, ~10x that raced). They are skipped only in the
+// -race pass; the plain test run keeps full coverage.
+var raceExpensive = map[string]bool{
+	"fig9": true, "fig10": true, "fig15": true, "fig16": true,
+	"tab6": true, "tab7": true, "x5": true,
+}
+
+func skipIfRaceExpensive(t *testing.T, id string) {
+	t.Helper()
+	if raceDetectorOn && raceExpensive[id] {
+		t.Skipf("%s is too expensive under the race detector; covered by the non-race pass", id)
+	}
+}
+
 func tablesOf(t *testing.T, id string, o Options) []Table {
 	t.Helper()
+	skipIfRaceExpensive(t, id)
 	e, ok := ByID(id)
 	if !ok {
 		t.Fatalf("experiment %s not registered", id)
@@ -22,7 +39,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
 		"tab3", "tab4", "tab5", "tab6", "tab7",
-		"x1", "x2", "x3", "x4", "x5", "x6", "x7", // extensions
+		"x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", // extensions
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -525,6 +542,7 @@ func TestEveryExperimentRunsQuick(t *testing.T) {
 	for _, e := range Registry() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
+			skipIfRaceExpensive(t, e.ID)
 			if err := e.Run(io.Discard, quick); err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}

@@ -1,0 +1,11 @@
+//go:build !race
+
+package bench
+
+// raceDetectorOn reports whether this test binary was built with the
+// race detector (see race_on_test.go). The bench suite subsamples the
+// most expensive experiments under race: the detector costs ~10x on the
+// single-CPU CI hosts, and the concurrency machinery it checks (the
+// par worker pool, trace-sink serialization, per-cell fault plans) is
+// identical across experiments, so the cheap ones cover it.
+const raceDetectorOn = false

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"camc/internal/arch"
+	"camc/internal/fault"
 	"camc/internal/kernel"
 	"camc/internal/mpi"
 )
@@ -26,11 +27,19 @@ type fixture struct {
 // collective kind and fills send buffers with the pattern.
 func newFixture(t *testing.T, a *arch.Profile, p int, kind Kind, count int64) *fixture {
 	t.Helper()
+	return newFaultFixture(t, a, p, kind, count, nil)
+}
+
+// newFaultFixture is newFixture with an optional fault-injection plan
+// attached (nil = fault-free): the property and metamorphic suites use
+// it to assert faults never change which bytes land.
+func newFaultFixture(t *testing.T, a *arch.Profile, p int, kind Kind, count int64, fcfg *fault.Config) *fixture {
+	t.Helper()
 	mem := (8*int64(p) + 16) * (count + 4096)
 	if mem < 1<<20 {
 		mem = 1 << 20
 	}
-	c := mpi.New(mpi.Config{Arch: a, Procs: p, CopyData: true, MemPerProc: mem})
+	c := mpi.New(mpi.Config{Arch: a, Procs: p, CopyData: true, MemPerProc: mem, Fault: fcfg})
 	f := &fixture{comm: c, p: p, count: count}
 	for r := 0; r < p; r++ {
 		rank := c.Rank(r)
@@ -42,7 +51,7 @@ func newFixture(t *testing.T, a *arch.Profile, p int, kind Kind, count int64) *f
 			sendLen, recvLen = count, int64(p)*count
 		case KindAlltoall, KindAllgather:
 			sendLen, recvLen = int64(p)*count, int64(p)*count
-		case KindBcast:
+		case KindBcast, KindReduce:
 			sendLen, recvLen = count, count
 		}
 		sa := rank.Alloc(sendLen)
@@ -65,7 +74,7 @@ func newFixture(t *testing.T, a *arch.Profile, p int, kind Kind, count int64) *f
 					buf[int64(d)*count+i] = pattern(r, d, int(i))
 				}
 			}
-		case KindGather, KindAllgather, KindBcast:
+		case KindGather, KindAllgather, KindBcast, KindReduce:
 			buf := rank.OS.Bytes(sa, sendLen)
 			for i := int64(0); i < count; i++ {
 				buf[i] = pattern(r, 0, int(i))

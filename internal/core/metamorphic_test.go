@@ -1,0 +1,187 @@
+package core
+
+// Metamorphic relations over the fault-injection layer:
+//
+//  1. Payload invariance — a faulty run must land byte-for-byte the
+//     same receive buffers as the fault-free run of the same cell.
+//     Faults change when bytes move, never which bytes.
+//  2. Fault determinism — the same fault configuration replays the
+//     same virtual-time trajectory, the same injection counts and the
+//     same payloads (the whole plan is a pure function of its seed).
+//  3. Trace transparency — attaching a recorder to a faulty run
+//     changes nothing observable: same finish time, same payloads.
+//     This extends the suite's determinism guarantees (previously
+//     asserted only for fault-free runs) to the degraded paths.
+
+import (
+	"bytes"
+	"testing"
+
+	"camc/internal/arch"
+	"camc/internal/fault"
+	"camc/internal/mpi"
+	"camc/internal/trace"
+)
+
+// metamorphicFault is deliberately hostile: high transient and partial
+// rates with a minimal retry budget, so runs cross the exhaustion
+// threshold and finish some peers over the two-copy fallback path.
+func metamorphicFault(seed int64) *fault.Config {
+	return &fault.Config{
+		Seed:          seed,
+		PartialProb:   0.30,
+		TransientProb: 0.55,
+		LockSpikeProb: 0.10,
+		ShmStallProb:  0.10,
+		MaxRetries:    2,
+	}
+}
+
+// recvLen mirrors the fixture's receive-buffer sizing.
+func recvLen(kind Kind, p int, count int64) int64 {
+	switch kind {
+	case KindGather, KindAlltoall, KindAllgather:
+		return int64(p) * count
+	default: // scatter, bcast, reduce
+		return count
+	}
+}
+
+// recvSnapshot copies every rank's full receive buffer.
+func recvSnapshot(f *fixture, kind Kind) [][]byte {
+	out := make([][]byte, f.p)
+	n := recvLen(kind, f.p, f.count)
+	for r := 0; r < f.p; r++ {
+		out[r] = append([]byte(nil), f.comm.Rank(r).OS.Bytes(f.recv[r], n)...)
+	}
+	return out
+}
+
+// metamorphicCases spans every kind and both transfer directions; the
+// page-straddling odd count keeps partial completions in play.
+var metamorphicCases = []struct {
+	name string
+	kind Kind
+	algo string
+	p    int
+}{
+	{"scatter/throttle-3", KindScatter, "throttled:3", 7},
+	{"gather/throttle-3", KindGather, "throttled:3", 7},
+	{"bcast/knomial-read-3", KindBcast, "knomial-read:3", 8},
+	{"allgather/ring-source-read", KindAllgather, "ring-source-read", 6},
+	{"alltoall/pairwise", KindAlltoall, "pairwise", 6},
+}
+
+func metamorphicAlgo(t *testing.T, kind Kind, spec string) func(r *mpi.Rank, a Args) {
+	t.Helper()
+	al, err := LookupAlgorithm(kind, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return al.Run
+}
+
+func TestFaultyPayloadsEqualFaultFreePayloads(t *testing.T) {
+	a := arch.Broadwell()
+	count := 3*int64(a.PageSize) + 41
+	for _, tc := range metamorphicCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			algo := metamorphicAlgo(t, tc.kind, tc.algo)
+			clean := newFixture(t, a, tc.p, tc.kind, count)
+			clean.run(t, algo, 0)
+			clean.verify(t, tc.kind, 0)
+			want := recvSnapshot(clean, tc.kind)
+
+			faulty := newFaultFixture(t, a, tc.p, tc.kind, count, metamorphicFault(99))
+			faulty.run(t, algo, 0)
+			faulty.verify(t, tc.kind, 0)
+			got := recvSnapshot(faulty, tc.kind)
+
+			st := faulty.comm.FaultPlan().Stats()
+			if st.Transients+st.Partials == 0 {
+				t.Fatal("fault plan injected nothing; relation is vacuous")
+			}
+			for r := range want {
+				if !bytes.Equal(want[r], got[r]) {
+					t.Fatalf("rank %d: faulty payload differs from fault-free payload", r)
+				}
+			}
+		})
+	}
+}
+
+func TestFaultyRunsReplayBitIdentically(t *testing.T) {
+	a := arch.Broadwell()
+	count := 2*int64(a.PageSize) + 13
+	for _, tc := range metamorphicCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			algo := metamorphicAlgo(t, tc.kind, tc.algo)
+			run := func() (float64, fault.Stats, [][]byte) {
+				f := newFaultFixture(t, a, tc.p, tc.kind, count, metamorphicFault(7))
+				f.run(t, algo, 0)
+				f.verify(t, tc.kind, 0)
+				return f.comm.Sim.Now(), f.comm.FaultPlan().Stats(), recvSnapshot(f, tc.kind)
+			}
+			now1, st1, pay1 := run()
+			now2, st2, pay2 := run()
+			if now1 != now2 {
+				t.Fatalf("virtual finish time drifted: %g vs %g", now1, now2)
+			}
+			if st1 != st2 {
+				t.Fatalf("injection stats drifted:\n  %+v\n  %+v", st1, st2)
+			}
+			for r := range pay1 {
+				if !bytes.Equal(pay1[r], pay2[r]) {
+					t.Fatalf("rank %d: payload drifted between identical runs", r)
+				}
+			}
+		})
+	}
+}
+
+func TestTracedFaultyRunMatchesUntraced(t *testing.T) {
+	a := arch.Broadwell()
+	count := 2*int64(a.PageSize) + 13
+	for _, tc := range metamorphicCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			algo := metamorphicAlgo(t, tc.kind, tc.algo)
+			run := func(traced bool) (float64, fault.Stats, [][]byte, int) {
+				f := newFaultFixture(t, a, tc.p, tc.kind, count, metamorphicFault(23))
+				var rec *trace.Recorder
+				if traced {
+					rec = trace.NewUnbound()
+					f.comm.AttachTrace(rec)
+				}
+				f.run(t, algo, 0)
+				f.verify(t, tc.kind, 0)
+				events := 0
+				if rec != nil {
+					events = rec.Len()
+				}
+				return f.comm.Sim.Now(), f.comm.FaultPlan().Stats(), recvSnapshot(f, tc.kind), events
+			}
+			nowU, stU, payU, _ := run(false)
+			nowT, stT, payT, events := run(true)
+			if events == 0 {
+				t.Fatal("traced run recorded no events")
+			}
+			if nowU != nowT {
+				t.Fatalf("tracing perturbed the faulty run: %g vs %g us", nowU, nowT)
+			}
+			if stU != stT {
+				t.Fatalf("tracing changed injection decisions:\n  untraced %+v\n  traced   %+v", stU, stT)
+			}
+			for r := range payU {
+				if !bytes.Equal(payU[r], payT[r]) {
+					t.Fatalf("rank %d: tracing changed the payload", r)
+				}
+			}
+		})
+	}
+}

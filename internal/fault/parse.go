@@ -1,0 +1,134 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Presets name ready-made fault mixes for the CLIs and the x8
+// robustness experiment. "light" is survivable background noise;
+// "moderate" forces retries; "heavy" exhausts retry budgets and drives
+// per-peer fallbacks.
+var presets = map[string]Config{
+	"none": {Seed: 42},
+	"light": {
+		Seed: 42, PartialProb: 0.05, TransientProb: 0.02,
+		LockSpikeProb: 0.02, ShmStallProb: 0.02,
+	},
+	"moderate": {
+		Seed: 42, PartialProb: 0.15, TransientProb: 0.10,
+		LockSpikeProb: 0.05, ShmStallProb: 0.05,
+		StragglerProb: 0.15, StragglerSkew: 25,
+	},
+	"heavy": {
+		Seed: 42, PartialProb: 0.30, TransientProb: 0.60,
+		LockSpikeProb: 0.10, ShmStallProb: 0.10,
+		StragglerProb: 0.25, StragglerSkew: 50,
+		MaxRetries: 4,
+	},
+}
+
+// PresetNames returns the preset names in a stable order.
+func PresetNames() []string { return []string{"none", "light", "moderate", "heavy"} }
+
+// Preset returns a named fault mix.
+func Preset(name string) (Config, error) {
+	c, ok := presets[name]
+	if !ok {
+		return Config{}, fmt.Errorf("fault: unknown preset %q (want one of %s)",
+			name, strings.Join(PresetNames(), ", "))
+	}
+	return c, nil
+}
+
+// Parse builds a Config from a command-line spec: an optional preset
+// name followed by comma-separated key=value overrides, e.g.
+//
+//	heavy
+//	partial=0.2,eagain=0.1,seed=7
+//	moderate,straggler=0.5,skew=100
+//
+// Keys: seed, partial, eagain, lockspike, lockfactor, shmstall,
+// stalltime, straggler, skew, retries, backoff, backoffcap.
+// Probabilities must lie in [0, 1].
+func Parse(spec string) (Config, error) {
+	if strings.TrimSpace(spec) == "" {
+		return Config{}, fmt.Errorf("fault: empty spec (want a preset %s or key=value pairs)",
+			strings.Join(PresetNames(), "/"))
+	}
+	var cfg Config
+	cfg.Seed = 42
+	parts := strings.Split(spec, ",")
+	if c, err := Preset(strings.TrimSpace(parts[0])); err == nil {
+		cfg, parts = c, parts[1:]
+	}
+	for _, kv := range parts {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("fault: bad spec element %q (want key=value or a preset as the first element)", kv)
+		}
+		k = strings.TrimSpace(k)
+		v = strings.TrimSpace(v)
+		switch k {
+		case "seed", "retries":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("fault: bad integer %q for %s", v, k)
+			}
+			if k == "seed" {
+				cfg.Seed = n
+			} else {
+				if n < 1 {
+					return Config{}, fmt.Errorf("fault: retries must be >= 1, got %d", n)
+				}
+				cfg.MaxRetries = int(n)
+			}
+		default:
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 {
+				return Config{}, fmt.Errorf("fault: bad value %q for %s", v, k)
+			}
+			prob := func(dst *float64) error {
+				if f > 1 {
+					return fmt.Errorf("fault: probability %s=%g out of [0,1]", k, f)
+				}
+				*dst = f
+				return nil
+			}
+			var err2 error
+			switch k {
+			case "partial":
+				err2 = prob(&cfg.PartialProb)
+			case "eagain":
+				err2 = prob(&cfg.TransientProb)
+			case "lockspike":
+				err2 = prob(&cfg.LockSpikeProb)
+			case "shmstall":
+				err2 = prob(&cfg.ShmStallProb)
+			case "straggler":
+				err2 = prob(&cfg.StragglerProb)
+			case "lockfactor":
+				cfg.LockSpikeFactor = f
+			case "stalltime":
+				cfg.ShmStallTime = f
+			case "skew":
+				cfg.StragglerSkew = f
+			case "backoff":
+				cfg.BackoffBase = f
+			case "backoffcap":
+				cfg.BackoffCap = f
+			default:
+				return Config{}, fmt.Errorf("fault: unknown key %q in spec (keys: seed partial eagain lockspike lockfactor shmstall stalltime straggler skew retries backoff backoffcap)", k)
+			}
+			if err2 != nil {
+				return Config{}, err2
+			}
+		}
+	}
+	return cfg, nil
+}

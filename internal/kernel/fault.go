@@ -1,0 +1,164 @@
+package kernel
+
+import (
+	"fmt"
+
+	"camc/internal/sim"
+	"camc/internal/trace"
+)
+
+// TransientError is an EAGAIN-style syscall failure injected by the
+// node's fault plan: the CMA syscall bailed at entry (get_user_pages
+// under mm pressure), consuming the entry cost but moving no bytes.
+// Callers retry with backoff; see VMReadRetry.
+type TransientError struct {
+	CallerPID, TargetPID int
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("kernel: transient failure (EAGAIN) pid %d -> pid %d", e.CallerPID, e.TargetPID)
+}
+
+// ExhaustedError reports that a retried transfer ran out of its
+// zero-progress retry budget. Completed is how many payload bytes made
+// it before the kernel assist was abandoned; the caller is expected to
+// finish the remainder over a degraded path (BounceRead / BounceWrite).
+type ExhaustedError struct {
+	CallerPID, TargetPID int
+	Attempts             int
+	Completed            int64
+}
+
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("kernel: CMA pid %d -> pid %d gave up after %d zero-progress attempts (%d bytes completed)",
+		e.CallerPID, e.TargetPID, e.Attempts, e.Completed)
+}
+
+// vmRetry drives vmTransfer to full completion: short completions
+// resume from the completed offset at no budget cost (progress was
+// made), while transient failures sleep an exponential virtual-time
+// backoff and consume the plan's per-transfer retry budget. When the
+// budget is exhausted it returns ExhaustedError with the progress so
+// far; any other error is returned as-is.
+func (caller *Process) vmRetry(sp *sim.Proc, callerAddr Addr, remote *Process, remoteAddr Addr, size int64, read bool) (int64, error) {
+	n := caller.node
+	completed := int64(0)
+	attempts := 0
+	for completed < size {
+		_, got, err := n.vmTransfer(sp, caller,
+			callerAddr+Addr(completed), remote, remoteAddr+Addr(completed),
+			size-completed, size-completed, read)
+		completed += got
+		if err == nil {
+			continue // complete, or short with progress: resume for free
+		}
+		if _, ok := err.(*TransientError); !ok {
+			return completed, err
+		}
+		attempts++
+		if attempts >= n.fault.MaxRetries() {
+			return completed, &ExhaustedError{
+				CallerPID: caller.pid, TargetPID: remote.pid,
+				Attempts: attempts, Completed: completed,
+			}
+		}
+		d := n.fault.Backoff(attempts - 1)
+		if n.rec != nil {
+			n.rec.Instant(n.rec.LaneForPid(caller.pid), trace.CatFault, "fault_backoff",
+				trace.F("peer", float64(n.rec.LaneForPid(remote.pid))),
+				trace.F("attempt", float64(attempts)), trace.F("sleep", d))
+		}
+		sp.Sleep(d)
+	}
+	return completed, nil
+}
+
+// VMReadRetry is VMRead driven to full completion under an active fault
+// plan: short completions resume from the completed offset, transient
+// failures retry with exponential backoff in virtual time. It returns
+// the bytes completed, which is size unless the retry budget is
+// exhausted (ExhaustedError) or a hard error occurs.
+func (caller *Process) VMReadRetry(sp *sim.Proc, dst Addr, src *Process, srcAddr Addr, size int64) (int64, error) {
+	return caller.vmRetry(sp, dst, src, srcAddr, size, true)
+}
+
+// VMWriteRetry is the write-direction counterpart of VMReadRetry.
+func (caller *Process) VMWriteRetry(sp *sim.Proc, src Addr, dst *Process, dstAddr Addr, size int64) (int64, error) {
+	return caller.vmRetry(sp, src, dst, dstAddr, size, false)
+}
+
+// bounce is the degraded data path a rank falls back to when the kernel
+// assist against one peer keeps failing: a pre-mapped POSIX shm bounce
+// buffer, costed as the classic two-copy protocol (copy-in plus
+// copy-out per cell) with no syscall, no permission check and no mm
+// locking — which is exactly why it survives the injected CMA faults.
+// The caller performs both copies itself, so no peer cooperation is
+// needed (the peer mapped the segment at startup); both copy streams
+// are charged against the node's aggregate bandwidth and pay the
+// cross-socket penalty.
+func (caller *Process) bounce(sp *sim.Proc, callerAddr Addr, remote *Process, remoteAddr Addr, size int64, read bool) error {
+	n := caller.node
+	a := n.Arch
+	if err := n.checkRange(remote, remoteAddr, size); err != nil {
+		return err
+	}
+	if err := n.checkRange(caller, callerAddr, size); err != nil {
+		return err
+	}
+
+	span := trace.NoSpan
+	if n.rec != nil {
+		name := "bounce_read"
+		if !read {
+			name = "bounce_write"
+		}
+		span = n.rec.Begin(n.rec.LaneForPid(caller.pid), trace.CatFault, name,
+			trace.F("peer", float64(n.rec.LaneForPid(remote.pid))),
+			trace.F("bytes", float64(size)))
+	}
+
+	cell := int64(a.ShmCellSize)
+	beta := a.ShmCopyBeta()
+	socketMult := 1.0
+	if caller.socket != remote.socket {
+		socketMult = a.InterSocketBW
+	}
+	for off := int64(0); off < size; off += cell {
+		m := cell
+		if size-off < m {
+			m = size - off
+		}
+		// Two copies through the bounce cell, both executed by the
+		// caller: in and out each pay the per-cell overhead plus the
+		// bandwidth-shared per-byte cost.
+		n.BeginCopy()
+		ct := 2 * (a.ShmCellOverhead + float64(m)*n.EffPerByte(beta)*socketMult)
+		sp.Sleep(ct)
+		n.EndCopy()
+		if n.CopyData {
+			if read {
+				copy(caller.data[callerAddr+Addr(off):callerAddr+Addr(off+m)],
+					remote.data[remoteAddr+Addr(off):remoteAddr+Addr(off+m)])
+			} else {
+				copy(remote.data[remoteAddr+Addr(off):remoteAddr+Addr(off+m)],
+					caller.data[callerAddr+Addr(off):callerAddr+Addr(off+m)])
+			}
+		}
+	}
+	if n.rec != nil {
+		n.rec.End(span)
+	}
+	return nil
+}
+
+// BounceRead copies size bytes from src's address space into the
+// caller's over the degraded two-copy path (see bounce).
+func (caller *Process) BounceRead(sp *sim.Proc, dst Addr, src *Process, srcAddr Addr, size int64) error {
+	return caller.bounce(sp, dst, src, srcAddr, size, true)
+}
+
+// BounceWrite copies size bytes from the caller's address space into
+// dst's over the degraded two-copy path (see bounce).
+func (caller *Process) BounceWrite(sp *sim.Proc, src Addr, dst *Process, dstAddr Addr, size int64) error {
+	return caller.bounce(sp, src, dst, dstAddr, size, false)
+}

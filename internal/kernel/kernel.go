@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"camc/internal/arch"
+	"camc/internal/fault"
 	"camc/internal/sim"
 	"camc/internal/trace"
 )
@@ -63,6 +64,7 @@ type Node struct {
 
 	trace *Trace          // optional breakdown accounting, nil when disabled
 	rec   *trace.Recorder // optional structured event recorder, nil when disabled
+	fault *fault.Plan     // optional fault-injection plan, nil when disabled
 }
 
 // NewNode creates a node on the given simulation for the given
@@ -119,6 +121,16 @@ func (n *Node) SetRecorder(rec *trace.Recorder) {
 // Recorder returns the attached structured recorder (nil when tracing
 // is disabled).
 func (n *Node) Recorder() *trace.Recorder { return n.rec }
+
+// SetFaultPlan attaches a fault-injection plan to the node. A nil plan
+// (the default) disables injection entirely; every injection site is
+// nil-guarded, so fault-free runs are cost-identical to builds that
+// predate the fault layer.
+func (n *Node) SetFaultPlan(p *fault.Plan) { n.fault = p }
+
+// FaultPlan returns the attached fault plan (nil when injection is
+// disabled).
+func (n *Node) FaultPlan() *fault.Plan { return n.fault }
 
 // Procs returns the processes spawned on this node, in pid order.
 func (n *Node) Procs() []*Process { return n.procs }
@@ -247,13 +259,23 @@ func (e *PermissionError) Error() string {
 // (Table III): permission is checked only when remoteBytes > 0, pages
 // are locked+pinned for Pages(remoteBytes), and min(localBytes,
 // remoteBytes) bytes are copied.
-func (n *Node) vmTransfer(sp *sim.Proc, caller *Process, callerAddr Addr, remote *Process, remoteAddr Addr, localBytes, remoteBytes int64, read bool) (Breakdown, error) {
+//
+// The second return value is the number of payload bytes completed.
+// Like the real syscalls, a transfer can return short of the requested
+// count with a nil error when the attached fault plan injects a partial
+// completion; callers that need the full count resume from the
+// completed offset (see VMReadRetry / VMWriteRetry).
+func (n *Node) vmTransfer(sp *sim.Proc, caller *Process, callerAddr Addr, remote *Process, remoteAddr Addr, localBytes, remoteBytes int64, read bool) (Breakdown, int64, error) {
 	if n.mechanism == MechXPMEM {
 		size := localBytes
 		if remoteBytes < size {
 			size = remoteBytes
 		}
-		return n.xpmemTransfer(sp, caller, callerAddr, remote, remoteAddr, size, read)
+		bd, err := n.xpmemTransfer(sp, caller, callerAddr, remote, remoteAddr, size, read)
+		if err != nil {
+			return bd, 0, err
+		}
+		return bd, size, nil
 	}
 	var bd Breakdown
 	a := n.Arch
@@ -280,7 +302,19 @@ func (n *Node) vmTransfer(sp *sim.Proc, caller *Process, callerAddr Addr, remote
 	sp.Sleep(bd.Syscall)
 	if remoteBytes <= 0 {
 		n.record(span, bd, 0)
-		return bd, nil
+		return bd, 0, nil
+	}
+
+	// Injected transient failure: the syscall bails right after entry
+	// (get_user_pages hitting mm pressure), consuming the entry cost but
+	// moving nothing. Callers treat it like EAGAIN and retry.
+	if n.fault.Transient(caller.pid, remote.pid) {
+		if n.rec != nil {
+			n.rec.Instant(callerLane, trace.CatFault, "fault_eagain",
+				trace.F("peer", float64(remoteLane)))
+		}
+		n.abortSpan(span, bd)
+		return bd, 0, &TransientError{CallerPID: caller.pid, TargetPID: remote.pid}
 	}
 
 	// Phase 2: permission check (CMA uses the ptrace access model; the
@@ -289,7 +323,7 @@ func (n *Node) vmTransfer(sp *sim.Proc, caller *Process, callerAddr Addr, remote
 	sp.Sleep(bd.PermCheck)
 	if caller.uid != remote.uid {
 		n.record(span, bd, 0)
-		return bd, &PermissionError{CallerPID: caller.pid, TargetPID: remote.pid}
+		return bd, 0, &PermissionError{CallerPID: caller.pid, TargetPID: remote.pid}
 	}
 
 	copyBytes := localBytes
@@ -298,12 +332,12 @@ func (n *Node) vmTransfer(sp *sim.Proc, caller *Process, callerAddr Addr, remote
 	}
 	if err := n.checkRange(remote, remoteAddr, remoteBytes); err != nil {
 		n.abortSpan(span, bd)
-		return bd, err
+		return bd, 0, err
 	}
 	if copyBytes > 0 {
 		if err := n.checkRange(caller, callerAddr, copyBytes); err != nil {
 			n.abortSpan(span, bd)
-			return bd, err
+			return bd, 0, err
 		}
 	}
 
@@ -351,6 +385,13 @@ func (n *Node) vmTransfer(sp *sim.Proc, caller *Process, callerAddr Addr, remote
 			n.rec.Instant(remoteLane, trace.CatLock, "mm_lock_acquire",
 				trace.F("holder", float64(callerLane)), trace.F("pages", float64(cp)), trace.F("c", float64(c)))
 		}
+		// Injected mm-lock stall spike: the holder hits a page-table walk
+		// or direct-reclaim stall, inflating this chunk's lock cost.
+		spike := n.fault.LockSpike(caller.pid, remote.pid)
+		if spike > 1 && n.rec != nil {
+			n.rec.Instant(remoteLane, trace.CatFault, "fault_lock_spike",
+				trace.F("holder", float64(callerLane)), trace.F("factor", spike))
+		}
 		if n.EmergentLock {
 			// Explicit FIFO mm lock: acquire once per page, hold for the
 			// lock portion of l. Wait time is emergent queueing delay.
@@ -367,7 +408,7 @@ func (n *Node) vmTransfer(sp *sim.Proc, caller *Process, callerAddr Addr, remote
 			lockStart := n.Sim.Now()
 			for pg := int64(0); pg < cp; pg++ {
 				remote.mmLock.Lock(sp)
-				sp.Sleep(lockCost)
+				sp.Sleep(lockCost * spike)
 				remote.mmLock.Unlock()
 			}
 			bd.Lock += n.Sim.Now() - lockStart
@@ -380,7 +421,7 @@ func (n *Node) vmTransfer(sp *sim.Proc, caller *Process, callerAddr Addr, remote
 				n.rec.Instant(callerLane, trace.CatCMA, "gamma",
 					trace.F("gamma", gamma), trace.F("c", float64(c)), trace.F("page", float64(page)))
 			}
-			lt := float64(cp) * lockCost * gamma
+			lt := float64(cp) * lockCost * gamma * spike
 			pt := float64(cp) * pinCost
 			bd.Lock += lt
 			bd.Pin += pt
@@ -417,13 +458,25 @@ func (n *Node) vmTransfer(sp *sim.Proc, caller *Process, callerAddr Addr, remote
 			}
 			copied += todo
 		}
+
+		// Injected short completion: the syscall returns after this chunk
+		// (memory pressure truncating the iovec walk). It only fires while
+		// chunks remain, so injection never turns an already-complete
+		// transfer into a short one.
+		if page+chunk < pages && n.fault.PartialCut(caller.pid, remote.pid) {
+			if n.rec != nil {
+				n.rec.Instant(callerLane, trace.CatFault, "fault_partial",
+					trace.F("peer", float64(remoteLane)), trace.F("completed", float64(copied)))
+			}
+			break
+		}
 	}
 	remote.mmInFlight--
 	if n.rec != nil {
 		n.rec.Counter(remoteLane, trace.CatLock, trace.CounterInFlight, float64(remote.mmInFlight))
 	}
 	n.record(span, bd, maxC)
-	return bd, nil
+	return bd, copied, nil
 }
 
 func min64(a, b int64) int64 {
@@ -474,16 +527,19 @@ func (n *Node) abortSpan(span trace.SpanID, bd Breakdown) {
 }
 
 // VMRead is process_vm_readv: the caller copies size bytes from src's
-// address space into its own. src's mm is the contended one.
+// address space into its own. src's mm is the contended one. Under an
+// active fault plan the transfer can complete short or fail
+// transiently; callers that need the full count use VMReadRetry.
 func (caller *Process) VMRead(sp *sim.Proc, dst Addr, src *Process, srcAddr Addr, size int64) error {
-	_, err := caller.node.vmTransfer(sp, caller, dst, src, srcAddr, size, size, true)
+	_, _, err := caller.node.vmTransfer(sp, caller, dst, src, srcAddr, size, size, true)
 	return err
 }
 
 // VMWrite is process_vm_writev: the caller copies size bytes from its own
-// address space into dst's. dst's mm is the contended one.
+// address space into dst's. dst's mm is the contended one. Like VMRead,
+// fault-plan short completions are surfaced only via VMWriteRetry.
 func (caller *Process) VMWrite(sp *sim.Proc, src Addr, dst *Process, dstAddr Addr, size int64) error {
-	_, err := caller.node.vmTransfer(sp, caller, src, dst, dstAddr, size, size, false)
+	_, _, err := caller.node.vmTransfer(sp, caller, src, dst, dstAddr, size, size, false)
 	return err
 }
 
@@ -491,7 +547,8 @@ func (caller *Process) VMWrite(sp *sim.Proc, src Addr, dst *Process, dstAddr Add
 // and remoteBytes select which syscall phases execute (see vmTransfer).
 // It returns the per-phase breakdown.
 func (caller *Process) VMReadPartial(sp *sim.Proc, dst Addr, src *Process, srcAddr Addr, localBytes, remoteBytes int64) (Breakdown, error) {
-	return caller.node.vmTransfer(sp, caller, dst, src, srcAddr, localBytes, remoteBytes, true)
+	bd, _, err := caller.node.vmTransfer(sp, caller, dst, src, srcAddr, localBytes, remoteBytes, true)
+	return bd, err
 }
 
 // Combine models an elementwise reduction combine dst[i] += src[i]

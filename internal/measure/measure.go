@@ -10,6 +10,7 @@ import (
 
 	"camc/internal/arch"
 	"camc/internal/core"
+	"camc/internal/fault"
 	"camc/internal/kernel"
 	"camc/internal/mpi"
 	"camc/internal/trace"
@@ -31,6 +32,12 @@ type Options struct {
 	// schedules into contended ones.
 	SkewSeed int64
 	MaxSkew  float64
+
+	// Fault, when non-nil and active, attaches a deterministic
+	// fault-injection plan (see internal/fault): the measured latency
+	// then includes retries, backoff, straggler delays and degraded-path
+	// traffic, while payloads stay exact.
+	Fault *fault.Config
 }
 
 // Collective returns the latency in microseconds of one collective
@@ -69,8 +76,9 @@ func collective(a *arch.Profile, kind core.Kind, algo func(*mpi.Rank, core.Args)
 			mem = 1 << 22
 		}
 	}
-	c := mpi.New(mpi.Config{Arch: a, Procs: procs, CopyData: false, MemPerProc: mem, Mechanism: opts.Mechanism})
+	c := mpi.New(mpi.Config{Arch: a, Procs: procs, CopyData: false, MemPerProc: mem, Mechanism: opts.Mechanism, Fault: opts.Fault})
 	c.AttachTrace(rec)
+	plan := c.FaultPlan()
 	var skew []float64
 	if opts.SkewSeed != 0 && opts.MaxSkew > 0 {
 		rng := rand.New(rand.NewSource(opts.SkewSeed))
@@ -107,6 +115,15 @@ func collective(a *arch.Profile, kind core.Kind, algo func(*mpi.Rank, core.Args)
 				r.SP.Sleep(skew[it*procs+r.ID])
 			}
 			starts[r.ID] = r.SP.Now()
+			// Straggler skew counts inside the timed window: the rank has
+			// entered the collective but is slow to engage (OS noise,
+			// descheduling), which is exactly the robustness cost x8 bills.
+			if d := plan.StragglerDelay(r.ID, it); d > 0 {
+				if rec != nil {
+					rec.Instant(r.ID, trace.CatFault, "straggle", trace.F("delay", d))
+				}
+				r.SP.Sleep(d)
+			}
 			algo(r, core.Args{Send: send[r.ID], Recv: recv[r.ID], Count: count, Root: opts.Root})
 			ends[r.ID] = r.SP.Now()
 			r.Barrier()

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"camc/internal/arch"
+	"camc/internal/fault"
 	"camc/internal/kernel"
 	"camc/internal/shm"
 	"camc/internal/sim"
@@ -46,6 +47,13 @@ type Config struct {
 	// Mechanism selects the kernel-assist facility (CMA by default; see
 	// kernel.Mechanism for KNEM/LiMIC/XPMEM).
 	Mechanism kernel.Mechanism
+
+	// Fault, when non-nil and active, attaches a deterministic
+	// fault-injection plan to the node: CMA ops can fail transiently or
+	// complete short (absorbed by bounded retries with backoff, then a
+	// per-peer fallback to the two-copy path), shm cells can stall, and
+	// ranks can straggle. Payloads are never corrupted.
+	Fault *fault.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +100,10 @@ func (c *Comm) AttachTrace(rec *trace.Recorder) {
 // all recorder methods are nil-safe).
 func (c *Comm) Tracer() *trace.Recorder { return c.Node.Recorder() }
 
+// FaultPlan returns the node's fault-injection plan (nil when fault
+// injection is disabled; all plan methods are nil-safe).
+func (c *Comm) FaultPlan() *fault.Plan { return c.Node.FaultPlan() }
+
 // Rank returns rank i's handle.
 func (c *Comm) Rank(i int) *Rank { return c.ranks[i] }
 
@@ -102,6 +114,11 @@ type Rank struct {
 	ID   int
 	SP   *sim.Proc
 	OS   *kernel.Process
+
+	// cmaDead marks peers against which the kernel assist exhausted its
+	// retry budget; further transfers to them take the degraded two-copy
+	// path. Allocated lazily on the first fallback.
+	cmaDead []bool
 }
 
 // Size returns the communicator size.
@@ -135,6 +152,9 @@ func New(cfg Config) *Comm {
 	node.SetMechanism(cfg.Mechanism)
 	if cfg.ChunkPages != 0 {
 		node.ChunkPages = cfg.ChunkPages
+	}
+	if cfg.Fault != nil && cfg.Fault.Active() {
+		node.SetFaultPlan(fault.New(*cfg.Fault))
 	}
 	c := &Comm{Node: node, Sim: s, cfg: cfg}
 	c.Shm = shm.New(node, cfg.Procs)
@@ -266,9 +286,11 @@ func (r *Rank) Recv(src int, addr kernel.Addr, size int64) {
 		return
 	}
 	remote := c.Shm.RecvCtl(r.SP, src, r.ID, tagRTS)
-	if err := r.OS.VMRead(r.SP, addr, r.Peer(src), kernel.Addr(remote), size); err != nil {
-		panic(fmt.Sprintf("mpi: rendezvous read %d->%d: %v", src, r.ID, err))
-	}
+	// The pull inherits the full retry/fallback machinery: the RTS
+	// already carries the sender's address, so even a failing kernel
+	// assist can finish the payload over the degraded path without any
+	// extra protocol round (the sender just waits for the FIN).
+	r.VMRead(addr, src, kernel.Addr(remote), size)
 	c.Shm.SendCtl(r.SP, r.ID, src, tagFIN, 0)
 	rec.End(span)
 }
@@ -340,17 +362,86 @@ func (r *Rank) WaitNotify(src int) { r.Comm.Shm.WaitNotify(r.SP, src, r.ID) }
 
 // VMRead pulls size bytes from rank src's address space (native CMA
 // collective building block; the address came from a control exchange).
+// Under an active fault plan, transient failures and short completions
+// are absorbed by bounded retries; once the retry budget against a peer
+// is exhausted, that (rank, peer) pair degrades permanently to the
+// two-copy path, so the payload always lands exactly.
 func (r *Rank) VMRead(dst kernel.Addr, src int, srcAddr kernel.Addr, size int64) {
-	if err := r.OS.VMRead(r.SP, dst, r.Peer(src), srcAddr, size); err != nil {
-		panic(fmt.Sprintf("mpi: VMRead rank %d <- %d: %v", r.ID, src, err))
-	}
+	r.vmOp(dst, src, srcAddr, size, true)
 }
 
-// VMWrite pushes size bytes into rank dst's address space.
+// VMWrite pushes size bytes into rank dst's address space, with the
+// same retry/fallback behaviour as VMRead.
 func (r *Rank) VMWrite(src kernel.Addr, dst int, dstAddr kernel.Addr, size int64) {
-	if err := r.OS.VMWrite(r.SP, src, r.Peer(dst), kernel.Addr(dstAddr), size); err != nil {
-		panic(fmt.Sprintf("mpi: VMWrite rank %d -> %d: %v", r.ID, dst, err))
+	r.vmOp(src, dst, dstAddr, size, false)
+}
+
+// vmOp runs one kernel-assisted transfer with graceful degradation.
+// local is the caller-side address, remote the address inside peer.
+func (r *Rank) vmOp(local kernel.Addr, peer int, remote kernel.Addr, size int64, read bool) {
+	dir := func() string {
+		if read {
+			return "VMRead"
+		}
+		return "VMWrite"
 	}
+	if r.Comm.FaultPlan() == nil {
+		// Fault-free fast path: any error is a protocol bug.
+		var err error
+		if read {
+			err = r.OS.VMRead(r.SP, local, r.Peer(peer), remote, size)
+		} else {
+			err = r.OS.VMWrite(r.SP, local, r.Peer(peer), remote, size)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("mpi: %s rank %d <-> %d: %v", dir(), r.ID, peer, err))
+		}
+		return
+	}
+	if r.cmaDead != nil && r.cmaDead[peer] {
+		r.bounce(local, peer, remote, size, read)
+		return
+	}
+	var done int64
+	var err error
+	if read {
+		done, err = r.OS.VMReadRetry(r.SP, local, r.Peer(peer), remote, size)
+	} else {
+		done, err = r.OS.VMWriteRetry(r.SP, local, r.Peer(peer), remote, size)
+	}
+	if err == nil {
+		return
+	}
+	if _, ok := err.(*kernel.ExhaustedError); !ok {
+		panic(fmt.Sprintf("mpi: %s rank %d <-> %d: %v", dir(), r.ID, peer, err))
+	}
+	// The kernel assist against this peer is declared failed: degrade
+	// the pair to the two-copy path for the rest of the run and finish
+	// the remainder of this transfer over it.
+	if r.cmaDead == nil {
+		r.cmaDead = make([]bool, r.Size())
+	}
+	r.cmaDead[peer] = true
+	r.Comm.FaultPlan().CountFallback()
+	if rec := r.Tracer(); rec != nil {
+		rec.Instant(r.ID, trace.CatFault, "cma_fallback",
+			trace.F("peer", float64(peer)), trace.F("completed", float64(done)))
+	}
+	r.bounce(local+kernel.Addr(done), peer, remote+kernel.Addr(done), size-done, read)
+}
+
+// bounce moves size bytes over the degraded two-copy path.
+func (r *Rank) bounce(local kernel.Addr, peer int, remote kernel.Addr, size int64, read bool) {
+	var err error
+	if read {
+		err = r.OS.BounceRead(r.SP, local, r.Peer(peer), remote, size)
+	} else {
+		err = r.OS.BounceWrite(r.SP, local, r.Peer(peer), remote, size)
+	}
+	if err != nil {
+		panic(fmt.Sprintf("mpi: bounce rank %d <-> %d: %v", r.ID, peer, err))
+	}
+	r.Comm.FaultPlan().CountBounce(size)
 }
 
 // LocalCopy is an in-process memcpy.

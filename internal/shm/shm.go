@@ -92,12 +92,26 @@ func tagName(tag int) string {
 	return fmt.Sprintf("tag%d", tag)
 }
 
+// stall returns the injected extra visibility delay for a cell staged
+// src -> dst (a delayed cache-line flush under the fault plan), emitting
+// the trace instant when one fires. Zero without an active plan.
+func (t *Transport) stall(src, dst int) float64 {
+	d := t.node.FaultPlan().ShmStall(src, dst)
+	if d > 0 {
+		if rec := t.node.Recorder(); rec != nil {
+			rec.Instant(src, trace.CatFault, "fault_shm_stall",
+				trace.F("peer", float64(dst)), trace.F("delay", d))
+		}
+	}
+	return d
+}
+
 // SendCtl posts an 8-byte control message from src to dst.
 func (t *Transport) SendCtl(sp *sim.Proc, src, dst, tag int, val int64) {
 	sp.Sleep(ctlCost)
 	t.queue(src, dst).Send(sp, message{
 		tag:     tag,
-		readyAt: sp.Now() + t.node.Arch.ShmLatency,
+		readyAt: sp.Now() + t.node.Arch.ShmLatency + t.stall(src, dst),
 		ctl:     val,
 	})
 }
@@ -159,7 +173,7 @@ func (t *Transport) Send(sp *sim.Proc, src, dst, tag int, srcProc *kernel.Proces
 		m := message{
 			tag:     tag,
 			size:    n,
-			readyAt: sp.Now() + a.ShmLatency,
+			readyAt: sp.Now() + a.ShmLatency + t.stall(src, dst),
 			last:    off+n >= size,
 		}
 		if m.size == 0 {
@@ -218,7 +232,7 @@ func (t *Transport) Exchange(sp *sim.Proc, me, sendPeer, recvPeer, tag int, proc
 			t.node.BeginCopy()
 			sp.Sleep(ct)
 			t.node.EndCopy()
-			m := message{tag: tag, size: n, readyAt: sp.Now() + a.ShmLatency, last: sent+n >= sSize}
+			m := message{tag: tag, size: n, readyAt: sp.Now() + a.ShmLatency + t.stall(me, sendPeer), last: sent+n >= sSize}
 			if m.size == 0 {
 				m.size = -1
 			}

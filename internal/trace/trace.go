@@ -41,6 +41,7 @@ const (
 	CatShm      Cat = "shm"      // shared-memory transport (internal/shm)
 	CatMPI      Cat = "mpi"      // pt2pt protocol and barrier (internal/mpi)
 	CatThrottle Cat = "throttle" // throttle-token hand-offs (internal/core)
+	CatFault    Cat = "fault"    // injected faults and degraded-mode reactions (internal/fault)
 )
 
 // Kind distinguishes the event shapes a Recorder stores.
