@@ -9,6 +9,8 @@
 //	camc-bench -run fig7 -arch knl -quick
 //	camc-bench -run x8 -faults heavy
 //	camc-bench -run x8 -faults partial=0.3,eagain=0.5,seed=7
+//	camc-bench -run x9 -deadline 500
+//	camc-bench -run x9 -faults kill=0.4,killop=4,seed=11
 //	camc-bench -run all
 //	camc-bench -all
 package main
@@ -37,15 +39,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("camc-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		list   = fs.Bool("list", false, "list available experiments")
-		runF   = fs.String("run", "", "experiment id(s) to run: one id (fig7), a comma-separated list (fig7,tab6), or all")
-		all    = fs.Bool("all", false, "run every experiment")
-		archF  = fs.String("arch", "", "restrict to one architecture: knl, broadwell, power8")
-		quick  = fs.Bool("quick", false, "reduced sweeps (faster, same shapes)")
-		jobs   = fs.Int("j", 0, "worker goroutines for experiment cells (0 = GOMAXPROCS; output is identical for any value)")
-		format = fs.String("format", "table", "output format: table, plot, csv")
-		traceF = fs.String("trace", "", "trace the algorithm-comparison measurements (figs 7-11) and write the last cell's Chrome JSON here")
-		faults = fs.String("faults", "", "add a custom fault scenario to x8: a preset (none/light/moderate/heavy) and/or key=value overrides, e.g. heavy or partial=0.3,eagain=0.5,seed=7")
+		list     = fs.Bool("list", false, "list available experiments")
+		runF     = fs.String("run", "", "experiment id(s) to run: one id (fig7), a comma-separated list (fig7,tab6), or all")
+		all      = fs.Bool("all", false, "run every experiment")
+		archF    = fs.String("arch", "", "restrict to one architecture: knl, broadwell, power8")
+		quick    = fs.Bool("quick", false, "reduced sweeps (faster, same shapes)")
+		jobs     = fs.Int("j", 0, "worker goroutines for experiment cells (0 = GOMAXPROCS; output is identical for any value)")
+		format   = fs.String("format", "table", "output format: table, plot, csv")
+		traceF   = fs.String("trace", "", "trace the algorithm-comparison measurements (figs 7-11) and write the last cell's Chrome JSON here")
+		faults   = fs.String("faults", "", "add a custom fault scenario to x8 (and, with kill=..., to x9): a preset (none/light/moderate/heavy) and/or key=value overrides, e.g. heavy, partial=0.3,eagain=0.5,seed=7, or kill=0.4,killop=4,seed=11")
+		deadline = fs.Float64("deadline", 0, "liveness detector deadline for x9 in simulated microseconds (0 = experiment default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -57,7 +60,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
-	opts := bench.Options{Arch: *archF, Quick: *quick, Jobs: *jobs}
+	if *deadline < 0 {
+		fmt.Fprintf(stderr, "negative -deadline %v (simulated microseconds; 0 keeps the x9 default)\n", *deadline)
+		return 2
+	}
+	opts := bench.Options{Arch: *archF, Quick: *quick, Jobs: *jobs, Deadline: *deadline}
 	if *faults != "" {
 		cfg, err := fault.Parse(*faults)
 		if err != nil {

@@ -28,6 +28,7 @@ var goldenCases = []struct {
 	args []string
 }{
 	{"x8_quick", []string{"-run", "x8", "-quick", "-j", "3"}},
+	{"x9_quick", []string{"-run", "x9", "-quick", "-j", "3"}},
 	{"tab5", []string{"-run", "tab5"}},
 	{"fig5_quick", []string{"-run", "fig5", "-quick"}},
 }
@@ -93,6 +94,8 @@ func TestUsageErrors(t *testing.T) {
 		{"bad_fault_preset", []string{"-run", "x8", "-faults", "catastrophic"}, "usage: -faults"},
 		{"bad_fault_key", []string{"-run", "x8", "-faults", "partial=0.3,bogus=1"}, "usage: -faults"},
 		{"bad_fault_value", []string{"-run", "x8", "-faults", "partial=high"}, "usage: -faults"},
+		{"bad_kill_value", []string{"-run", "x9", "-faults", "kill=lots"}, "usage: -faults"},
+		{"negative_deadline", []string{"-run", "x9", "-deadline", "-100"}, "-deadline"},
 		{"no_experiments", []string{}, "Usage"},
 		{"undefined_flag", []string{"-frobnicate"}, "flag provided but not defined"},
 	}
@@ -118,7 +121,7 @@ func TestListSucceeds(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit %d: %s", code, stderr.String())
 	}
-	for _, id := range []string{"fig7", "tab6", "x8"} {
+	for _, id := range []string{"fig7", "tab6", "x8", "x9"} {
 		if !strings.Contains(stdout.String(), id) {
 			t.Fatalf("-list output missing %s:\n%s", id, stdout.String())
 		}

@@ -10,6 +10,7 @@
 //	camc-trace -run bcast -arch broadwell -size 256K -algo knomial-read:5 -summary
 //	camc-trace -run fig9 -size 64K -algo pairwise-cma-coll -locks -util
 //	camc-trace -run scatter -faults heavy -summary
+//	camc-trace -run bcast -faults kill=0.35,seed=11 -deadline 500
 //
 // -run accepts either the figure id of the algorithm-comparison
 // experiments (fig7 Scatter, fig8 Gather, fig9 Alltoall, fig10
@@ -18,7 +19,10 @@
 // -faults attaches a deterministic fault-injection plan (see
 // internal/fault); injected faults and degraded-mode reactions appear
 // in the timeline under the "fault" category and are tallied after the
-// run.
+// run. A plan with the kill class (or an explicit -deadline) traces the
+// full recovery cycle instead — detection, agreement, shrink and the
+// verified re-run — with the liveness events under the "liveness"
+// category.
 package main
 
 import (
@@ -34,6 +38,7 @@ import (
 	"camc/internal/bench"
 	"camc/internal/core"
 	"camc/internal/fault"
+	"camc/internal/liveness"
 	"camc/internal/measure"
 	"camc/internal/trace"
 )
@@ -71,12 +76,13 @@ func parseSize(s string) (int64, error) {
 	return v * mult, nil
 }
 
-// faultTally prints the injected-fault instants recorded in the trace,
-// grouped by event name — the CLI's view of what the plan did.
+// faultTally prints the injected-fault and liveness instants recorded
+// in the trace, grouped by event name — the CLI's view of what the plan
+// did and how the stack reacted.
 func faultTally(w io.Writer, rec *trace.Recorder) {
 	counts := map[string]int{}
 	for _, e := range rec.Events() {
-		if e.Kind == trace.KindInstant && e.Cat == trace.CatFault {
+		if e.Kind == trace.KindInstant && (e.Cat == trace.CatFault || e.Cat == trace.CatLiveness) {
 			counts[e.Name]++
 		}
 	}
@@ -119,7 +125,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		util     = fs.Bool("util", false, "print the per-rank utilisation decomposition")
 		summary  = fs.Bool("summary", false, "print the full text summary")
 		benchF   = fs.Bool("bench", false, "run the whole bench experiment traced (slow); -out gets the last cell")
-		faults   = fs.String("faults", "", "attach a fault-injection plan: a preset (none/light/moderate/heavy) and/or key=value overrides, e.g. heavy or partial=0.3,seed=7")
+		faults   = fs.String("faults", "", "attach a fault-injection plan: a preset (none/light/moderate/heavy) and/or key=value overrides, e.g. heavy, partial=0.3,seed=7, or kill=0.35,seed=11")
+		deadline = fs.Float64("deadline", 0, "liveness detector deadline in simulated microseconds; > 0 (or a kill plan) traces the recovery cycle")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -155,6 +162,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		faultCfg = &cfg
 	}
 
+	if *deadline < 0 {
+		fmt.Fprintf(stderr, "negative -deadline %v (simulated microseconds)\n", *deadline)
+		return 2
+	}
+	recovery := *deadline > 0 || (faultCfg != nil && faultCfg.KillProb > 0)
+
 	var lat float64
 	var rec *trace.Recorder
 	if *benchF {
@@ -173,6 +186,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err := e.Run(stdout, o); err != nil {
 			fmt.Fprintf(stderr, "%v\n", err)
 			return 1
+		}
+	} else if recovery {
+		// Trace the whole recovery cycle: detection, agreement, shrink,
+		// re-plan, verified re-run. Iters does not apply here.
+		lcfg := liveness.Defaults()
+		if *deadline > 0 {
+			lcfg.Deadline = *deadline
+		}
+		res, rrec, err := measure.CollectiveRecoveredTraced(prof, kind, *algoF, size,
+			measure.Options{Procs: *procs, Fault: faultCfg, Liveness: &lcfg})
+		if err != nil {
+			fmt.Fprintf(stderr, "%v\n", err)
+			return 1
+		}
+		rec = rrec
+		fmt.Fprintf(stdout, "%s %s on %s, %s per rank: first attempt %.2f us (%d events recorded)\n",
+			kind, algo.Name, prof.Name, *sizeF, res.FirstLatency, rec.Len())
+		if res.Err == nil {
+			fmt.Fprintln(stdout, "recovery: no rank died; payload verified on the full communicator")
+		} else {
+			fmt.Fprintf(stdout, "recovery: dead ranks %v; detect %.2f us, shrink %.2f us, re-run (%s on %d survivors) %.2f us; payload verified\n",
+				res.Failed, res.DetectLatency, res.ShrinkLatency, res.Algorithm, res.Survivors, res.RerunLatency)
+		}
+		if faultCfg != nil {
+			faultTally(stdout, rec)
 		}
 	} else {
 		lat, rec = measure.CollectiveTraced(prof, kind, algo.Run, size, measure.Options{Procs: *procs, Iters: *iters, Fault: faultCfg})

@@ -19,6 +19,7 @@ func TestUsageErrors(t *testing.T) {
 		{"bad_size", []string{"-size", "huge"}, "bad size"},
 		{"bad_algo", []string{"-run", "scatter", "-algo", "quantum"}, "core.LookupAlgorithm"},
 		{"bad_fault_spec", []string{"-run", "scatter", "-faults", "partial=lots"}, "usage: -faults"},
+		{"negative_deadline", []string{"-run", "scatter", "-deadline", "-10"}, "-deadline"},
 		{"bench_needs_figure", []string{"-run", "scatter", "-bench"}, "-bench requires a figure id"},
 		{"undefined_flag", []string{"-frobnicate"}, "flag provided but not defined"},
 	}
@@ -52,6 +53,24 @@ func TestTraceRunsAndTalliesFaults(t *testing.T) {
 	}
 	if !strings.Contains(out, "faults:") {
 		t.Fatalf("missing fault tally:\n%s", out)
+	}
+}
+
+// TestTraceRecoveryCycle smoke-tests the kill-plan path: the CLI
+// switches to the recovery harness, reports the dead ranks and the
+// detect/shrink/re-run latencies, and tallies the liveness events.
+func TestTraceRecoveryCycle(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-run", "bcast", "-arch", "broadwell", "-size", "16K",
+		"-procs", "8", "-algo", "knomial-read:4", "-faults", "kill=0.35,seed=11", "-deadline", "500"}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"recovery: dead ranks", "detect", "shrink", "payload verified", "rank_killed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
 	}
 }
 

@@ -42,8 +42,14 @@ type Options struct {
 
 	// Fault, when non-nil and active, adds a "custom" scenario with this
 	// configuration to the x8 robustness experiment (the camc-bench
-	// -faults flag).
+	// -faults flag). A config with a kill probability also adds a custom
+	// scenario to the x9 chaos experiment.
 	Fault *fault.Config
+
+	// Deadline, when > 0, overrides the liveness failure detector's
+	// blocking-wait deadline (simulated microseconds) for the x9 chaos
+	// experiment (the camc-bench -deadline flag). 0 keeps the x9 default.
+	Deadline float64
 }
 
 func (o Options) archs(defaults ...*arch.Profile) []*arch.Profile {

@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"fmt"
+
+	"camc/internal/arch"
+	"camc/internal/fault"
+	"camc/internal/liveness"
+	"camc/internal/measure"
+)
+
+// x9: the chaos experiment. Every cell runs one collective with real
+// data movement under a fault plan that permanently kills 1..k ranks
+// mid-operation, then drives the full recovery cycle: deadline-bounded
+// detection (no survivor blocks past the configured deadline), a
+// coherent-error agreement round (every survivor returns the identical
+// failed-rank set), communicator shrink with a fresh transport and a
+// re-run of the one-time address exchange, algorithm re-planning for
+// the (possibly non-power-of-two, re-rooted) survivor count, and a
+// verified re-run: every byte of the survivors' payload is checked
+// against what a fresh communicator of that size would produce. A
+// failed verification or an incoherent verdict panics the sweep.
+
+// chaosScenario is one column of the x9 tables: a kill plan seeded to
+// arm a known number of ranks for mid-collective death. A nil cfg is
+// the no-failure baseline.
+type chaosScenario struct {
+	name string
+	cfg  *fault.Config
+}
+
+// findKillSeed searches seeds until the kill pick (a pure function of
+// seed and rank — see fault.Plan.KillPoint) arms exactly want of the
+// procs ranks at probability prob. Rank 0 is never picked, so want
+// must be < procs. An armed rank dies when its operation counter
+// reaches its kill point — unless the collective aborts under another
+// rank's death first (see the survivor-accounting table).
+func findKillSeed(procs, want, maxOp int, prob float64) fault.Config {
+	for seed := int64(1); seed < 10_000; seed++ {
+		cfg := fault.Config{Seed: seed, KillProb: prob, KillMaxOp: maxOp}
+		p := fault.New(cfg)
+		picked := 0
+		for r := 0; r < procs; r++ {
+			if p.KillPoint(r) != -1 {
+				picked++
+			}
+		}
+		if picked == want {
+			return cfg
+		}
+	}
+	panic(fmt.Sprintf("bench: no seed kills exactly %d of %d ranks at prob %g", want, procs, prob))
+}
+
+func chaosScenarios(o Options, procs int) []chaosScenario {
+	scens := []chaosScenario{{name: "no-failure"}}
+	kills := []int{1}
+	if !o.Quick {
+		kills = []int{1, 2, 3}
+	}
+	for _, k := range kills {
+		// The single-kill scenario lets the victim die up to 8 ops deep —
+		// mid-algorithm, after the address exchange. The multi-kill
+		// scenarios pin every kill point to the first op: a death aborts
+		// every blocked survivor within one poll quantum, so deaths that
+		// should land together must fire before the first one propagates.
+		maxOp := 8
+		if k > 1 {
+			maxOp = 1
+		}
+		cfg := findKillSeed(procs, k, maxOp, 0.35)
+		scens = append(scens, chaosScenario{name: fmt.Sprintf("kill-%d", k), cfg: &cfg})
+	}
+	if o.Fault != nil && o.Fault.KillProb > 0 {
+		scens = append(scens, chaosScenario{name: "custom", cfg: o.Fault})
+	}
+	return scens
+}
+
+func init() {
+	register(&Experiment{
+		ID:    "x9",
+		Title: "[extension] Chaos: permanent rank death, agreement, shrink and verified re-run",
+		Tables: func(o Options) []Table {
+			a := arch.Broadwell()
+			if o.Arch != "" {
+				a = o.archs(arch.Broadwell())[0]
+			}
+			const procs = 8
+			count := int64(64 << 10)
+			if o.Quick {
+				count = 8 << 10
+			}
+			lcfg := liveness.Config{Deadline: 2_000, Poll: 5}
+			if o.Deadline > 0 {
+				lcfg.Deadline = o.Deadline
+			}
+			scens := chaosScenarios(o, procs)
+			colls := robustCollectives(o)
+
+			cells := parMap(o, len(colls)*len(scens), func(i int) measure.RecoveryResult {
+				cl, sc := colls[i/len(scens)], scens[i%len(scens)]
+				res, err := measure.CollectiveRecovered(a, cl.kind, cl.spec, count,
+					measure.Options{Procs: procs, Fault: sc.cfg, Liveness: &lcfg})
+				if err != nil {
+					panic(fmt.Sprintf("bench: x9 %s under %s: %v", cl.name, sc.name, err))
+				}
+				if sc.cfg != nil && res.Err == nil {
+					panic(fmt.Sprintf("bench: x9 %s under %s: kill plan produced no failure", cl.name, sc.name))
+				}
+				return res
+			})
+			cellAt := func(ci, si int) measure.RecoveryResult { return cells[ci*len(scens)+si] }
+
+			first := Table{
+				Title:   fmt.Sprintf("First-attempt latency, %s, %d ranks, %s per rank (us)", a.Display, procs, sizeLabel(count)),
+				XHeader: "collective",
+				Notes: []string{
+					"time until the last survivor exits the protected collective with its",
+					fmt.Sprintf("local verdict; deadline-bounded (detector deadline %gus, poll %gus)", float64(lcfg.Deadline), float64(lcfg.Poll)),
+				},
+			}
+			detect := Table{
+				Title:   "Detection latency: first death to coherent agreement (us)",
+				XHeader: "collective",
+				Notes: []string{
+					"every survivor returns the identical *PeerDeadError and failed set;",
+					"agreement runs before shrink so survivors rebuild compatible communicators",
+				},
+			}
+			shrink := Table{
+				Title:   "Shrink latency: agreement to rebuilt, address-exchanged communicator (us)",
+				XHeader: "collective",
+			}
+			rerun := Table{
+				Title:   "Re-run latency on the shrunken communicator (us)",
+				XHeader: "collective",
+				Notes: []string{
+					"algorithms re-planned for the survivor count (throttle/radix/stride",
+					"clamped, dead roots re-rooted); every payload byte verified",
+				},
+			}
+			for si, sc := range scens {
+				fs := Series{Name: sc.name}
+				for ci := range colls {
+					fs.Values = append(fs.Values, cellAt(ci, si).FirstLatency)
+				}
+				first.Series = append(first.Series, fs)
+				if sc.cfg == nil {
+					continue
+				}
+				ds := Series{Name: sc.name}
+				ss := Series{Name: sc.name}
+				rs := Series{Name: sc.name}
+				for ci := range colls {
+					c := cellAt(ci, si)
+					ds.Values = append(ds.Values, c.DetectLatency)
+					ss.Values = append(ss.Values, c.ShrinkLatency)
+					rs.Values = append(rs.Values, c.RerunLatency)
+				}
+				detect.Series = append(detect.Series, ds)
+				shrink.Series = append(shrink.Series, ss)
+				rerun.Series = append(rerun.Series, rs)
+			}
+			for _, cl := range colls {
+				first.XLabels = append(first.XLabels, cl.name)
+				detect.XLabels = append(detect.XLabels, cl.name)
+				shrink.XLabels = append(shrink.XLabels, cl.name)
+				rerun.XLabels = append(rerun.XLabels, cl.name)
+			}
+
+			// Survivor accounting. The seed *arms* a fixed set of ranks, but
+			// an armed rank races its own kill point against the collective's
+			// abort: once another rank dies, a survivor's next blocked wait
+			// aborts with a peer-death error, and a rank that aborts before
+			// reaching its kill op never dies. So the agreed death count is
+			// per-cell, bounded above by the armed count — exactly the
+			// non-determinism-under-a-deterministic-seed a chaos experiment
+			// is after (each cell is still exactly reproducible). The cell
+			// assembly asserts the invariants that must hold: every agreed
+			// death was a fired kill, and survivors = procs − agreed.
+			acct := Table{
+				Title:   "Agreed deaths per cell (seed arms N ranks; aborting early saves you)",
+				XHeader: "collective",
+				Notes: []string{
+					fmt.Sprintf("%d ranks; survivors = ranks − agreed deaths; every survivor of a", procs),
+					"cell returned the identical failed-rank set (asserted in-harness)",
+				},
+			}
+			for si, sc := range scens {
+				if sc.cfg == nil {
+					continue
+				}
+				s := Series{Name: sc.name}
+				for ci := range colls {
+					c := cellAt(ci, si)
+					if int64(len(c.Failed)) != c.Stats.Kills {
+						panic(fmt.Sprintf("bench: x9 %s under %s: %d agreed deaths but %d fired kills",
+							colls[ci].name, sc.name, len(c.Failed), c.Stats.Kills))
+					}
+					if c.Survivors != procs-len(c.Failed) {
+						panic(fmt.Sprintf("bench: x9 %s under %s: %d survivors with %d deaths",
+							colls[ci].name, sc.name, c.Survivors, len(c.Failed)))
+					}
+					s.Values = append(s.Values, float64(len(c.Failed)))
+				}
+				acct.Series = append(acct.Series, s)
+			}
+			for _, cl := range colls {
+				acct.XLabels = append(acct.XLabels, cl.name)
+			}
+
+			return []Table{first, detect, shrink, rerun, acct}
+		},
+	})
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Replan re-resolves an algorithm spec for a new communicator size p,
+// clamping any tuning parameter that no longer fits. It is the
+// algorithm-selection half of permanent-failure recovery: after
+// Comm.Shrink removes dead ranks, the surviving communicator may be
+// smaller than the one the spec was tuned for — possibly no longer a
+// power of two, and possibly smaller than the spec's throttle factor or
+// tree radix. Replan keeps the algorithm family and adjusts only the
+// parameter:
+//
+//   - throttled:k (scatter, gather): k is clamped to p−1, the number of
+//     non-roots (and to at least 1). A throttle wider than the reader
+//     set is equivalent to parallel access, which defeats the point of
+//     having chosen a throttled family.
+//   - knomial-read:k / knomial-write:k (bcast): the radix is clamped to
+//     [2, p] — a base-k tree over p ranks never fans wider than p, and
+//     the tree construction requires k >= 2.
+//   - ring-neighbor:j (allgather): the stride must satisfy
+//     gcd(p, j mod p) == 1 or the ring does not visit every block.
+//     Replan decrements j until the ring is a single cycle again
+//     (j = 1 always is).
+//
+// Parameter-free specs pass through unchanged, so Replan is safe to
+// call unconditionally on any spec LookupAlgorithm accepts. The
+// returned Algorithm's Name reflects the clamped parameter, so traces
+// and result tables show what actually ran.
+func Replan(kind Kind, spec string, p int) (Algorithm, error) {
+	if p < 1 {
+		return Algorithm{}, fmt.Errorf("core: replan for %d ranks", p)
+	}
+	name, param := spec, 0
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name = spec[:i]
+		v, err := strconv.Atoi(spec[i+1:])
+		if err != nil || v < 1 {
+			return Algorithm{}, fmt.Errorf("core: bad parameter in algorithm spec %q", spec)
+		}
+		param = v
+	}
+	pick := func(def int) int {
+		if param == 0 {
+			return def
+		}
+		return param
+	}
+	clamped := 0
+	switch {
+	case (kind == KindScatter || kind == KindGather) && (name == "throttle" || name == "throttled"):
+		clamped = clampThrottle(pick(4), p)
+	case kind == KindBcast && (name == "knomial-read" || name == "knomial-write"):
+		clamped = clampRadix(pick(4), p)
+	case kind == KindAllgather && name == "ring-neighbor":
+		clamped = clampStride(pick(1), p)
+	default:
+		return LookupAlgorithm(kind, spec)
+	}
+	return LookupAlgorithm(kind, name+":"+strconv.Itoa(clamped))
+}
+
+// clampThrottle bounds a throttle factor to the non-root count of a
+// p-rank communicator.
+func clampThrottle(k, p int) int {
+	if k > p-1 {
+		k = p - 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// clampRadix bounds a k-nomial tree radix to [2, p].
+func clampRadix(k, p int) int {
+	if k > p {
+		k = p
+	}
+	if k < 2 {
+		k = 2
+	}
+	return k
+}
+
+// clampStride reduces a ring-neighbor stride until it is coprime with
+// p, so the generalized ring remains a single p-cycle.
+func clampStride(j, p int) int {
+	if p == 1 {
+		return 1
+	}
+	if j >= p {
+		j = p - 1
+	}
+	for j > 1 && gcd(p, j%p) != 1 {
+		j--
+	}
+	if j < 1 {
+		j = 1
+	}
+	return j
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReplanClampsThrottle(t *testing.T) {
+	for _, kind := range []Kind{KindScatter, KindGather} {
+		algo, err := Replan(kind, "throttled:8", 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if algo.Name != "throttled:4" {
+			t.Fatalf("%s throttled:8 at p=5 -> %q, want throttled:4", kind, algo.Name)
+		}
+		// p=2 leaves one non-root: the floor is k=1.
+		algo, err = Replan(kind, "throttled:8", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if algo.Name != "throttled:1" {
+			t.Fatalf("%s throttled:8 at p=2 -> %q, want throttled:1", kind, algo.Name)
+		}
+		// A factor that still fits is kept.
+		algo, err = Replan(kind, "throttled:2", 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if algo.Name != "throttled:2" {
+			t.Fatalf("%s throttled:2 at p=16 -> %q, want unchanged", kind, algo.Name)
+		}
+	}
+}
+
+func TestReplanClampsRadix(t *testing.T) {
+	for _, name := range []string{"knomial-read", "knomial-write"} {
+		algo, err := Replan(KindBcast, name+":8", 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if algo.Name != name+":3" {
+			t.Fatalf("%s:8 at p=3 -> %q, want %s:3", name, algo.Name, name)
+		}
+		// The radix floor is 2 even for p=2.
+		algo, err = Replan(KindBcast, name+":8", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if algo.Name != name+":2" {
+			t.Fatalf("%s:8 at p=2 -> %q, want %s:2", name, algo.Name, name)
+		}
+	}
+}
+
+func TestReplanRepairsRingStride(t *testing.T) {
+	// Stride 5 is fine for p=8 (gcd 1) but invalid for p=5 (gcd 5);
+	// the nearest valid stride below is 4.
+	algo, err := Replan(KindAllgather, "ring-neighbor:5", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algo.Name != "ring-neighbor:4" {
+		t.Fatalf("ring-neighbor:5 at p=5 -> %q, want ring-neighbor:4", algo.Name)
+	}
+	// Stride 4 at p=6: gcd(6,4)=2, gcd(6,3)=3, gcd(6,2)=2 -> 1.
+	algo, err = Replan(KindAllgather, "ring-neighbor:4", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algo.Name != "ring-neighbor:1" {
+		t.Fatalf("ring-neighbor:4 at p=6 -> %q, want ring-neighbor:1", algo.Name)
+	}
+	if _, err := Replan(KindAllgather, "ring-neighbor:3", 1); err != nil {
+		t.Fatalf("replan at p=1: %v", err)
+	}
+}
+
+func TestReplanDefaultsAreClamped(t *testing.T) {
+	// A bare "throttled" means k=4; at p=3 that must shrink to 2.
+	algo, err := Replan(KindScatter, "throttled", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algo.Name != "throttled:2" {
+		t.Fatalf("bare throttled at p=3 -> %q, want throttled:2", algo.Name)
+	}
+	algo, err = Replan(KindBcast, "knomial-read", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algo.Name != "knomial-read:3" {
+		t.Fatalf("bare knomial-read at p=3 -> %q, want knomial-read:3", algo.Name)
+	}
+}
+
+func TestReplanPassesThroughUnparameterized(t *testing.T) {
+	for _, c := range []struct {
+		kind Kind
+		spec string
+	}{
+		{KindScatter, "parallel-read"},
+		{KindGather, "sequential-read"},
+		{KindBcast, "scatter-allgather"},
+		{KindAllgather, "ring-source-read"},
+		{KindAllgather, "recursive-doubling"},
+		{KindAlltoall, "pairwise-cma-coll"},
+		{KindAlltoall, "bruck"},
+		{KindScatter, "tuned"},
+	} {
+		algo, err := Replan(c.kind, c.spec, 5)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", c.kind, c.spec, err)
+		}
+		if algo.Name != c.spec {
+			t.Fatalf("%s/%s renamed to %q", c.kind, c.spec, algo.Name)
+		}
+	}
+}
+
+func TestReplanRejectsGarbage(t *testing.T) {
+	if _, err := Replan(KindScatter, "throttled:x", 4); err == nil {
+		t.Fatal("bad parameter accepted")
+	}
+	if _, err := Replan(KindScatter, "no-such-algo", 4); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := Replan(KindScatter, "throttled:4", 0); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	if _, err := Replan(KindScatter, "throttled:4", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replan(KindBcast, "knomial-read:0", 4); err == nil {
+		t.Fatal("zero radix accepted")
+	}
+}
+
+func TestReplanMatchesLookupWhenNothingClamps(t *testing.T) {
+	// At a size where every parameter fits, Replan and LookupAlgorithm
+	// agree on the resolved name.
+	for _, c := range []struct {
+		kind Kind
+		spec string
+		want string
+	}{
+		{KindScatter, "throttled:4", "throttled:4"},
+		{KindBcast, "knomial-read:4", "knomial-read:4"},
+		{KindAllgather, "ring-neighbor:5", "ring-neighbor:5"},
+	} {
+		algo, err := Replan(c.kind, c.spec, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if algo.Name != c.want {
+			t.Fatalf("%s/%s at p=16 -> %q", c.kind, c.spec, algo.Name)
+		}
+		if !strings.Contains(algo.Name, ":") {
+			t.Fatalf("parameterized name lost its parameter: %q", algo.Name)
+		}
+	}
+}

@@ -34,6 +34,7 @@ const (
 	DefaultMaxRetries      = 8    // attempts before a transfer is abandoned
 	DefaultBackoffBase     = 0.5  // first retry backoff, us
 	DefaultBackoffCap      = 64.0 // ceiling for one backoff sleep, us
+	DefaultKillMaxOp       = 12   // kill points are drawn from [1, KillMaxOp]
 )
 
 // Config describes what a Plan injects. Probabilities are in [0, 1];
@@ -70,6 +71,16 @@ type Config struct {
 	StragglerProb float64
 	StragglerSkew float64
 
+	// KillProb is the per-rank probability of *permanent death*: a
+	// killed rank stops participating forever at a seeded operation
+	// index mid-collective (contrast the transient classes above, which
+	// only delay). Rank 0 is never selected, so at least one survivor
+	// always remains to drive recovery. KillMaxOp bounds the operation
+	// index at which death strikes; the exact point per rank is a
+	// stable function of the seed.
+	KillProb  float64
+	KillMaxOp int
+
 	// MaxRetries bounds zero-progress retry attempts per transfer
 	// before the kernel assist is declared failed; BackoffBase/Cap
 	// shape the exponential virtual-time backoff between attempts.
@@ -81,7 +92,7 @@ type Config struct {
 // Active reports whether any fault class has a non-zero probability.
 func (c Config) Active() bool {
 	return c.PartialProb > 0 || c.TransientProb > 0 || c.LockSpikeProb > 0 ||
-		c.ShmStallProb > 0 || c.StragglerProb > 0
+		c.ShmStallProb > 0 || c.StragglerProb > 0 || c.KillProb > 0
 }
 
 // String renders the config in the spec syntax Parse accepts.
@@ -100,6 +111,10 @@ func (c Config) String() string {
 	add("stalltime", c.ShmStallTime)
 	add("straggler", c.StragglerProb)
 	add("skew", c.StragglerSkew)
+	add("kill", c.KillProb)
+	if c.KillMaxOp > 0 && c.KillProb > 0 {
+		s += fmt.Sprintf(",killop=%d", c.KillMaxOp)
+	}
 	if c.MaxRetries > 0 {
 		s += fmt.Sprintf(",retries=%d", c.MaxRetries)
 	}
@@ -122,15 +137,17 @@ type Stats struct {
 	Fallbacks   int64   // (caller, peer) pairs degraded to the two-copy path
 	BounceOps   int64   // transfers completed over the degraded path
 	BounceBytes int64   // bytes moved over the degraded path
+	Kills       int64   // permanent rank deaths enacted
 }
 
 // Plan is one simulation's fault schedule. Create with New; a nil *Plan
 // is inert (every decision method reports "no fault"), so the stack can
 // thread a possibly-nil plan without guarding each call site.
 type Plan struct {
-	cfg   Config
-	seq   map[seqKey]uint64
-	stats Stats
+	cfg     Config
+	seq     map[seqKey]uint64
+	stats   Stats
+	revived bool // kills disarmed (survivor re-runs must not re-kill)
 }
 
 type seqKey struct {
@@ -148,6 +165,8 @@ const (
 	siteShmStall
 	siteStragglerPick
 	siteStragglerDelay
+	siteKillPick
+	siteKillPoint
 )
 
 // New builds a Plan for cfg, applying defaults for unset secondary
@@ -170,6 +189,9 @@ func New(cfg Config) *Plan {
 	}
 	if cfg.BackoffCap <= 0 {
 		cfg.BackoffCap = DefaultBackoffCap
+	}
+	if cfg.KillMaxOp <= 0 {
+		cfg.KillMaxOp = DefaultKillMaxOp
 	}
 	return &Plan{cfg: cfg, seq: make(map[seqKey]uint64)}
 }
@@ -314,6 +336,52 @@ func (p *Plan) Backoff(attempt int) float64 {
 	p.stats.Retries++
 	p.stats.BackoffTime += d
 	return d
+}
+
+// KillPoint returns the operation index (1-based) at which rank dies
+// permanently, or -1 if this plan never kills rank. The choice is a
+// stateless function of the seed so every consultation agrees, however
+// often the stack asks. Rank 0 is never killed: recovery needs at least
+// one survivor, and the chaos harness re-roots dead roots onto the
+// lowest survivor.
+func (p *Plan) KillPoint(rank int) int {
+	if p == nil || p.revived || p.cfg.KillProb <= 0 || rank == 0 {
+		return -1
+	}
+	if p.hash(siteKillPick, rank, 0, 0) >= p.cfg.KillProb {
+		return -1
+	}
+	return 1 + int(p.hash(siteKillPoint, rank, 0, 0)*float64(p.cfg.KillMaxOp))
+}
+
+// CountKill records one permanent rank death enacted.
+func (p *Plan) CountKill() {
+	if p != nil {
+		p.stats.Kills++
+	}
+}
+
+// Reset rewinds the plan to its just-built state: counters zeroed and
+// every per-site decision sequence restarted. Back-to-back experiment
+// cells that share one plan (a `-run all` invocation, or an explicit
+// re-measure) therefore see identical injections instead of a schedule
+// that drifts with whatever ran before — and no stats leak across cells.
+func (p *Plan) Reset() {
+	if p == nil {
+		return
+	}
+	p.stats = Stats{}
+	p.seq = make(map[seqKey]uint64)
+	p.revived = false
+}
+
+// Revive disarms the kill class while keeping every other fault class
+// and all accumulated stats: the survivors' post-shrink re-run faces the
+// same transient-fault weather but no fresh deaths. Reset re-arms kills.
+func (p *Plan) Revive() {
+	if p != nil {
+		p.revived = true
+	}
 }
 
 // CountFallback records one (caller, peer) pair abandoning the kernel

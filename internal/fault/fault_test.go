@@ -178,6 +178,144 @@ func TestParseRejectsMalformedSpecs(t *testing.T) {
 	}
 }
 
+func TestKillPointStableAndBounded(t *testing.T) {
+	p := New(Config{Seed: 5, KillProb: 0.5, KillMaxOp: 6})
+	killed := 0
+	for r := 0; r < 64; r++ {
+		kp := p.KillPoint(r)
+		for i := 0; i < 5; i++ {
+			if p.KillPoint(r) != kp {
+				t.Fatalf("rank %d kill point flapped", r)
+			}
+		}
+		if r == 0 && kp != -1 {
+			t.Fatal("rank 0 must never be killed")
+		}
+		if kp != -1 {
+			killed++
+			if kp < 1 || kp > 6 {
+				t.Fatalf("rank %d kill point %d out of [1, 6]", r, kp)
+			}
+		}
+	}
+	if killed == 0 || killed == 63 {
+		t.Fatalf("kill pick degenerate: %d/63", killed)
+	}
+}
+
+func TestKillDisabledByDefault(t *testing.T) {
+	p := New(Config{Seed: 5, TransientProb: 0.5})
+	for r := 0; r < 32; r++ {
+		if p.KillPoint(r) != -1 {
+			t.Fatalf("rank %d killed with KillProb=0", r)
+		}
+	}
+	if (Config{KillProb: 0.1}).Active() != true {
+		t.Fatal("kill-only config not Active")
+	}
+}
+
+// TestReviveDisarmsKillsOnly: after Revive the plan kills nobody but
+// still injects the transient classes; Reset re-arms.
+func TestReviveDisarmsKillsOnly(t *testing.T) {
+	cfg := Config{Seed: 5, KillProb: 0.9, TransientProb: 0.5}
+	p := New(cfg)
+	victim := -1
+	for r := 1; r < 16; r++ {
+		if p.KillPoint(r) != -1 {
+			victim = r
+			break
+		}
+	}
+	if victim == -1 {
+		t.Fatal("no victim at KillProb=0.9")
+	}
+	p.Revive()
+	if p.KillPoint(victim) != -1 {
+		t.Fatal("revived plan still kills")
+	}
+	hit := false
+	for i := 0; i < 100; i++ {
+		if p.Transient(1, 2) {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatal("revived plan stopped injecting transients")
+	}
+	p.Reset()
+	if p.KillPoint(victim) == -1 {
+		t.Fatal("Reset did not re-arm kills")
+	}
+}
+
+// TestResetRestoresFreshSchedule is the satellite regression test:
+// back-to-back cells sharing one plan must see identical injections and
+// zero'd stats after Reset — no leaked sequence state, no leaked
+// counters.
+func TestResetRestoresFreshSchedule(t *testing.T) {
+	cfg := Config{Seed: 7, PartialProb: 0.3, TransientProb: 0.3, LockSpikeProb: 0.3, ShmStallProb: 0.3, StragglerProb: 0.5}
+	p := New(cfg)
+	first := drain(p, 100)
+	statsBefore := p.Stats()
+	if statsBefore == (Stats{}) {
+		t.Fatal("drain produced no stats; test is vacuous")
+	}
+	p.Reset()
+	if p.Stats() != (Stats{}) {
+		t.Fatalf("Reset left stats behind: %+v", p.Stats())
+	}
+	second := drain(p, 100)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("decision %d after Reset diverged from a fresh plan's", i)
+		}
+	}
+}
+
+func TestParseKillKeys(t *testing.T) {
+	cfg, err := Parse("kill=0.4,killop=8,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.KillProb != 0.4 || cfg.KillMaxOp != 8 || cfg.Seed != 3 {
+		t.Fatalf("parsed %+v", cfg)
+	}
+	if _, err := Parse("kill=1.5"); err == nil {
+		t.Fatal("kill probability > 1 accepted")
+	}
+	if _, err := Parse("killop=0"); err == nil {
+		t.Fatal("killop=0 accepted")
+	}
+	// Round trip through String.
+	p := New(cfg)
+	rt, err := Parse(p.Config().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.KillProb != 0.4 || rt.KillMaxOp != 8 {
+		t.Fatalf("round trip lost kill config: %+v", rt)
+	}
+}
+
+// TestParseErrorsEnumerateVocabulary is the satellite check: a typo'd
+// class or malformed element names every valid preset and key in the
+// error, so the CLI message alone is enough to fix the spec.
+func TestParseErrorsEnumerateVocabulary(t *testing.T) {
+	for _, spec := range []string{"bogus=1", "partial", ""} {
+		_, err := Parse(spec)
+		if err == nil {
+			t.Fatalf("Parse(%q) succeeded", spec)
+		}
+		msg := err.Error()
+		for _, want := range append(PresetNames(), specKeys...) {
+			if !strings.Contains(msg, want) {
+				t.Errorf("Parse(%q) error omits %q:\n%s", spec, want, msg)
+			}
+		}
+	}
+}
+
 func TestDefaultsApplied(t *testing.T) {
 	p := New(Config{Seed: 1, TransientProb: 1})
 	c := p.Config()

@@ -42,20 +42,36 @@ func Preset(name string) (Config, error) {
 	return c, nil
 }
 
+// specKeys lists every key Parse understands, in documentation order.
+// Error messages enumerate it so a CLI -faults typo is diagnosable from
+// the message alone.
+var specKeys = []string{
+	"seed", "partial", "eagain", "lockspike", "lockfactor", "shmstall",
+	"stalltime", "straggler", "skew", "kill", "killop", "retries",
+	"backoff", "backoffcap",
+}
+
+// vocabulary renders the full accepted vocabulary (presets + keys) for
+// error messages.
+func vocabulary() string {
+	return fmt.Sprintf("presets: %s; keys: %s",
+		strings.Join(PresetNames(), ", "), strings.Join(specKeys, ", "))
+}
+
 // Parse builds a Config from a command-line spec: an optional preset
 // name followed by comma-separated key=value overrides, e.g.
 //
 //	heavy
 //	partial=0.2,eagain=0.1,seed=7
 //	moderate,straggler=0.5,skew=100
+//	kill=0.4,killop=8
 //
 // Keys: seed, partial, eagain, lockspike, lockfactor, shmstall,
-// stalltime, straggler, skew, retries, backoff, backoffcap.
-// Probabilities must lie in [0, 1].
+// stalltime, straggler, skew, kill, killop, retries, backoff,
+// backoffcap. Probabilities must lie in [0, 1].
 func Parse(spec string) (Config, error) {
 	if strings.TrimSpace(spec) == "" {
-		return Config{}, fmt.Errorf("fault: empty spec (want a preset %s or key=value pairs)",
-			strings.Join(PresetNames(), "/"))
+		return Config{}, fmt.Errorf("fault: empty spec (%s)", vocabulary())
 	}
 	var cfg Config
 	cfg.Seed = 42
@@ -70,23 +86,29 @@ func Parse(spec string) (Config, error) {
 		}
 		k, v, ok := strings.Cut(kv, "=")
 		if !ok {
-			return Config{}, fmt.Errorf("fault: bad spec element %q (want key=value or a preset as the first element)", kv)
+			return Config{}, fmt.Errorf("fault: bad spec element %q, want key=value or a preset as the first element (%s)", kv, vocabulary())
 		}
 		k = strings.TrimSpace(k)
 		v = strings.TrimSpace(v)
 		switch k {
-		case "seed", "retries":
+		case "seed", "retries", "killop":
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil {
 				return Config{}, fmt.Errorf("fault: bad integer %q for %s", v, k)
 			}
-			if k == "seed" {
+			switch k {
+			case "seed":
 				cfg.Seed = n
-			} else {
+			case "retries":
 				if n < 1 {
 					return Config{}, fmt.Errorf("fault: retries must be >= 1, got %d", n)
 				}
 				cfg.MaxRetries = int(n)
+			case "killop":
+				if n < 1 {
+					return Config{}, fmt.Errorf("fault: killop must be >= 1, got %d", n)
+				}
+				cfg.KillMaxOp = int(n)
 			}
 		default:
 			f, err := strconv.ParseFloat(v, 64)
@@ -112,6 +134,8 @@ func Parse(spec string) (Config, error) {
 				err2 = prob(&cfg.ShmStallProb)
 			case "straggler":
 				err2 = prob(&cfg.StragglerProb)
+			case "kill":
+				err2 = prob(&cfg.KillProb)
 			case "lockfactor":
 				cfg.LockSpikeFactor = f
 			case "stalltime":
@@ -123,7 +147,7 @@ func Parse(spec string) (Config, error) {
 			case "backoffcap":
 				cfg.BackoffCap = f
 			default:
-				return Config{}, fmt.Errorf("fault: unknown key %q in spec (keys: seed partial eagain lockspike lockfactor shmstall stalltime straggler skew retries backoff backoffcap)", k)
+				return Config{}, fmt.Errorf("fault: unknown key %q in spec (%s)", k, vocabulary())
 			}
 			if err2 != nil {
 				return Config{}, err2

@@ -25,6 +25,7 @@ import (
 
 	"camc/internal/arch"
 	"camc/internal/fault"
+	"camc/internal/liveness"
 	"camc/internal/sim"
 	"camc/internal/trace"
 )
@@ -65,6 +66,7 @@ type Node struct {
 	trace *Trace          // optional breakdown accounting, nil when disabled
 	rec   *trace.Recorder // optional structured event recorder, nil when disabled
 	fault *fault.Plan     // optional fault-injection plan, nil when disabled
+	live  *liveness.Board // optional liveness board, nil when detection is off
 }
 
 // NewNode creates a node on the given simulation for the given
@@ -131,6 +133,16 @@ func (n *Node) SetFaultPlan(p *fault.Plan) { n.fault = p }
 // FaultPlan returns the attached fault plan (nil when injection is
 // disabled).
 func (n *Node) FaultPlan() *fault.Plan { return n.fault }
+
+// SetLiveness attaches a liveness board to the node: blocking waits in
+// the transports become deadline-guarded and heartbeat-publishing. A nil
+// board (the default) keeps every wait unbounded and cost-identical to
+// builds that predate the liveness layer.
+func (n *Node) SetLiveness(b *liveness.Board) { n.live = b }
+
+// Liveness returns the attached liveness board (nil when failure
+// detection is disabled).
+func (n *Node) Liveness() *liveness.Board { return n.live }
 
 // Procs returns the processes spawned on this node, in pid order.
 func (n *Node) Procs() []*Process { return n.procs }

@@ -39,22 +39,12 @@ func CollectiveChecked(a *arch.Profile, kind core.Kind, algo func(*mpi.Rank, cor
 			mem = 1 << 20
 		}
 	}
-	c := mpi.New(mpi.Config{Arch: a, Procs: procs, CopyData: true, MemPerProc: mem, Mechanism: opts.Mechanism, Fault: opts.Fault})
+	c := mpi.New(mpi.Config{Arch: a, Procs: procs, CopyData: true, MemPerProc: mem, Mechanism: opts.Mechanism, Fault: opts.Fault, Liveness: opts.Liveness})
 	plan := c.FaultPlan()
 
-	blocks := int64(procs)
-	var sendLen, recvLen int64
-	switch kind {
-	case core.KindScatter:
-		sendLen, recvLen = blocks*count, count
-	case core.KindGather:
-		sendLen, recvLen = count, blocks*count
-	case core.KindAlltoall, core.KindAllgather:
-		sendLen, recvLen = blocks*count, blocks*count
-	case core.KindBcast, core.KindReduce:
-		sendLen, recvLen = count, count
-	default:
-		return 0, fault.Stats{}, fmt.Errorf("measure: unsupported checked kind %q", kind)
+	sendLen, recvLen, err := bufSizes(kind, procs, count)
+	if err != nil {
+		return 0, fault.Stats{}, err
 	}
 
 	send := make([]kernel.Addr, procs)
@@ -63,23 +53,7 @@ func CollectiveChecked(a *arch.Profile, kind core.Kind, algo func(*mpi.Rank, cor
 		rank := c.Rank(r)
 		send[r] = rank.Alloc(sendLen)
 		recv[r] = rank.Alloc(recvLen)
-		buf := rank.OS.Bytes(send[r], sendLen)
-		switch kind {
-		case core.KindScatter, core.KindAlltoall:
-			for d := 0; d < procs; d++ {
-				for i := int64(0); i < count; i++ {
-					buf[int64(d)*count+i] = checkPattern(r, d, i)
-				}
-			}
-		default: // one Count-byte vector per rank
-			for i := int64(0); i < count; i++ {
-				buf[i] = checkPattern(r, 0, i)
-			}
-		}
-		rb := rank.OS.Bytes(recv[r], recvLen)
-		for i := range rb {
-			rb[i] = 0xEE
-		}
+		fillPattern(c, kind, r, count, send[r], recv[r], sendLen, recvLen)
 	}
 
 	starts := make([]float64, procs)
@@ -103,7 +77,42 @@ func CollectiveChecked(a *arch.Profile, kind core.Kind, algo func(*mpi.Rank, cor
 		return 0, plan.Stats(), err
 	}
 	lat := maxOf(ends) - maxOf(starts)
+	if err := verifyPayloads(c, kind, root, count, recv); err != nil {
+		return lat, plan.Stats(), err
+	}
+	return lat, plan.Stats(), nil
+}
 
+// fillPattern writes the deterministic send pattern for one rank's send
+// buffer and poisons its receive buffer (0xEE), per MPI semantics of
+// kind. Ranks are addressed by their IDs in comm c, so the same function
+// seeds a fresh communicator and a post-shrink one.
+func fillPattern(c *mpi.Comm, kind core.Kind, rank int, count int64, send, recv kernel.Addr, sendLen, recvLen int64) {
+	r := c.Rank(rank)
+	buf := r.OS.Bytes(send, sendLen)
+	switch kind {
+	case core.KindScatter, core.KindAlltoall:
+		for d := 0; d < c.Size(); d++ {
+			for i := int64(0); i < count; i++ {
+				buf[int64(d)*count+i] = checkPattern(rank, d, i)
+			}
+		}
+	default: // one Count-byte vector per rank
+		for i := int64(0); i < count; i++ {
+			buf[i] = checkPattern(rank, 0, i)
+		}
+	}
+	rb := r.OS.Bytes(recv, recvLen)
+	for i := range rb {
+		rb[i] = 0xEE
+	}
+}
+
+// verifyPayloads checks every byte of every receive buffer in comm c
+// against the deterministic pattern, per MPI semantics of kind. recv[r]
+// is rank r's receive buffer base.
+func verifyPayloads(c *mpi.Comm, kind core.Kind, root int, count int64, recv []kernel.Addr) error {
+	procs := c.Size()
 	check := func(rank int, off int64, want byte, what string) error {
 		got := c.Rank(rank).OS.Bytes(recv[rank]+kernel.Addr(off), 1)[0]
 		if got != want {
@@ -122,7 +131,7 @@ func CollectiveChecked(a *arch.Profile, kind core.Kind, algo func(*mpi.Rank, cor
 				if r == root {
 					for src := 0; src < procs; src++ {
 						if e := check(r, int64(src)*count+i, checkPattern(src, 0, i), "gather"); e != nil {
-							return lat, plan.Stats(), e
+							return e
 						}
 					}
 				}
@@ -133,7 +142,7 @@ func CollectiveChecked(a *arch.Profile, kind core.Kind, algo func(*mpi.Rank, cor
 						want = checkPattern(src, r, i)
 					}
 					if e := check(r, int64(src)*count+i, want, string(kind)); e != nil {
-						return lat, plan.Stats(), e
+						return e
 					}
 				}
 			case core.KindBcast:
@@ -150,9 +159,26 @@ func CollectiveChecked(a *arch.Profile, kind core.Kind, algo func(*mpi.Rank, cor
 				}
 			}
 			if err != nil {
-				return lat, plan.Stats(), err
+				return err
 			}
 		}
 	}
-	return lat, plan.Stats(), nil
+	return nil
+}
+
+// bufSizes returns the send/receive buffer lengths for one rank of a
+// p-rank communicator running kind with per-rank message size count.
+func bufSizes(kind core.Kind, p int, count int64) (sendLen, recvLen int64, err error) {
+	blocks := int64(p)
+	switch kind {
+	case core.KindScatter:
+		return blocks * count, count, nil
+	case core.KindGather:
+		return count, blocks * count, nil
+	case core.KindAlltoall, core.KindAllgather:
+		return blocks * count, blocks * count, nil
+	case core.KindBcast, core.KindReduce:
+		return count, count, nil
+	}
+	return 0, 0, fmt.Errorf("measure: unsupported checked kind %q", kind)
 }

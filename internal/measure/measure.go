@@ -12,6 +12,7 @@ import (
 	"camc/internal/core"
 	"camc/internal/fault"
 	"camc/internal/kernel"
+	"camc/internal/liveness"
 	"camc/internal/mpi"
 	"camc/internal/trace"
 )
@@ -38,6 +39,13 @@ type Options struct {
 	// then includes retries, backoff, straggler delays and degraded-path
 	// traffic, while payloads stay exact.
 	Fault *fault.Config
+
+	// Liveness, when non-nil, attaches a failure-detection board and
+	// deadline watchdogs to every blocking primitive (see
+	// internal/liveness). Required by CollectiveRecovered when the fault
+	// plan includes the kill class; harmless otherwise (a healthy run's
+	// latencies are unchanged — completed timed waits are free).
+	Liveness *liveness.Config
 }
 
 // Collective returns the latency in microseconds of one collective
@@ -76,7 +84,7 @@ func collective(a *arch.Profile, kind core.Kind, algo func(*mpi.Rank, core.Args)
 			mem = 1 << 22
 		}
 	}
-	c := mpi.New(mpi.Config{Arch: a, Procs: procs, CopyData: false, MemPerProc: mem, Mechanism: opts.Mechanism, Fault: opts.Fault})
+	c := mpi.New(mpi.Config{Arch: a, Procs: procs, CopyData: false, MemPerProc: mem, Mechanism: opts.Mechanism, Fault: opts.Fault, Liveness: opts.Liveness})
 	c.AttachTrace(rec)
 	plan := c.FaultPlan()
 	var skew []float64

@@ -16,6 +16,7 @@ import (
 	"camc/internal/arch"
 	"camc/internal/fault"
 	"camc/internal/kernel"
+	"camc/internal/liveness"
 	"camc/internal/shm"
 	"camc/internal/sim"
 	"camc/internal/trace"
@@ -54,6 +55,15 @@ type Config struct {
 	// per-peer fallback to the two-copy path), shm cells can stall, and
 	// ranks can straggle. Payloads are never corrupted.
 	Fault *fault.Config
+
+	// Liveness, when non-nil, attaches a failure-detection board: every
+	// blocking primitive becomes deadline-guarded (a dead peer yields a
+	// *liveness.PeerDeadError instead of a hang), heartbeats are
+	// published in the shm segment, and Protected/Agree/Shrink become
+	// usable for ULFM-style recovery. Required for the `kill` fault
+	// class to fail cleanly — without it, a killed rank turns into a
+	// simulator deadlock report at drain time.
+	Liveness *liveness.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -76,6 +86,16 @@ type Comm struct {
 	Sim   *sim.Simulation
 	cfg   Config
 	ranks []*Rank
+
+	// parentIDs maps this communicator's rank IDs to the pre-shrink
+	// communicator's (identity for a communicator built by New).
+	parentIDs []int
+
+	// shrunk/shrunkFailed implement the single-builder Shrink protocol:
+	// the first survivor constructs the new communicator, later
+	// survivors adopt it after checking they agreed on the same failures.
+	shrunk       *Comm
+	shrunkFailed []int
 }
 
 // Size returns the number of ranks.
@@ -104,6 +124,30 @@ func (c *Comm) Tracer() *trace.Recorder { return c.Node.Recorder() }
 // injection is disabled; all plan methods are nil-safe).
 func (c *Comm) FaultPlan() *fault.Plan { return c.Node.FaultPlan() }
 
+// Liveness returns the node's liveness board (nil when failure
+// detection is disabled).
+func (c *Comm) Liveness() *liveness.Board { return c.Node.Liveness() }
+
+// ParentID maps rank i of this communicator to its rank in the
+// pre-shrink communicator (identity for a communicator built by New).
+func (c *Comm) ParentID(i int) int {
+	if c.parentIDs == nil {
+		return i
+	}
+	return c.parentIDs[i]
+}
+
+// RankFromParent returns the rank that was parentID before the shrink,
+// or -1 if that rank is not part of this communicator (it died).
+func (c *Comm) RankFromParent(parentID int) int {
+	for i := range c.ranks {
+		if c.ParentID(i) == parentID {
+			return i
+		}
+	}
+	return -1
+}
+
 // Rank returns rank i's handle.
 func (c *Comm) Rank(i int) *Rank { return c.ranks[i] }
 
@@ -119,6 +163,16 @@ type Rank struct {
 	// retry budget; further transfers to them take the degraded two-copy
 	// path. Allocated lazily on the first fallback.
 	cmaDead []bool
+
+	// killPoint is the operation index at which this rank dies under the
+	// fault plan's kill class (-1 = never); ops counts checkpointed
+	// operations toward it.
+	killPoint int
+	ops       int
+
+	// agreeRound numbers this rank's agreement rounds; rounds stay in
+	// lockstep because every survivor runs the same protected sequence.
+	agreeRound int
 }
 
 // Size returns the communicator size.
@@ -156,6 +210,9 @@ func New(cfg Config) *Comm {
 	if cfg.Fault != nil && cfg.Fault.Active() {
 		node.SetFaultPlan(fault.New(*cfg.Fault))
 	}
+	if cfg.Liveness != nil {
+		node.SetLiveness(liveness.NewBoard(s, cfg.Procs, *cfg.Liveness))
+	}
 	c := &Comm{Node: node, Sim: s, cfg: cfg}
 	c.Shm = shm.New(node, cfg.Procs)
 	for i := 0; i < cfg.Procs; i++ {
@@ -187,12 +244,25 @@ func NewOnNode(node *kernel.Node, procs int, memPerProc int64) *Comm {
 	return c
 }
 
-// Start spawns one simulation process per rank running body.
+// Start spawns one simulation process per rank running body. Each rank
+// learns its kill point from the fault plan here; a rank that reaches it
+// mid-collective announces its death on the liveness board and exits —
+// the liveness.Killed panic is recovered at this boundary so the
+// simulated process dies cleanly instead of crashing the simulation.
 func (c *Comm) Start(body func(r *Rank)) {
 	for _, r := range c.ranks {
 		r := r
+		r.killPoint = c.FaultPlan().KillPoint(r.ID)
 		c.Sim.Spawn(fmt.Sprintf("rank%d", r.ID), func(p *sim.Proc) {
 			r.SP = p
+			defer func() {
+				if v := recover(); v != nil {
+					if _, ok := v.(liveness.Killed); ok {
+						return // permanent death: the process just exits
+					}
+					panic(v)
+				}
+			}()
 			body(r)
 		})
 	}
@@ -209,9 +279,187 @@ func Run(cfg Config, body func(r *Rank)) (Result, error) {
 	return Result{Time: c.Sim.Now(), Events: c.Sim.EventsProcessed()}, nil
 }
 
+// killCheck is the seeded-death checkpoint at the top of every blocking
+// primitive: when this rank's operation counter reaches its kill point,
+// the rank publishes its death on the liveness board and exits via a
+// liveness.Killed panic (recovered in Start). Unarmed ranks pay one
+// predicted-not-taken branch.
+func (r *Rank) killCheck() {
+	if r.killPoint <= 0 {
+		return
+	}
+	r.ops++
+	if r.ops >= r.killPoint {
+		r.killPoint = -1 // fire once
+		r.Comm.FaultPlan().CountKill()
+		if rec := r.Tracer(); rec != nil {
+			rec.Instant(r.ID, trace.CatLiveness, "rank_killed",
+				trace.F("op", float64(r.ops)))
+		}
+		if b := r.Comm.Liveness(); b != nil {
+			b.MarkDead(r.ID)
+		}
+		panic(liveness.Killed{Rank: r.ID})
+	}
+}
+
+// Protected runs one collective (or any block of communicator calls)
+// and converts a dead-peer abort into an ordinary error: the transport
+// layers signal a dead peer by panicking with *liveness.PeerDeadError,
+// and this boundary recovers exactly that type. The error is this
+// rank's *local* view; call Agree to turn it into the communicator-wide
+// coherent verdict. Kill panics and genuine bugs pass through.
+func (r *Rank) Protected(f func()) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			if pd, ok := v.(*liveness.PeerDeadError); ok {
+				err = pd
+				return
+			}
+			panic(v)
+		}
+	}()
+	f()
+	return nil
+}
+
+// Agree runs the coherent-error agreement round over the liveness
+// board: every survivor contributes its local verdict (nil or a
+// *liveness.PeerDeadError) and every survivor returns the same answer —
+// nil only if no rank observed or suffered a failure, otherwise a
+// *liveness.PeerDeadError with the identical agreed failed-rank set.
+// Survivors must agree on that set before shrinking, or they would
+// build incompatible successor communicators. Without a liveness board
+// the local error is returned unchanged.
+func (r *Rank) Agree(localErr error) error {
+	b := r.Comm.Liveness()
+	if b == nil {
+		return localErr
+	}
+	var local []int
+	if pd, ok := localErr.(*liveness.PeerDeadError); ok {
+		local = pd.Ranks
+	} else if localErr != nil {
+		return localErr // not a liveness failure: nothing to agree about
+	}
+	round := r.agreeRound
+	r.agreeRound++
+	rec := r.Tracer()
+	span := trace.NoSpan
+	if rec != nil {
+		span = rec.Begin(r.ID, trace.CatLiveness, "agree",
+			trace.F("round", float64(round)))
+	}
+	set := b.Agree(r.SP, r.ID, round, local)
+	if rec != nil {
+		rec.End(span, trace.F("failed", float64(len(set))))
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	return liveness.NewPeerDeadError(set)
+}
+
+// Shrink builds the survivor communicator after an agreed failure and
+// returns this rank's handle in it. Every survivor must call Shrink
+// with the *agreed* failed set (from Agree); the first caller
+// constructs the new communicator — fresh shared-memory transport,
+// fresh right-sized liveness board, contiguous re-numbered ranks that
+// keep their OS processes, sockets and degraded-pair state — and the
+// rest adopt it. Before returning, the survivors re-run the one-time
+// address (PID) exchange over the new transport, so the new
+// communicator is proven end-to-end exactly like a fresh one.
+//
+// Shrink does not disarm the fault plan's kill class: call
+// FaultPlan().Revive() first if the survivors' re-run must not suffer
+// fresh seeded deaths.
+func (r *Rank) Shrink(failed []int) *Rank {
+	c := r.Comm
+	if c.shrunk == nil {
+		c.buildShrunk(failed)
+	} else if !equalRankSet(c.shrunkFailed, failed) {
+		panic(fmt.Sprintf("mpi: Shrink disagreement: rank %d shrinks on %v, communicator shrunk on %v (agreement missing?)",
+			r.ID, failed, c.shrunkFailed))
+	}
+	nc := c.shrunk
+	nr := nc.ranks[nc.RankFromParent(r.ID)]
+	nr.SP = r.SP
+	if rec := r.Tracer(); rec != nil {
+		rec.Instant(r.ID, trace.CatLiveness, "shrink",
+			trace.F("survivors", float64(nc.Size())), trace.F("new_rank", float64(nr.ID)))
+	}
+	// One-time address exchange on the surviving set: every rank
+	// publishes its PID and checks the gathered table against the new
+	// rank table, driving the first traffic through the new transport.
+	pids := nr.Allgather64(int64(nr.OS.PID()))
+	for i, pid := range pids {
+		if int(pid) != nc.ranks[i].OS.PID() {
+			panic(fmt.Sprintf("mpi: post-shrink address exchange mismatch at rank %d: got pid %d, want %d",
+				i, pid, nc.ranks[i].OS.PID()))
+		}
+	}
+	return nr
+}
+
+// buildShrunk constructs the survivor communicator (first Shrink caller
+// only). The node-level liveness board is replaced by a fresh one sized
+// to the survivor count — the old board's rank numbering dies with the
+// old communicator.
+func (c *Comm) buildShrunk(failed []int) {
+	dead := make(map[int]bool, len(failed))
+	for _, f := range failed {
+		dead[f] = true
+	}
+	var alive []int
+	for i := range c.ranks {
+		if !dead[i] {
+			alive = append(alive, i)
+		}
+	}
+	if len(alive) == 0 {
+		panic("mpi: Shrink with no survivors")
+	}
+	nc := &Comm{Node: c.Node, Sim: c.Sim, cfg: c.cfg}
+	nc.cfg.Procs = len(alive)
+	nc.Shm = shm.New(c.Node, len(alive))
+	if b := c.Node.Liveness(); b != nil {
+		c.Node.SetLiveness(liveness.NewBoard(c.Sim, len(alive), b.Config()))
+	}
+	plan := c.FaultPlan()
+	for newID, oldID := range alive {
+		old := c.ranks[oldID]
+		nr := &Rank{Comm: nc, ID: newID, OS: old.OS, killPoint: plan.KillPoint(newID)}
+		if old.cmaDead != nil {
+			// Degraded pairs stay degraded: the mm didn't heal because the
+			// communicator was renumbered.
+			nr.cmaDead = make([]bool, len(alive))
+			for newP, oldP := range alive {
+				nr.cmaDead[newP] = old.cmaDead[oldP]
+			}
+		}
+		nc.ranks = append(nc.ranks, nr)
+		nc.parentIDs = append(nc.parentIDs, oldID)
+	}
+	c.shrunk = nc
+	c.shrunkFailed = append([]int(nil), failed...)
+}
+
+func equalRankSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Barrier synchronizes all ranks (dissemination barrier over shared
 // memory).
 func (r *Rank) Barrier() {
+	r.killCheck()
 	span := trace.NoSpan
 	if rec := r.Tracer(); rec != nil {
 		span = rec.Begin(r.ID, trace.CatMPI, "barrier")
@@ -241,6 +489,7 @@ const matchCost = 0.3
 // carrying its buffer address, the receiver pulls the payload with a
 // single CMA read, then posts a FIN.
 func (r *Rank) Send(dst int, addr kernel.Addr, size int64) {
+	r.killCheck()
 	c := r.Comm
 	span := trace.NoSpan
 	rec := r.Tracer()
@@ -267,6 +516,7 @@ func (r *Rank) Send(dst int, addr kernel.Addr, size int64) {
 // Recv receives size bytes from rank src into addr. The protocol is
 // chosen by size exactly as in Send; both sides must agree.
 func (r *Rank) Recv(src int, addr kernel.Addr, size int64) {
+	r.killCheck()
 	c := r.Comm
 	span := trace.NoSpan
 	rec := r.Tracer()
@@ -300,6 +550,7 @@ func (r *Rank) Recv(src int, addr kernel.Addr, size int64) {
 // serving the incoming message, and the FIN is collected last. Both
 // directions choose eager vs rendezvous independently by size.
 func (r *Rank) Sendrecv(dst int, sAddr kernel.Addr, sSize int64, src int, rAddr kernel.Addr, rSize int64) {
+	r.killCheck()
 	c := r.Comm
 	r.SP.Sleep(matchCost) // send-side envelope; Recv below charges its own
 	sRndv := sSize >= c.cfg.RendezvousThreshold
@@ -319,12 +570,14 @@ func (r *Rank) Sendrecv(dst int, sAddr kernel.Addr, sSize int64, src int, rAddr 
 // SendShm forces the eager/shared-memory path regardless of size (used
 // by the pure shared-memory baseline designs).
 func (r *Rank) SendShm(dst int, addr kernel.Addr, size int64) {
+	r.killCheck()
 	r.SP.Sleep(matchCost)
 	r.Comm.Shm.Send(r.SP, r.ID, dst, tagEager, r.OS, addr, size)
 }
 
 // RecvShm forces the shared-memory path regardless of size.
 func (r *Rank) RecvShm(src int, addr kernel.Addr, size int64) {
+	r.killCheck()
 	r.SP.Sleep(matchCost)
 	r.Comm.Shm.Recv(r.SP, src, r.ID, tagEager, r.OS, addr, size)
 }
@@ -334,6 +587,7 @@ func (r *Rank) RecvShm(src int, addr kernel.Addr, size int64) {
 // send and receive peers may differ; all ranks of the pattern must call
 // it together.
 func (r *Rank) SendrecvShm(sendPeer int, sAddr kernel.Addr, sSize int64, recvPeer int, rAddr kernel.Addr, rSize int64) {
+	r.killCheck()
 	r.SP.Sleep(2 * matchCost) // one send-side + one recv-side envelope
 	r.Comm.Shm.Exchange(r.SP, r.ID, sendPeer, recvPeer, tagEager, r.OS, sAddr, sSize, rAddr, rSize)
 }
@@ -341,24 +595,33 @@ func (r *Rank) SendrecvShm(sendPeer int, sAddr kernel.Addr, sSize int64, recvPee
 // Bcast64 broadcasts an 8-byte value from root (shared-memory control
 // collective).
 func (r *Rank) Bcast64(root int, val int64) int64 {
+	r.killCheck()
 	return r.Comm.Shm.Bcast64(r.SP, r.ID, root, val)
 }
 
 // Gather64 gathers one 8-byte value per rank at root.
 func (r *Rank) Gather64(root int, val int64) []int64 {
+	r.killCheck()
 	return r.Comm.Shm.Gather64(r.SP, r.ID, root, val)
 }
 
 // Allgather64 gathers one 8-byte value per rank everywhere.
 func (r *Rank) Allgather64(val int64) []int64 {
+	r.killCheck()
 	return r.Comm.Shm.Allgather64(r.SP, r.ID, val)
 }
 
 // Notify posts a 0-byte completion message to dst.
-func (r *Rank) Notify(dst int) { r.Comm.Shm.Notify(r.SP, r.ID, dst) }
+func (r *Rank) Notify(dst int) {
+	r.killCheck()
+	r.Comm.Shm.Notify(r.SP, r.ID, dst)
+}
 
 // WaitNotify consumes a 0-byte completion message from src.
-func (r *Rank) WaitNotify(src int) { r.Comm.Shm.WaitNotify(r.SP, src, r.ID) }
+func (r *Rank) WaitNotify(src int) {
+	r.killCheck()
+	r.Comm.Shm.WaitNotify(r.SP, src, r.ID)
+}
 
 // VMRead pulls size bytes from rank src's address space (native CMA
 // collective building block; the address came from a control exchange).
@@ -367,12 +630,14 @@ func (r *Rank) WaitNotify(src int) { r.Comm.Shm.WaitNotify(r.SP, src, r.ID) }
 // is exhausted, that (rank, peer) pair degrades permanently to the
 // two-copy path, so the payload always lands exactly.
 func (r *Rank) VMRead(dst kernel.Addr, src int, srcAddr kernel.Addr, size int64) {
+	r.killCheck()
 	r.vmOp(dst, src, srcAddr, size, true)
 }
 
 // VMWrite pushes size bytes into rank dst's address space, with the
 // same retry/fallback behaviour as VMRead.
 func (r *Rank) VMWrite(src kernel.Addr, dst int, dstAddr kernel.Addr, size int64) {
+	r.killCheck()
 	r.vmOp(src, dst, dstAddr, size, false)
 }
 
@@ -418,16 +683,30 @@ func (r *Rank) vmOp(local kernel.Addr, peer int, remote kernel.Addr, size int64,
 	// The kernel assist against this peer is declared failed: degrade
 	// the pair to the two-copy path for the rest of the run and finish
 	// the remainder of this transfer over it.
-	if r.cmaDead == nil {
-		r.cmaDead = make([]bool, r.Size())
-	}
-	r.cmaDead[peer] = true
+	r.markCMADead(peer)
 	r.Comm.FaultPlan().CountFallback()
 	if rec := r.Tracer(); rec != nil {
 		rec.Instant(r.ID, trace.CatFault, "cma_fallback",
 			trace.F("peer", float64(peer)), trace.F("completed", float64(done)))
 	}
 	r.bounce(local+kernel.Addr(done), peer, remote+kernel.Addr(done), size-done, read)
+}
+
+// markCMADead degrades the (r, peer) pair to the two-copy path — in
+// both directions on both rank objects. Read and write against a pair
+// hit the same mm state, so once one side's retry budget is exhausted
+// the reverse transfer (e.g. Sendrecv's pull path) would only burn a
+// second full budget against a pair already known bad.
+func (r *Rank) markCMADead(peer int) {
+	if r.cmaDead == nil {
+		r.cmaDead = make([]bool, r.Size())
+	}
+	r.cmaDead[peer] = true
+	pr := r.Comm.ranks[peer]
+	if pr.cmaDead == nil {
+		pr.cmaDead = make([]bool, pr.Size())
+	}
+	pr.cmaDead[r.ID] = true
 }
 
 // bounce moves size bytes over the degraded two-copy path.

@@ -2,12 +2,14 @@ package mpi
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 	"testing/quick"
 
 	"camc/internal/arch"
 	"camc/internal/kernel"
+	"camc/internal/liveness"
 	"camc/internal/sim"
 )
 
@@ -297,6 +299,121 @@ func TestManyRanksFullSubscription(t *testing.T) {
 		t.Fatal("no time elapsed")
 	}
 	_ = fmt.Sprint(res)
+}
+
+// TestBlockingPrimitivesHonorDeadline drives every blocking transport
+// primitive against a rank that fails silently (returns without ever
+// participating) and asserts the liveness property end to end: each
+// survivor that blocks on the dead rank — directly or transitively —
+// gets *liveness.PeerDeadError naming it, no survivor blocks past the
+// configured deadline (plus revocation slack), and survivors whose part
+// of the primitive never blocks finish clean. VMRead/VMWrite are absent
+// by design: CMA reads a peer's memory without its cooperation, so they
+// cannot block on a dead rank (their dead-peer marking is covered by
+// the kill-plan tests in internal/measure).
+func TestBlockingPrimitivesHonorDeadline(t *testing.T) {
+	const (
+		procs    = 4
+		dead     = 2
+		deadline = 200.0
+		poll     = 5.0
+	)
+	all := []int{0, 1, 3} // every survivor blocks
+	cases := []struct {
+		name     string
+		errRanks []int // survivors whose Protected must return ErrPeerDead
+		body     func(r *Rank, addrs []kernel.Addr)
+	}{
+		{"recv", all, func(r *Rank, addrs []kernel.Addr) {
+			r.Recv(dead, addrs[r.ID], 4<<10)
+		}},
+		{"send_rendezvous", all, func(r *Rank, addrs []kernel.Addr) {
+			r.Send(dead, addrs[r.ID], 256<<10)
+		}},
+		{"sendrecv", all, func(r *Rank, addrs []kernel.Addr) {
+			r.Sendrecv(dead, addrs[r.ID], 4<<10, dead, addrs[r.ID], 4<<10)
+		}},
+		{"barrier", all, func(r *Rank, addrs []kernel.Addr) {
+			r.Barrier()
+		}},
+		{"wait_notify", all, func(r *Rank, addrs []kernel.Addr) {
+			r.WaitNotify(dead)
+		}},
+		{"bcast64_dead_root", all, func(r *Rank, addrs []kernel.Addr) {
+			r.Bcast64(dead, int64(r.ID))
+		}},
+		// Gather64 is flat: non-roots post their ctl message and return,
+		// so only the root blocks on the dead contributor.
+		{"gather64_dead_child", []int{0}, func(r *Rank, addrs []kernel.Addr) {
+			r.Gather64(0, int64(r.ID))
+		}},
+		{"allgather64", all, func(r *Rank, addrs []kernel.Addr) {
+			r.Allgather64(int64(r.ID))
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := smallCfg(procs)
+			cfg.Liveness = &liveness.Config{Deadline: deadline, Poll: poll}
+			c := New(cfg)
+			addrs := make([]kernel.Addr, procs)
+			for i := 0; i < procs; i++ {
+				addrs[i] = c.Rank(i).Alloc(256 << 10)
+			}
+			errs := make([]error, procs)
+			ran := make([]bool, procs)
+			c.Start(func(r *Rank) {
+				if r.ID == dead {
+					return // silent permanent failure: never participates
+				}
+				errs[r.ID] = r.Protected(func() { tc.body(r, addrs) })
+				ran[r.ID] = true
+			})
+			if err := c.Sim.Run(); err != nil {
+				t.Fatal(err)
+			}
+			// The detection bound: the first blocked survivor waits out
+			// one full deadline, everyone else is revoked within polls.
+			if now := c.Sim.Now(); now > deadline+deadline/2 {
+				t.Fatalf("survivors still blocked at %.1fus (deadline %gus)", now, deadline)
+			}
+			mustErr := map[int]bool{}
+			for _, i := range tc.errRanks {
+				mustErr[i] = true
+			}
+			for i := 0; i < procs; i++ {
+				if i == dead {
+					continue
+				}
+				if !ran[i] {
+					t.Fatalf("rank %d never returned from Protected", i)
+				}
+				if !mustErr[i] {
+					if errs[i] != nil {
+						t.Fatalf("rank %d should finish clean, got %v", i, errs[i])
+					}
+					continue
+				}
+				if !errors.Is(errs[i], liveness.ErrPeerDead) {
+					t.Fatalf("rank %d: err = %v, want ErrPeerDead", i, errs[i])
+				}
+				var pd *liveness.PeerDeadError
+				if !errors.As(errs[i], &pd) {
+					t.Fatalf("rank %d: err %T is not *PeerDeadError", i, errs[i])
+				}
+				found := false
+				for _, d := range pd.Ranks {
+					if d == dead {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("rank %d: dead set %v misses rank %d", i, pd.Ranks, dead)
+				}
+			}
+		})
+	}
 }
 
 func TestNewOnNodeSharesSimulation(t *testing.T) {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"camc/internal/kernel"
+	"camc/internal/liveness"
 	"camc/internal/sim"
 	"camc/internal/trace"
 )
@@ -106,10 +107,103 @@ func (t *Transport) stall(src, dst int) float64 {
 	return d
 }
 
+// recvMsg takes the next message from src's queue to dst. Without a
+// liveness board this is a plain unbounded Recv. With a board attached,
+// the wait is chopped into Poll-sized quanta: each quantum the receiver
+// re-publishes its own heartbeat, then attempts a timed receive; a
+// message that arrives in time is delivered at its exact arrival
+// instant (the timed wait cancels its deadline event unprocessed), so
+// healthy runs are latency-identical to board-less ones.
+//
+// A quantum that ends empty-handed while *any* rank is marked dead
+// aborts the wait — ULFM-style revocation. The direct peer may be
+// perfectly alive but already aborted out of the doomed collective
+// (it observed the death first and will never send); waiting the full
+// Deadline on it would then falsely declare a survivor dead, and the
+// false positive would cascade through the agreement round. After a
+// full Deadline with nothing delivered and nothing on the board, the
+// awaited src is declared dead — but only if its heartbeat is also a
+// full Deadline stale (Board.Stale). A fresh heartbeat means src is
+// alive and merely blocked elsewhere, typically on the actually-dead
+// rank whose own waiter expires at the same instant; the receiver then
+// keeps polling until that true death lands on the board and revocation
+// ends the wait. Either way a failed wait panics with a
+// *liveness.PeerDeadError,
+// which the MPI layer recovers at the protected-collective boundary —
+// collectives in internal/core need no error plumbing.
+func (t *Transport) recvMsg(sp *sim.Proc, src, dst int) message {
+	q := t.queue(src, dst)
+	b := t.node.Liveness()
+	if b == nil {
+		return q.Recv(sp)
+	}
+	cfg := b.Config()
+	deadline := sp.Now() + cfg.Deadline
+	for {
+		b.Beat(dst)
+		wait := cfg.Poll
+		if r := deadline - sp.Now(); r > 0 && r < wait {
+			wait = r
+		}
+		if m, ok := q.RecvTimeout(sp, wait); ok {
+			return m
+		}
+		if b.AnyDead() {
+			t.liveFail(dst, src, "recv")
+		}
+		if sp.Now() >= deadline && b.Stale(src, cfg.Deadline) {
+			b.MarkDead(src)
+			t.liveFail(dst, src, "recv")
+		}
+	}
+}
+
+// sendMsg posts a message from src to dst, with the same deadline and
+// revocation discipline as recvMsg for the flow-control stall when
+// dst's queue is full (a dead receiver never drains its cells).
+func (t *Transport) sendMsg(sp *sim.Proc, src, dst int, m message) {
+	q := t.queue(src, dst)
+	b := t.node.Liveness()
+	if b == nil {
+		q.Send(sp, m)
+		return
+	}
+	cfg := b.Config()
+	deadline := sp.Now() + cfg.Deadline
+	for {
+		b.Beat(src)
+		wait := cfg.Poll
+		if r := deadline - sp.Now(); r > 0 && r < wait {
+			wait = r
+		}
+		if q.SendTimeout(sp, m, wait) {
+			return
+		}
+		if b.AnyDead() {
+			t.liveFail(src, dst, "send")
+		}
+		if sp.Now() >= deadline && b.Stale(dst, cfg.Deadline) {
+			b.MarkDead(dst)
+			t.liveFail(src, dst, "send")
+		}
+	}
+}
+
+// liveFail aborts the calling rank's wait against a dead peer: it traces
+// the detection and panics with the board's current failed-rank set.
+func (t *Transport) liveFail(self, peer int, op string) {
+	b := t.node.Liveness()
+	if rec := t.node.Recorder(); rec != nil {
+		rec.Instant(self, trace.CatLiveness, "peer_dead_"+op,
+			trace.F("peer", float64(peer)))
+	}
+	panic(liveness.NewPeerDeadError(b.DeadSet()))
+}
+
 // SendCtl posts an 8-byte control message from src to dst.
 func (t *Transport) SendCtl(sp *sim.Proc, src, dst, tag int, val int64) {
 	sp.Sleep(ctlCost)
-	t.queue(src, dst).Send(sp, message{
+	t.sendMsg(sp, src, dst, message{
 		tag:     tag,
 		readyAt: sp.Now() + t.node.Arch.ShmLatency + t.stall(src, dst),
 		ctl:     val,
@@ -121,7 +215,7 @@ func (t *Transport) SendCtl(sp *sim.Proc, src, dst, tag int, val int64) {
 // condition).
 func (t *Transport) RecvCtl(sp *sim.Proc, src, dst, tag int) int64 {
 	waitStart := sp.Now()
-	m := t.queue(src, dst).Recv(sp)
+	m := t.recvMsg(sp, src, dst)
 	if m.tag != tag {
 		panic(fmt.Sprintf("shm: tag mismatch on %d->%d: got %d, want %d", src, dst, m.tag, tag))
 	}
@@ -149,7 +243,6 @@ func (t *Transport) Send(sp *sim.Proc, src, dst, tag int, srcProc *kernel.Proces
 	}
 	a := t.node.Arch
 	cell := int64(a.ShmCellSize)
-	q := t.queue(src, dst)
 	beta := a.ShmCopyBeta()
 	rec := t.node.Recorder()
 	span := trace.NoSpan
@@ -182,7 +275,7 @@ func (t *Transport) Send(sp *sim.Proc, src, dst, tag int, srcProc *kernel.Proces
 		if t.node.CopyData && n > 0 {
 			m.data = append([]byte(nil), srcProc.Bytes(addr+kernel.Addr(off), n)...)
 		}
-		q.Send(sp, m)
+		t.sendMsg(sp, src, dst, m)
 		if m.last {
 			if rec != nil {
 				rec.End(span, trace.F("copy", copyT+ct))
@@ -206,8 +299,6 @@ func (t *Transport) Exchange(sp *sim.Proc, me, sendPeer, recvPeer, tag int, proc
 	a := t.node.Arch
 	cell := int64(a.ShmCellSize)
 	beta := a.ShmCopyBeta()
-	out := t.queue(me, sendPeer)
-	in := t.queue(recvPeer, me)
 	rec := t.node.Recorder()
 	span := trace.NoSpan
 	copyT, waitStart, readyTs, lastReadyAt := 0.0, 0.0, 0.0, 0.0
@@ -239,13 +330,13 @@ func (t *Transport) Exchange(sp *sim.Proc, me, sendPeer, recvPeer, tag int, proc
 			if t.node.CopyData && n > 0 {
 				m.data = append([]byte(nil), proc.Bytes(sAddr+kernel.Addr(sent), n)...)
 			}
-			out.Send(sp, m)
+			t.sendMsg(sp, me, sendPeer, m)
 			sent += n
 			sendDone = m.last
 		}
 		if !recvDone {
 			waitStart = sp.Now()
-			m := in.Recv(sp)
+			m := t.recvMsg(sp, recvPeer, me)
 			if m.tag != tag {
 				panic(fmt.Sprintf("shm: tag mismatch on %d->%d: got %d, want %d", recvPeer, me, m.tag, tag))
 			}
@@ -288,7 +379,6 @@ func (t *Transport) Exchange(sp *sim.Proc, me, sendPeer, recvPeer, tag int, proc
 // (second copy). size must match what the sender staged.
 func (t *Transport) Recv(sp *sim.Proc, src, dst, tag int, dstProc *kernel.Process, addr kernel.Addr, size int64) {
 	a := t.node.Arch
-	q := t.queue(src, dst)
 	beta := a.ShmCopyBeta()
 	rec := t.node.Recorder()
 	span := trace.NoSpan
@@ -300,7 +390,7 @@ func (t *Transport) Recv(sp *sim.Proc, src, dst, tag int, dstProc *kernel.Proces
 	var got int64
 	for {
 		waitStart = sp.Now()
-		m := q.Recv(sp)
+		m := t.recvMsg(sp, src, dst)
 		if m.tag != tag {
 			panic(fmt.Sprintf("shm: tag mismatch on %d->%d: got %d, want %d", src, dst, m.tag, tag))
 		}

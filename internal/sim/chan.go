@@ -20,12 +20,32 @@ type Chan[T any] struct {
 type sendWaiter[T any] struct {
 	p   *Proc
 	val T
+	ok  bool   // value taken by a receiver (vs. timed out)
+	tm  *timer // deadline, nil for untimed sends
 }
 
 type recvWaiter[T any] struct {
 	p   *Proc
 	val T
 	ok  bool
+	tm  *timer // deadline, nil for untimed receives
+}
+
+// disarm cancels a timed waiter's deadline. Every wake path must call it
+// before wake: a timed waiter has two possible resume sources (its timer
+// and its peer), and the simulator's token protocol permits exactly one.
+func (w *sendWaiter[T]) disarm() {
+	if w.tm != nil {
+		w.tm.cancel()
+		w.tm = nil
+	}
+}
+
+func (w *recvWaiter[T]) disarm() {
+	if w.tm != nil {
+		w.tm.cancel()
+		w.tm = nil
+	}
 }
 
 // NewChan creates a channel with the given buffer capacity (0 for
@@ -49,6 +69,7 @@ func (c *Chan[T]) Send(p *Proc, v T) {
 		w := c.recvq[0]
 		c.recvq = c.recvq[1:]
 		w.val, w.ok = v, true
+		w.disarm()
 		w.p.wake(c.sim.now)
 		return
 	}
@@ -68,6 +89,7 @@ func (c *Chan[T]) TrySend(v T) bool {
 		w := c.recvq[0]
 		c.recvq = c.recvq[1:]
 		w.val, w.ok = v, true
+		w.disarm()
 		w.p.wake(c.sim.now)
 		return true
 	}
@@ -88,6 +110,8 @@ func (c *Chan[T]) Recv(p *Proc) T {
 			sw := c.sendq[0]
 			c.sendq = c.sendq[1:]
 			c.buf = append(c.buf, sw.val)
+			sw.ok = true
+			sw.disarm()
 			sw.p.wake(c.sim.now)
 		}
 		return v
@@ -95,6 +119,8 @@ func (c *Chan[T]) Recv(p *Proc) T {
 	if len(c.sendq) > 0 { // rendezvous: take directly from a parked sender
 		sw := c.sendq[0]
 		c.sendq = c.sendq[1:]
+		sw.ok = true
+		sw.disarm()
 		sw.p.wake(c.sim.now)
 		return sw.val
 	}
@@ -117,6 +143,8 @@ func (c *Chan[T]) TryRecv() (T, bool) {
 			sw := c.sendq[0]
 			c.sendq = c.sendq[1:]
 			c.buf = append(c.buf, sw.val)
+			sw.ok = true
+			sw.disarm()
 			sw.p.wake(c.sim.now)
 		}
 		return v, true
@@ -124,8 +152,68 @@ func (c *Chan[T]) TryRecv() (T, bool) {
 	if len(c.sendq) > 0 {
 		sw := c.sendq[0]
 		c.sendq = c.sendq[1:]
+		sw.ok = true
+		sw.disarm()
 		sw.p.wake(c.sim.now)
 		return sw.val, true
 	}
 	return zero, false
+}
+
+// RecvTimeout is Recv with a virtual-time deadline: it returns (v, true)
+// if a message arrives within d microseconds of now, and (zero, false)
+// otherwise. A message available immediately never times out, and a
+// receive that completes in time is indistinguishable from a plain Recv —
+// same wake instant, same dispatch count (the cancelled deadline event is
+// discarded unprocessed). When a message lands exactly at the deadline
+// the timeout wins: its event was scheduled first, so it has the earlier
+// sequence number at the tied instant.
+func (c *Chan[T]) RecvTimeout(p *Proc, d Time) (T, bool) {
+	var zero T
+	if d < 0 {
+		panic("sim: negative recv timeout")
+	}
+	if v, ok := c.TryRecv(); ok {
+		return v, true
+	}
+	rw := &recvWaiter[T]{p: p, tm: c.sim.scheduleTimer(p, c.sim.now+d)}
+	c.recvq = append(c.recvq, rw)
+	p.block("chan recv (timed)")
+	if rw.ok {
+		return rw.val, true
+	}
+	// The deadline fired: withdraw from the waiter queue so a later
+	// sender cannot hand a value (and a wake) to a process that left.
+	for i, w := range c.recvq {
+		if w == rw {
+			c.recvq = append(c.recvq[:i], c.recvq[i+1:]...)
+			break
+		}
+	}
+	return zero, false
+}
+
+// SendTimeout is Send with a virtual-time deadline: it reports whether
+// the channel accepted v within d microseconds of now. Like RecvTimeout,
+// a send that completes in time is indistinguishable from a plain Send.
+func (c *Chan[T]) SendTimeout(p *Proc, v T, d Time) bool {
+	if d < 0 {
+		panic("sim: negative send timeout")
+	}
+	if c.TrySend(v) {
+		return true
+	}
+	sw := &sendWaiter[T]{p: p, val: v, tm: c.sim.scheduleTimer(p, c.sim.now+d)}
+	c.sendq = append(c.sendq, sw)
+	p.block("chan send (timed)")
+	if sw.ok {
+		return true
+	}
+	for i, w := range c.sendq {
+		if w == sw {
+			c.sendq = append(c.sendq[:i], c.sendq[i+1:]...)
+			break
+		}
+	}
+	return false
 }

@@ -89,6 +89,29 @@ type event struct {
 	t   Time
 	seq uint64
 	p   *Proc
+	tm  *timer // non-nil for cancellable timer events
+}
+
+// timer is a cancellable scheduled wake-up backing the timed channel
+// waits. Cancelling does not remove the heap event; the dispatcher
+// discards cancelled events unprocessed, so a cancelled timer costs one
+// heap pop and nothing else. A fired timer is inert: cancelling it
+// afterwards is a no-op.
+type timer struct {
+	stopped bool
+}
+
+func (tm *timer) cancel() { tm.stopped = true }
+
+// scheduleTimer schedules a cancellable wake-up for p at time at. Unlike
+// schedule, the resulting event can be disarmed before it fires, which is
+// what lets a timed waiter be woken by either a peer or its deadline
+// without ever receiving two resumes.
+func (s *Simulation) scheduleTimer(p *Proc, at Time) *timer {
+	tm := &timer{}
+	s.seq++
+	s.events.push(event{t: at, seq: s.seq, p: p, tm: tm})
+	return tm
 }
 
 // eventHeap is a concrete binary min-heap ordered by (time, sequence).
@@ -153,30 +176,56 @@ func (s *Simulation) schedule(p *Proc, at Time) {
 
 func (s *Simulation) popEvent() event { return s.events.pop() }
 
+// dispatch outcomes for dispatchNext.
+const (
+	dispatchedNone  = iota // heap drained; caller still holds the token
+	dispatchedOther        // token handed to another process
+	dispatchedSelf         // earliest event was the caller's own: clock
+	// advanced in place, token kept (timed waits whose own deadline is
+	// the only pending event — handing the token through the resume
+	// channel to oneself would deadlock the goroutine)
+)
+
 // dispatchNext pops the earliest event and hands the scheduling token to
-// its process. It reports false when no events remain; the caller must
-// then return the token to Run for termination handling. Only the
-// current token holder may call it.
-func (s *Simulation) dispatchNext() bool {
-	if len(s.events) == 0 {
-		return false
+// its process. self is the current token holder (nil when called from
+// Run or a finishing process). Only the current token holder may call
+// it.
+func (s *Simulation) dispatchNext(self *Proc) int {
+	for {
+		if len(s.events) == 0 {
+			return dispatchedNone
+		}
+		e := s.events.pop()
+		if e.tm != nil && e.tm.stopped {
+			// Cancelled timer: discard without advancing the clock or
+			// counting a dispatch, so timed waits that complete in time
+			// leave no trace in either the timeline or the stats.
+			continue
+		}
+		if e.t < s.now {
+			panic(fmt.Sprintf("sim: time went backwards: %g < %g", e.t, s.now))
+		}
+		s.now = e.t
+		s.processed++
+		e.p.blockedOn = ""
+		if e.p == self {
+			return dispatchedSelf
+		}
+		e.p.resume <- struct{}{}
+		return dispatchedOther
 	}
-	e := s.events.pop()
-	if e.t < s.now {
-		panic(fmt.Sprintf("sim: time went backwards: %g < %g", e.t, s.now))
-	}
-	s.now = e.t
-	s.processed++
-	e.p.blockedOn = ""
-	e.p.resume <- struct{}{}
-	return true
 }
 
 // yieldToken hands the token to the next runnable process (or back to
-// the scheduler when the heap is empty) and parks until resumed.
+// the scheduler when the heap is empty) and parks until resumed. When
+// the next event is the caller's own wake-up it returns immediately
+// without parking.
 func (p *Proc) yieldToken() {
 	s := p.sim
-	if !s.dispatchNext() {
+	switch s.dispatchNext(p) {
+	case dispatchedSelf:
+		return
+	case dispatchedNone:
 		s.sched <- schedMsg{proc: p}
 	}
 	<-p.resume
@@ -207,7 +256,7 @@ func (s *Simulation) Spawn(name string, fn func(p *Proc)) *Proc {
 			s.sched <- schedMsg{proc: p, panicVal: panicked}
 			return
 		}
-		if !s.dispatchNext() {
+		if s.dispatchNext(nil) == dispatchedNone {
 			s.sched <- schedMsg{proc: p}
 		}
 	}()
@@ -239,7 +288,7 @@ func (s *Simulation) Run() error {
 	}
 	s.running = true
 	defer func() { s.running = false }()
-	for s.dispatchNext() {
+	for s.dispatchNext(nil) != dispatchedNone {
 		msg := <-s.sched
 		if msg.panicVal != nil {
 			panic(fmt.Sprintf("sim: process %q panicked: %v", msg.proc.name, msg.panicVal))

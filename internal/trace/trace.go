@@ -42,6 +42,7 @@ const (
 	CatMPI      Cat = "mpi"      // pt2pt protocol and barrier (internal/mpi)
 	CatThrottle Cat = "throttle" // throttle-token hand-offs (internal/core)
 	CatFault    Cat = "fault"    // injected faults and degraded-mode reactions (internal/fault)
+	CatLiveness Cat = "liveness" // failure detection, agreement and shrink (internal/liveness)
 )
 
 // Kind distinguishes the event shapes a Recorder stores.

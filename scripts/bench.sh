@@ -5,6 +5,8 @@
 #   - wall-clock of the representative tab6 sweep (full size ladder,
 #     all architectures) at -j 1 vs -j $(nproc)
 #   - the simulator dispatch micro-benchmarks (ns/event, allocs/op)
+#   - the x9 chaos recovery latencies (worst-case detection and shrink
+#     across the quick kill matrix, in simulated us)
 #
 # The "seed_baseline" block in the JSON is the pre-optimisation
 # measurement (central-scheduler dispatcher, sequential sweeps) captured
@@ -35,6 +37,27 @@ echo "   ${t1}s"
 echo "== tab6 sweep, -j $JOBS"
 tn=$(secs "$bin/camc-bench" -run tab6 -j "$JOBS")
 echo "   ${tn}s"
+
+echo "== x9 chaos sweep (recovery latencies)"
+x9_csv=$("$bin/camc-bench" -run x9 -quick -format csv)
+# Section-scoped column maxima from the CSV: worst-case detection
+# (first death -> coherent agreement) and shrink (agreement -> rebuilt
+# communicator) latency across the quick kill matrix, plus the
+# worst-case whole detect-to-shrink path per collective.
+x9_detect=$(echo "$x9_csv" | awk -F, '
+    /^# Detection/ { s = 1; next } /^#/ { s = 0 }
+    s && $1 != "collective" && NF > 1 { if ($2 > m) m = $2 }
+    END { printf "%.2f", m }')
+x9_shrink=$(echo "$x9_csv" | awk -F, '
+    /^# Shrink/ { s = 1; next } /^#/ { s = 0 }
+    s && $1 != "collective" && NF > 1 { if ($2 > m) m = $2 }
+    END { printf "%.2f", m }')
+x9_cycle=$(echo "$x9_csv" | awk -F, '
+    /^# Detection/ { s = 1; next } /^# Shrink/ { s = 2; next } /^#/ { s = 0 }
+    s == 1 && $1 != "collective" && NF > 1 { d[$1] = $2 }
+    s == 2 && $1 != "collective" && NF > 1 { sh[$1] = $2 }
+    END { for (k in d) { v = d[k] + sh[k]; if (v > m) m = v } printf "%.2f", m }')
+echo "   detect ${x9_detect}us, shrink ${x9_shrink}us, detect-to-shrink ${x9_cycle}us (simulated, worst case)"
 
 echo "== simulator dispatch benchmarks"
 bench_out=$(go test -run '^$' -bench 'BenchmarkDispatch|BenchmarkSchedule' -benchmem ./internal/sim/)
@@ -72,7 +95,10 @@ cat >"$OUT" <<EOF
     "selfwake_ns_per_event": $(field BenchmarkDispatchSelfWake ns/event),
     "selfwake_allocs_per_op": $(field BenchmarkDispatchSelfWake allocs/op),
     "schedule_ns_per_op": $(field BenchmarkSchedule ns/op),
-    "schedule_allocs_per_op": $(field BenchmarkSchedule allocs/op)
+    "schedule_allocs_per_op": $(field BenchmarkSchedule allocs/op),
+    "x9_detect_us_max": $x9_detect,
+    "x9_shrink_us_max": $x9_shrink,
+    "x9_detect_to_shrink_us_max": $x9_cycle
   }
 }
 EOF
