@@ -24,6 +24,7 @@ import (
 
 	"camc/internal/arch"
 	"camc/internal/bench"
+	"camc/internal/check"
 	"camc/internal/fault"
 	"camc/internal/trace"
 )
@@ -49,9 +50,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceF   = fs.String("trace", "", "trace the algorithm-comparison measurements (figs 7-11) and write the last cell's Chrome JSON here")
 		faults   = fs.String("faults", "", "add a custom fault scenario to x8 (and, with kill=..., to x9): a preset (none/light/moderate/heavy) and/or key=value overrides, e.g. heavy, partial=0.3,eagain=0.5,seed=7, or kill=0.4,killop=4,seed=11")
 		deadline = fs.Float64("deadline", 0, "liveness detector deadline for x9 in simulated microseconds (0 = experiment default)")
+		repro    = fs.String("repro", "", "replay one camc-fuzz reproducer spec line and report its verdict instead of running experiments")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *repro != "" {
+		sp, err := check.ParseSpec(*repro)
+		if err != nil {
+			fmt.Fprintf(stderr, "%v\nusage: -repro \"arch=knl kind=scatter algo=throttled:4 size=4096 procs=8 root=3 seed=17 [skew=..] [faults=..] [deadline=..]\"\n", err)
+			return 2
+		}
+		res, err := check.RunOne(sp)
+		if err != nil {
+			fmt.Fprintf(stdout, "FAIL %s\n  %v\n", sp, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "PASS %s\n  latency %.2f us, %d trace events; differential and invariant checks green\n",
+			res.Spec, res.Latency, res.Rec.Len())
+		return 0
 	}
 
 	if *archF != "" {
@@ -72,30 +90,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		opts.Fault = &cfg
-	}
-	var lastRec *trace.Recorder
-	var lastLabel string
-	if *traceF != "" {
-		opts.TraceSink = func(archName, algo string, size int64, rec *trace.Recorder) {
-			lastRec, lastLabel = rec, fmt.Sprintf("%s/%s/%d", archName, algo, size)
+		if cfg.KillProb > 0 && opts.Deadline == 0 {
+			// A kill plan needs the liveness detector; without an explicit
+			// -deadline, resolve to the documented x9 default rather than
+			// leaving the option zero.
+			opts.Deadline = bench.DefaultDeadline
 		}
-		defer func() {
-			if lastRec == nil {
-				fmt.Fprintln(stderr, "trace: no traced measurement ran (only figs 7-11 are traceable)")
-				return
-			}
-			f, err := os.Create(*traceF)
-			if err != nil {
-				fmt.Fprintln(stderr, err)
-				return
-			}
-			defer f.Close()
-			if err := trace.WriteChrome(f, lastRec); err != nil {
-				fmt.Fprintln(stderr, err)
-				return
-			}
-			fmt.Fprintf(stdout, "trace: wrote %s (%s; load in chrome://tracing or ui.perfetto.dev)\n", *traceF, lastLabel)
-		}()
 	}
 	var f bench.Format
 	switch *format {
@@ -119,6 +119,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case *all || *runF == "all":
 		exps = bench.Registry()
 	case *runF != "":
+		seen := map[string]bool{}
 		for _, id := range strings.Split(*runF, ",") {
 			id = strings.TrimSpace(id)
 			if id == "" {
@@ -129,12 +130,57 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "unknown experiment %q; use -list\n", id)
 				return 2
 			}
+			if seen[id] {
+				fmt.Fprintf(stderr, "duplicate experiment %q in -run %s (each id runs once; list every id once)\n", id, *runF)
+				return 2
+			}
+			seen[id] = true
 			exps = append(exps, e)
 		}
 	}
 	if len(exps) == 0 {
 		fs.Usage()
 		return 2
+	}
+	if *traceF != "" {
+		traceable := false
+		for _, e := range exps {
+			if e.Traceable {
+				traceable = true
+				break
+			}
+		}
+		if !traceable {
+			fmt.Fprintf(stderr, "-trace needs a traceable experiment in the run set (figs 7-11); -run %s selects none\n", *runF)
+			return 2
+		}
+	}
+	var lastRec *trace.Recorder
+	var lastLabel string
+	if *traceF != "" {
+		// With -run all (or -all) every traceable figure runs and the last
+		// comparison cell wins; with an explicit list, the check above
+		// guarantees at least one traced measurement feeds the sink.
+		opts.TraceSink = func(archName, algo string, size int64, rec *trace.Recorder) {
+			lastRec, lastLabel = rec, fmt.Sprintf("%s/%s/%d", archName, algo, size)
+		}
+		defer func() {
+			if lastRec == nil {
+				fmt.Fprintln(stderr, "trace: no traced measurement ran (only figs 7-11 are traceable)")
+				return
+			}
+			f, err := os.Create(*traceF)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return
+			}
+			defer f.Close()
+			if err := trace.WriteChrome(f, lastRec); err != nil {
+				fmt.Fprintln(stderr, err)
+				return
+			}
+			fmt.Fprintf(stdout, "trace: wrote %s (%s; load in chrome://tracing or ui.perfetto.dev)\n", *traceF, lastLabel)
+		}()
 	}
 	for _, e := range exps {
 		if err := e.RunFormat(stdout, opts, f); err != nil {

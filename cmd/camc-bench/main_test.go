@@ -98,6 +98,9 @@ func TestUsageErrors(t *testing.T) {
 		{"negative_deadline", []string{"-run", "x9", "-deadline", "-100"}, "-deadline"},
 		{"no_experiments", []string{}, "Usage"},
 		{"undefined_flag", []string{"-frobnicate"}, "flag provided but not defined"},
+		{"duplicate_run", []string{"-run", "fig7,tab5,fig7"}, "duplicate experiment"},
+		{"trace_not_traceable", []string{"-run", "x8,x9", "-quick", "-trace", "out.json"}, "-trace needs a traceable experiment"},
+		{"bad_repro", []string{"-repro", "arch=knl"}, "usage: -repro"},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -111,6 +114,68 @@ func TestUsageErrors(t *testing.T) {
 				t.Fatalf("stderr missing hint %q:\n%s", tc.hint, stderr.String())
 			}
 		})
+	}
+}
+
+// TestKillDefaultDeadline pins the -faults kill=... / -deadline
+// interaction: a kill plan without an explicit -deadline resolves to
+// the documented x9 default (bench.DefaultDeadline), so the run is
+// byte-identical to passing that deadline explicitly — never a zero
+// deadline.
+func TestKillDefaultDeadline(t *testing.T) {
+	invoke := func(extra ...string) string {
+		var stdout, stderr bytes.Buffer
+		args := append([]string{"-run", "x9", "-quick", "-j", "1",
+			"-faults", "kill=0.5,killop=2,seed=33"}, extra...)
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("exit %d: %s", code, stderr.String())
+		}
+		return stdout.String()
+	}
+	implicit := invoke()
+	explicit := invoke("-deadline", "2000")
+	if implicit != explicit {
+		t.Fatal("kill plan without -deadline differs from explicit -deadline 2000")
+	}
+	if !strings.Contains(implicit, "detector deadline 2000us") {
+		t.Fatalf("missing resolved deadline note:\n%s", implicit)
+	}
+	if !strings.Contains(implicit, "custom") {
+		t.Fatalf("kill plan did not add the custom x9 scenario:\n%s", implicit)
+	}
+}
+
+// TestKillPlanStrippedFromX8 pins the other half of that interaction:
+// x8 runs without a liveness board, so the kill class of a custom
+// -faults plan never reaches it — a kill-only plan contributes no
+// custom column and the output matches a plain run exactly.
+func TestKillPlanStrippedFromX8(t *testing.T) {
+	invoke := func(extra ...string) string {
+		var stdout, stderr bytes.Buffer
+		args := append([]string{"-run", "x8", "-quick", "-j", "1"}, extra...)
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("exit %d: %s", code, stderr.String())
+		}
+		return stdout.String()
+	}
+	plain := invoke()
+	killOnly := invoke("-faults", "kill=0.5,seed=33")
+	if plain != killOnly {
+		t.Fatal("kill-only -faults plan changed the x8 output (should be stripped)")
+	}
+}
+
+// TestReproVerdict smoke-tests -repro: a green fuzz spec replays to
+// PASS, and a malformed one is a usage error (covered above).
+func TestReproVerdict(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-repro",
+		"arch=knl kind=scatter algo=throttled:2 size=4096 procs=5 root=2 seed=11"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.HasPrefix(stdout.String(), "PASS ") {
+		t.Fatalf("missing PASS verdict:\n%s", stdout.String())
 	}
 }
 

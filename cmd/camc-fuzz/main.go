@@ -1,0 +1,182 @@
+// Command camc-fuzz drives the differential fuzzing and invariant-
+// checking subsystem (internal/check): it enumerates a deterministic
+// seeded corpus of (arch × kind × algorithm × size × root × skew ×
+// fault plan) specs, runs each through the reference-executor
+// differential check and the invariant registry, and — on any failure —
+// shrinks the spec to a minimal reproducer replayable with the -repro
+// flag here, on camc-bench, or on camc-trace.
+//
+// Usage:
+//
+//	camc-fuzz -seed 1 -n 200
+//	camc-fuzz -seed 7 -n 500 -arch knl -kinds scatter,reduce
+//	camc-fuzz -n 100 -no-kills
+//	camc-fuzz -repro "arch=knl kind=scatter algo=throttled:4 size=4096 procs=8 root=3 seed=17"
+//	camc-fuzz -list-invariants
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"camc/internal/arch"
+	"camc/internal/check"
+	"camc/internal/core"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point (0 success, 1 finding/failure, 2
+// usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("camc-fuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed    = fs.Int64("seed", 1, "corpus seed; the corpus is a pure function of (seed, n)")
+		n       = fs.Int("n", 200, "number of specs to enumerate")
+		archF   = fs.String("arch", "", "restrict to one architecture: knl, broadwell, power8 (default all)")
+		kindsF  = fs.String("kinds", "", "comma-separated collective kinds (default all six)")
+		noFault = fs.Bool("no-faults", false, "draw only fault-free specs")
+		noKill  = fs.Bool("no-kills", false, "never draw kill plans (skip the recovery harness)")
+		verbose = fs.Bool("v", false, "print every spec as it runs")
+		repro   = fs.String("repro", "", "replay one reproducer spec line instead of fuzzing")
+		listInv = fs.Bool("list-invariants", false, "list the invariant registry and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listInv {
+		for _, inv := range check.Invariants() {
+			fmt.Fprintf(stdout, "%-20s %s\n", inv.Name, inv.Doc)
+		}
+		return 0
+	}
+	if *repro != "" {
+		sp, err := check.ParseSpec(*repro)
+		if err != nil {
+			fmt.Fprintf(stderr, "%v\nusage: -repro \"arch=knl kind=scatter algo=throttled:4 size=4096 procs=8 root=3 seed=17 [skew=..] [faults=..] [deadline=..]\"\n", err)
+			return 2
+		}
+		res, err := check.RunOne(sp)
+		if err != nil {
+			fmt.Fprintf(stdout, "FAIL %s\n  %v\n", sp, err)
+			return 1
+		}
+		printPass(stdout, res)
+		return 0
+	}
+	if *n < 1 {
+		fmt.Fprintf(stderr, "-n %d: need at least one spec\n", *n)
+		return 2
+	}
+	gopts := check.GenOptions{Faults: !*noFault, Kills: !*noKill && !*noFault}
+	if *archF != "" {
+		if _, err := arch.ByName(*archF); err != nil {
+			fmt.Fprintf(stderr, "%v (use -arch knl, broadwell, or power8)\n", err)
+			return 2
+		}
+		gopts.Archs = []string{*archF}
+	}
+	if *kindsF != "" {
+		known := map[core.Kind]bool{}
+		for _, k := range core.SpecKinds() {
+			known[k] = true
+		}
+		for _, k := range strings.Split(*kindsF, ",") {
+			kind := core.Kind(strings.TrimSpace(k))
+			if !known[kind] {
+				fmt.Fprintf(stderr, "unknown kind %q (want a comma list of %v)\n", kind, core.SpecKinds())
+				return 2
+			}
+			gopts.Kinds = append(gopts.Kinds, kind)
+		}
+	}
+
+	kindCount := map[core.Kind]int{}
+	archCount := map[string]int{}
+	faulty, killed := 0, 0
+	for i := 0; i < *n; i++ {
+		sp := check.Gen(*seed, i, gopts)
+		if *verbose {
+			fmt.Fprintf(stdout, "%4d: %s\n", i, sp)
+		}
+		_, err := check.RunOne(sp)
+		if err != nil {
+			fmt.Fprintf(stdout, "FAIL at corpus index %d:\n  %v\n", i, err)
+			min := check.Shrink(sp, func(c check.Spec) bool {
+				_, e := check.RunOne(c)
+				return e != nil
+			})
+			fmt.Fprintf(stdout, "shrunk reproducer:\n  %s\nreplay with:\n  camc-fuzz -repro %q\n  camc-trace -repro %q\n", min, min.String(), min.String())
+			return 1
+		}
+		kindCount[sp.Kind]++
+		archCount[sp.Arch]++
+		if sp.Faults != "" {
+			faulty++
+			if strings.Contains(sp.Faults, "kill=") {
+				killed++
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "camc-fuzz: %d specs green (seed %d)\n", *n, *seed)
+	fmt.Fprintf(stdout, "  kinds: %s\n", countLine(kindCount))
+	fmt.Fprintf(stdout, "  archs: %s\n", countLineStr(archCount))
+	fmt.Fprintf(stdout, "  fault plans: %d (of which kill plans: %d)\n", faulty, killed)
+	fmt.Fprintf(stdout, "  invariants per run: %d (see -list-invariants)\n", len(check.Invariants()))
+	return 0
+}
+
+func printPass(w io.Writer, res *check.RunResult) {
+	fmt.Fprintf(w, "PASS %s\n", res.Spec)
+	fmt.Fprintf(w, "  latency %.2f us, %d trace events, %d invariants green\n",
+		res.Latency, res.Rec.Len(), len(check.Invariants()))
+	if res.Pred > 0 {
+		fmt.Fprintf(w, "  model closed form %.2f us (ratio %.3f)\n", res.Pred, res.Latency/res.Pred)
+	}
+	if res.Recovery != nil {
+		if res.Recovery.Err != nil {
+			fmt.Fprintf(w, "  recovery: dead ranks %v, re-ran %s on %d survivors; payload verified\n",
+				res.Recovery.Failed, res.Recovery.Algorithm, res.Recovery.Survivors)
+		} else {
+			fmt.Fprintf(w, "  recovery: no rank died; payload verified on the full communicator\n")
+		}
+	}
+	s := res.Stats
+	if s.Transients+s.Partials+s.LockSpikes+s.ShmStalls+s.Stragglers+s.Kills > 0 {
+		fmt.Fprintf(w, "  faults: eagain=%d partial=%d lockspike=%d shmstall=%d straggle=%d kills=%d -> retries=%d fallbacks=%d\n",
+			s.Transients, s.Partials, s.LockSpikes, s.ShmStalls, s.Stragglers, s.Kills, s.Retries, s.Fallbacks)
+	}
+}
+
+func countLine(m map[core.Kind]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, m[core.Kind(k)])
+	}
+	return strings.Join(parts, " ")
+}
+
+func countLineStr(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, m[k])
+	}
+	return strings.Join(parts, " ")
+}

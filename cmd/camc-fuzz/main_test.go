@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunSmallCorpus(t *testing.T) {
+	code, out, _ := runCLI(t, "-seed", "1", "-n", "20")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "20 specs green (seed 1)") {
+		t.Errorf("missing summary:\n%s", out)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	_, a, _ := runCLI(t, "-seed", "3", "-n", "10")
+	_, b, _ := runCLI(t, "-seed", "3", "-n", "10")
+	if a != b {
+		t.Errorf("same seed, different output:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestRunRepro(t *testing.T) {
+	code, out, _ := runCLI(t, "-repro",
+		"arch=knl kind=scatter algo=throttled:2 size=4096 procs=5 root=2 seed=11")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.HasPrefix(out, "PASS ") {
+		t.Errorf("missing verdict:\n%s", out)
+	}
+}
+
+func TestRunReproKill(t *testing.T) {
+	code, out, _ := runCLI(t, "-repro",
+		"arch=knl kind=gather algo=sequential-read size=1024 procs=4 root=0 seed=18 faults=kill=0.5,killop=2,seed=33 deadline=2000")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "recovery:") {
+		t.Errorf("kill repro without recovery report:\n%s", out)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-n", "0"},
+		{"-arch", "epyc"},
+		{"-kinds", "scatter,allreduce"},
+		{"-repro", "arch=knl"},
+		{"-bogus-flag"},
+	}
+	for _, args := range cases {
+		code, _, errb := runCLI(t, args...)
+		if code != 2 {
+			t.Errorf("%v: exit %d, want 2 (stderr: %s)", args, code, errb)
+		}
+	}
+}
+
+func TestListInvariants(t *testing.T) {
+	code, out, _ := runCLI(t, "-list-invariants")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, name := range []string{"clock-monotone", "span-nesting", "lock-balance",
+		"gamma-sanity", "fault-conservation", "model-conformance"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("missing invariant %s:\n%s", name, out)
+		}
+	}
+}

@@ -11,10 +11,14 @@
 //	camc-trace -run fig9 -size 64K -algo pairwise-cma-coll -locks -util
 //	camc-trace -run scatter -faults heavy -summary
 //	camc-trace -run bcast -faults kill=0.35,seed=11 -deadline 500
+//	camc-trace -repro "arch=knl kind=bcast algo=direct-read size=4096 procs=6 root=2 seed=39" -critical-path
 //
 // -run accepts either the figure id of the algorithm-comparison
 // experiments (fig7 Scatter, fig8 Gather, fig9 Alltoall, fig10
-// Allgather, fig11 Bcast) or the collective name itself. -algo accepts
+// Allgather, fig11 Bcast) or the collective name itself (including
+// reduce, which has no paper figure). -repro replays a camc-fuzz
+// reproducer spec line with the full differential and invariant
+// checking attached and exports its trace. -algo accepts
 // the specs documented on core.LookupAlgorithm ("tuned" by default).
 // -faults attaches a deterministic fault-injection plan (see
 // internal/fault); injected faults and degraded-mode reactions appear
@@ -36,6 +40,7 @@ import (
 
 	"camc/internal/arch"
 	"camc/internal/bench"
+	"camc/internal/check"
 	"camc/internal/core"
 	"camc/internal/fault"
 	"camc/internal/liveness"
@@ -56,8 +61,10 @@ func runKind(run string) (core.Kind, error) {
 		return core.KindAllgather, nil
 	case "fig11", "bcast":
 		return core.KindBcast, nil
+	case "reduce":
+		return core.KindReduce, nil
 	}
-	return "", fmt.Errorf("unknown run %q (want fig7..fig11 or scatter/gather/alltoall/allgather/bcast)", run)
+	return "", fmt.Errorf("unknown run %q (want fig7..fig11 or scatter/gather/alltoall/allgather/bcast/reduce)", run)
 }
 
 // parseSize parses a byte size with an optional K/M suffix (1024-based).
@@ -127,9 +134,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		benchF   = fs.Bool("bench", false, "run the whole bench experiment traced (slow); -out gets the last cell")
 		faults   = fs.String("faults", "", "attach a fault-injection plan: a preset (none/light/moderate/heavy) and/or key=value overrides, e.g. heavy, partial=0.3,seed=7, or kill=0.35,seed=11")
 		deadline = fs.Float64("deadline", 0, "liveness detector deadline in simulated microseconds; > 0 (or a kill plan) traces the recovery cycle")
+		repro    = fs.String("repro", "", "replay one camc-fuzz reproducer spec line with full checking, report the verdict, and export its trace via -out/-summary/-critical-path/-locks/-util")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *repro != "" {
+		sp, err := check.ParseSpec(*repro)
+		if err != nil {
+			fmt.Fprintf(stderr, "%v\nusage: -repro \"arch=knl kind=scatter algo=throttled:4 size=4096 procs=8 root=3 seed=17 [skew=..] [faults=..] [deadline=..]\"\n", err)
+			return 2
+		}
+		res, rerr := check.RunOne(sp)
+		if res == nil || res.Rec == nil {
+			// The spec never produced a run (bad profile, harness error
+			// before any trace existed) — nothing to export.
+			fmt.Fprintf(stderr, "%v\n", rerr)
+			return 1
+		}
+		if rerr != nil {
+			// Export the trace anyway: a failing reproducer's timeline is
+			// exactly what the exporters exist to dissect.
+			fmt.Fprintf(stdout, "FAIL %s\n  %v\n", sp, rerr)
+		} else {
+			fmt.Fprintf(stdout, "PASS %s\n  latency %.2f us, %d trace events; differential and invariant checks green\n",
+				res.Spec, res.Latency, res.Rec.Len())
+		}
+		if r := res.Recovery; r != nil && r.Err != nil {
+			fmt.Fprintf(stdout, "recovery: dead ranks %v; detect %.2f us, shrink %.2f us, re-run (%s on %d survivors) %.2f us\n",
+				r.Failed, r.DetectLatency, r.ShrinkLatency, r.Algorithm, r.Survivors, r.RerunLatency)
+		}
+		if code := export(stdout, stderr, res.Rec, *out, *summary, *critPath, *locks, *util); code != 0 {
+			return code
+		}
+		if rerr != nil {
+			return 1
+		}
+		return 0
 	}
 
 	kind, err := runKind(*runF)
@@ -221,8 +263,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	if *out != "" {
-		f, err := os.Create(*out)
+	if code := export(stdout, stderr, rec, *out, *summary, *critPath, *locks, *util); code != 0 {
+		return code
+	}
+	if *out == "" && !*summary && !*critPath && !*locks && !*util {
+		trace.WriteSummary(stdout, rec)
+	}
+	return 0
+}
+
+// export runs the selected trace exporters over rec: Chrome JSON to the
+// out path, then the text views. Returns 0, or 1 if the JSON write
+// failed. Callers decide what (if anything) to print when no exporter
+// was selected.
+func export(stdout, stderr io.Writer, rec *trace.Recorder, out string, summary, critPath, locks, util bool) int {
+	if out != "" {
+		f, err := os.Create(out)
 		if err != nil {
 			fmt.Fprintf(stderr, "%v\n", err)
 			return 1
@@ -236,30 +292,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "%v\n", err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "wrote %s (load in chrome://tracing or ui.perfetto.dev)\n", *out)
+		fmt.Fprintf(stdout, "wrote %s (load in chrome://tracing or ui.perfetto.dev)\n", out)
 	}
-	if *summary {
+	if summary {
 		trace.WriteSummary(stdout, rec)
 	}
-	if *critPath {
+	if critPath {
 		for _, cp := range trace.CriticalPaths(rec) {
 			trace.WriteCriticalPath(stdout, &cp)
 		}
 	}
-	if *locks && !*summary {
+	if locks && !summary {
 		for _, st := range trace.LockTimelines(rec) {
 			fmt.Fprintf(stdout, "lane %d: held %.2fus, max concurrency %d, max queue %d\n",
 				st.Lane, st.HeldTime, st.MaxConc, st.MaxQueue)
 		}
 	}
-	if *util && !*summary {
+	if util && !summary {
 		for _, u := range trace.Utilizations(rec) {
 			fmt.Fprintf(stdout, "rank %3d: window %.2fus  syscall %.2f  lock %.2f  pin %.2f  copy %.2f  shmcopy %.2f  wait %.2f  other %.2f\n",
 				u.Lane, u.Window, u.Syscall, u.Lock, u.Pin, u.Copy, u.ShmCopy, u.Wait, u.Other)
 		}
-	}
-	if *out == "" && !*summary && !*critPath && !*locks && !*util {
-		trace.WriteSummary(stdout, rec)
 	}
 	return 0
 }

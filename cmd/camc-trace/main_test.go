@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -22,6 +24,8 @@ func TestUsageErrors(t *testing.T) {
 		{"negative_deadline", []string{"-run", "scatter", "-deadline", "-10"}, "-deadline"},
 		{"bench_needs_figure", []string{"-run", "scatter", "-bench"}, "-bench requires a figure id"},
 		{"undefined_flag", []string{"-frobnicate"}, "flag provided but not defined"},
+		{"bad_repro", []string{"-repro", "arch=knl kind=scatter"}, "usage: -repro"},
+		{"bad_repro_algo", []string{"-repro", "arch=knl kind=scatter algo=quantum size=4096 procs=5 root=0 seed=1"}, "usage: -repro"},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -70,6 +74,64 @@ func TestTraceRecoveryCycle(t *testing.T) {
 	for _, want := range []string{"recovery: dead ranks", "detect", "shrink", "payload verified", "rank_killed"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestTraceReduce covers the one collective with no paper figure: the
+// -run grammar accepts it and the tuned plan traces end to end.
+func TestTraceReduce(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-run", "reduce", "-arch", "broadwell", "-size", "16K", "-procs", "6"}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "reduce") || !strings.Contains(stdout.String(), "latency") {
+		t.Fatalf("missing reduce latency line:\n%s", stdout.String())
+	}
+}
+
+// TestTraceRepro replays a camc-fuzz reproducer: verdict first, then
+// the requested exporters over the checked run's trace.
+func TestTraceRepro(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-repro",
+		"arch=knl kind=scatter algo=throttled:2 size=65536 procs=5 root=2 seed=11",
+		"-critical-path"}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.HasPrefix(out, "PASS ") {
+		t.Fatalf("missing PASS verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "critical path") {
+		t.Fatalf("-critical-path did not run over the repro trace:\n%s", out)
+	}
+}
+
+// TestTraceReproKillExportsChrome replays a kill-plan reproducer and
+// checks the recovery cycle's trace lands in the Chrome JSON export —
+// the deterministic round trip the fuzzer's FAIL hint promises.
+func TestTraceReproKillExportsChrome(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "repro.json")
+	var stdout, stderr bytes.Buffer
+	args := []string{"-repro",
+		"arch=knl kind=gather algo=sequential-read size=1024 procs=4 root=0 seed=18 faults=kill=0.5,killop=2,seed=33 deadline=2000",
+		"-out", path}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "recovery: dead ranks") {
+		t.Fatalf("missing recovery report:\n%s", stdout.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rank_killed", "traceEvents"} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("exported trace missing %q", want)
 		}
 	}
 }

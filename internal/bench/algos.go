@@ -72,8 +72,9 @@ func sweepAlgos(o Options, a *arch.Profile, kind core.Kind, algos []namedAlgo, s
 
 func init() {
 	register(&Experiment{
-		ID:    "fig7",
-		Title: "Scatter algorithm comparison",
+		ID:        "fig7",
+		Traceable: true,
+		Title:     "Scatter algorithm comparison",
 		Tables: func(o Options) []Table {
 			var tables []Table
 			for _, a := range o.archs(arch.All()...) {
@@ -94,8 +95,9 @@ func init() {
 	})
 
 	register(&Experiment{
-		ID:    "fig8",
-		Title: "Gather algorithm comparison",
+		ID:        "fig8",
+		Traceable: true,
+		Title:     "Gather algorithm comparison",
 		Tables: func(o Options) []Table {
 			var tables []Table
 			for _, a := range o.archs(arch.All()...) {
@@ -116,8 +118,9 @@ func init() {
 	})
 
 	register(&Experiment{
-		ID:    "fig9",
-		Title: "Alltoall pairwise exchange: SHMEM vs CMA-pt2pt vs CMA-coll",
+		ID:        "fig9",
+		Traceable: true,
+		Title:     "Alltoall pairwise exchange: SHMEM vs CMA-pt2pt vs CMA-coll",
 		Tables: func(o Options) []Table {
 			var tables []Table
 			for _, a := range o.archs(arch.KNL(), arch.Broadwell()) {
@@ -136,8 +139,9 @@ func init() {
 	})
 
 	register(&Experiment{
-		ID:    "fig10",
-		Title: "Allgather algorithm comparison",
+		ID:        "fig10",
+		Traceable: true,
+		Title:     "Allgather algorithm comparison",
 		Tables: func(o Options) []Table {
 			var tables []Table
 			for _, a := range o.archs(arch.All()...) {
@@ -169,8 +173,9 @@ func init() {
 	})
 
 	register(&Experiment{
-		ID:    "fig11",
-		Title: "Broadcast algorithm comparison",
+		ID:        "fig11",
+		Traceable: true,
+		Title:     "Broadcast algorithm comparison",
 		Tables: func(o Options) []Table {
 			var tables []Table
 			for _, a := range o.archs(arch.All()...) {

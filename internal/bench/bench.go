@@ -166,9 +166,13 @@ func sum(v []int) int {
 
 // Experiment reproduces one figure or table of the paper.
 type Experiment struct {
-	ID     string // "fig7", "tab6", ...
-	Title  string
-	Tables func(o Options) []Table
+	ID    string // "fig7", "tab6", ...
+	Title string
+	// Traceable marks experiments whose measurements feed
+	// Options.TraceSink (the algorithm-comparison figures); selecting
+	// -trace with none of these in the run set is a usage error.
+	Traceable bool
+	Tables    func(o Options) []Table
 }
 
 // Run generates and prints the experiment's tables.

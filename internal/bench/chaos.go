@@ -21,6 +21,13 @@ import (
 // against what a fresh communicator of that size would produce. A
 // failed verification or an incoherent verdict panics the sweep.
 
+// DefaultDeadline is the liveness detector deadline x9 runs with when
+// Options.Deadline is zero (simulated microseconds). The camc-bench
+// -deadline flag documents 0 as "experiment default"; this constant is
+// that default, and the CLI resolves a kill plan without an explicit
+// -deadline to it rather than leaving the field 0.
+const DefaultDeadline = 2_000
+
 // chaosScenario is one column of the x9 tables: a kill plan seeded to
 // arm a known number of ranks for mid-collective death. A nil cfg is
 // the no-failure baseline.
@@ -91,7 +98,7 @@ func init() {
 			if o.Quick {
 				count = 8 << 10
 			}
-			lcfg := liveness.Config{Deadline: 2_000, Poll: 5}
+			lcfg := liveness.Config{Deadline: DefaultDeadline, Poll: 5}
 			if o.Deadline > 0 {
 				lcfg.Deadline = o.Deadline
 			}

@@ -49,7 +49,15 @@ func robustScenarios(o Options) []robustScenario {
 	}
 	scens = append(scens, mk("heavy", "heavy"))
 	if o.Fault != nil && o.Fault.Active() {
-		scens = append(scens, robustScenario{name: "custom", cfg: o.Fault})
+		// x8 runs without a liveness board, so a kill plan would turn into
+		// a simulator deadlock here; the kill class applies to x9 (as the
+		// -faults flag documents). Strip it and keep whatever else the
+		// custom scenario injects — a kill-only plan contributes no column.
+		cfg := *o.Fault
+		cfg.KillProb = 0
+		if cfg.Active() {
+			scens = append(scens, robustScenario{name: "custom", cfg: &cfg})
+		}
 	}
 	return scens
 }

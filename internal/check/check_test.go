@@ -1,0 +1,504 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"camc/internal/core"
+	"camc/internal/fault"
+	"camc/internal/trace"
+)
+
+func TestBufSizes(t *testing.T) {
+	cases := []struct {
+		kind       core.Kind
+		send, recv int64
+	}{
+		{core.KindScatter, 40, 10},
+		{core.KindGather, 10, 40},
+		{core.KindAlltoall, 40, 40},
+		{core.KindAllgather, 40, 40},
+		{core.KindBcast, 10, 10},
+		{core.KindReduce, 10, 10},
+	}
+	for _, c := range cases {
+		s, r, err := BufSizes(c.kind, 4, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", c.kind, err)
+		}
+		if s != c.send || r != c.recv {
+			t.Errorf("%s: got send %d recv %d, want %d/%d", c.kind, s, r, c.send, c.recv)
+		}
+	}
+	if _, _, err := BufSizes(core.Kind("allreduce"), 4, 10); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestReferenceScatter(t *testing.T) {
+	sends := [][]byte{make([]byte, 6), {1, 2, 3, 4, 5, 6}, make([]byte, 6)}
+	exp, err := Reference(core.KindScatter, 3, 2, 1, sends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{{1, 2}, {3, 4}, {5, 6}}
+	for r := range want {
+		if DiffPayload(r, exp[r], want[r]) != "" {
+			t.Errorf("rank %d: got %v, want %v", r, exp[r], want[r])
+		}
+	}
+}
+
+func TestReferenceGather(t *testing.T) {
+	sends := [][]byte{{10, 11}, {20, 21}, {30, 31}}
+	exp, err := Reference(core.KindGather, 3, 2, 1, sends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp[0] != nil || exp[2] != nil {
+		t.Error("non-root gather buffers must be unspecified")
+	}
+	want := []byte{10, 11, 20, 21, 30, 31}
+	if DiffPayload(1, exp[1], want) != "" {
+		t.Errorf("root: got %v, want %v", exp[1], want)
+	}
+}
+
+func TestReferenceAlltoall(t *testing.T) {
+	sends := [][]byte{{1, 2, 3, 4}, {5, 6, 7, 8}}
+	exp, err := Reference(core.KindAlltoall, 2, 2, 0, sends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// exp[r][s*c+i] = sends[s][r*c+i]
+	want := [][]byte{{1, 2, 5, 6}, {3, 4, 7, 8}}
+	for r := range want {
+		if DiffPayload(r, exp[r], want[r]) != "" {
+			t.Errorf("rank %d: got %v, want %v", r, exp[r], want[r])
+		}
+	}
+}
+
+func TestReferenceAllgather(t *testing.T) {
+	// Allgather buffers are p*count long; each rank's contribution is
+	// its leading count bytes (the rest is working space).
+	sends := [][]byte{{1, 2, 0, 0, 0, 0}, {3, 4, 0, 0, 0, 0}, {5, 6, 0, 0, 0, 0}}
+	exp, err := Reference(core.KindAllgather, 3, 2, 0, sends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 2, 3, 4, 5, 6}
+	for r := 0; r < 3; r++ {
+		if DiffPayload(r, exp[r], want) != "" {
+			t.Errorf("rank %d: got %v, want %v", r, exp[r], want)
+		}
+	}
+}
+
+func TestReferenceBcast(t *testing.T) {
+	sends := [][]byte{{0, 0}, {0, 0}, {9, 8}}
+	exp, err := Reference(core.KindBcast, 3, 2, 2, sends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp[2] != nil {
+		t.Error("bcast root's receive buffer must be unspecified")
+	}
+	for r := 0; r < 2; r++ {
+		if DiffPayload(r, exp[r], []byte{9, 8}) != "" {
+			t.Errorf("rank %d: got %v", r, exp[r])
+		}
+	}
+}
+
+func TestReferenceReduce(t *testing.T) {
+	// Byte-wise modular sum, matching kernel.Process.Combine.
+	sends := [][]byte{{200, 1}, {100, 2}, {7, 3}}
+	exp, err := Reference(core.KindReduce, 3, 2, 0, sends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{byte((200 + 100 + 7) % 256), 6} // wraps to 51
+	if DiffPayload(0, exp[0], want) != "" {
+		t.Errorf("root: got %v, want %v", exp[0], want)
+	}
+	if exp[1] != nil || exp[2] != nil {
+		t.Error("non-root reduce buffers must be unspecified")
+	}
+}
+
+func TestReferenceRejectsBadSnapshots(t *testing.T) {
+	if _, err := Reference(core.KindScatter, 3, 2, 0, [][]byte{{1, 2}, nil, nil}); err == nil {
+		t.Error("short root snapshot accepted")
+	}
+	if _, err := Reference(core.KindScatter, 3, 2, 0, [][]byte{nil, nil, nil}); err == nil {
+		t.Error("missing root snapshot accepted")
+	}
+	if _, err := Reference(core.KindAlltoall, 2, 2, 0, [][]byte{{1, 2, 3, 4}}); err == nil {
+		t.Error("wrong snapshot count accepted")
+	}
+}
+
+func TestDiffPayload(t *testing.T) {
+	if d := DiffPayload(0, []byte{1, 2}, []byte{1, 2}); d != "" {
+		t.Errorf("equal buffers diff: %q", d)
+	}
+	if d := DiffPayload(0, []byte{1, 2}, nil); d != "" {
+		t.Errorf("unspecified expectation diff: %q", d)
+	}
+	if d := DiffPayload(3, []byte{1, 9, 3}, []byte{1, 2, 3}); !strings.Contains(d, "rank 3") {
+		t.Errorf("mismatch not attributed: %q", d)
+	}
+	if d := DiffPayload(0, []byte{1}, []byte{1, 2}); d == "" {
+		t.Error("length mismatch not reported")
+	}
+}
+
+func TestSpecStringParseRoundTrip(t *testing.T) {
+	specs := []Spec{
+		{Arch: "knl", Kind: core.KindScatter, Algo: "throttled:4", Count: 65536, Procs: 8, Root: 3, Seed: 17},
+		{Arch: "power8", Kind: core.KindReduce, Algo: "knomial:2", Count: 512, Procs: 5, Seed: 1, Skew: 2.5},
+		{Arch: "broadwell", Kind: core.KindBcast, Algo: "direct-read", Count: 64, Procs: 6, Root: 1, Seed: 0,
+			Faults: "kill=0.4,killop=3,seed=620", Deadline: 2000},
+	}
+	for _, sp := range specs {
+		got, err := ParseSpec(sp.String())
+		if err != nil {
+			t.Fatalf("%s: %v", sp, err)
+		}
+		if got != sp {
+			t.Errorf("round trip: got %s, want %s", got, sp)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	base := "arch=knl kind=scatter algo=parallel-read size=64 procs=4 root=0 seed=1"
+	bad := []string{
+		"",
+		base + " size=128",      // duplicate key
+		base + " color=blue",    // unknown key
+		"arch=knl kind=scatter", // missing fields
+		strings.Replace(base, "arch=knl", "arch=epyc", 1),
+		strings.Replace(base, "size=64", "size=0", 1),
+		strings.Replace(base, "procs=4", "procs=1", 1),
+		strings.Replace(base, "root=0", "root=4", 1),
+		strings.Replace(base, "algo=parallel-read", "algo=nope", 1),
+		strings.Replace(base, "algo=parallel-read", "algo=parallel-read:3", 1), // takes no parameter
+		base + " faults=bogus=1",
+		base + " skew=-1",
+	}
+	for _, line := range bad {
+		if _, err := ParseSpec(line); err == nil {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+func TestParseSizeSuffixes(t *testing.T) {
+	for line, want := range map[string]int64{
+		"arch=knl kind=bcast algo=direct-read size=64K procs=4 root=0 seed=1": 64 << 10,
+		"arch=knl kind=bcast algo=direct-read size=2M procs=4 root=0 seed=1":  2 << 20,
+	} {
+		sp, err := ParseSpec(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.Count != want {
+			t.Errorf("%q: size %d, want %d", line, sp.Count, want)
+		}
+	}
+}
+
+// fakeClock drives a recorder for hand-built violation traces.
+type fakeClock struct{ t float64 }
+
+func (c *fakeClock) Now() float64 { return c.t }
+
+// seededResult builds a RunResult around a scripted recorder.
+func seededResult(procs int, build func(clk *fakeClock, rec *trace.Recorder)) *RunResult {
+	clk := &fakeClock{}
+	rec := trace.New(clk)
+	for i := 0; i < procs; i++ {
+		rec.RegisterLane(i, "rank", 100+i)
+	}
+	build(clk, rec)
+	return &RunResult{
+		Spec: Spec{Arch: "knl", Kind: core.KindScatter, Algo: "parallel-read", Count: 64, Procs: procs, Seed: 1},
+		Rec:  rec, Procs: procs,
+	}
+}
+
+// violationsOf runs the registry and returns the names that fired.
+func violationsOf(r *RunResult) map[string]int {
+	out := map[string]int{}
+	for _, v := range CheckInvariants(r) {
+		out[v.Invariant]++
+	}
+	return out
+}
+
+func TestInvariantClockMonotone(t *testing.T) {
+	r := seededResult(2, func(clk *fakeClock, rec *trace.Recorder) {
+		clk.t = 5
+		rec.Instant(0, trace.CatColl, "step")
+		clk.t = 3
+		rec.Instant(1, trace.CatColl, "step")
+	})
+	if v := violationsOf(r); v["clock-monotone"] == 0 {
+		t.Errorf("backwards clock not caught: %v", v)
+	}
+}
+
+func TestInvariantEdgeOrdering(t *testing.T) {
+	r := seededResult(2, func(clk *fakeClock, rec *trace.Recorder) {
+		clk.t = 10
+		// SendTs after ReadyTs: impossible hand-off.
+		rec.Edge(0, 1, trace.CatShm, "eager", 9, 7, 6, 10)
+	})
+	if v := violationsOf(r); v["clock-monotone"] == 0 {
+		t.Errorf("edge SendTs > ReadyTs not caught: %v", v)
+	}
+}
+
+func TestInvariantSpanNesting(t *testing.T) {
+	overlap := seededResult(1, func(clk *fakeClock, rec *trace.Recorder) {
+		a := rec.Begin(0, trace.CatColl, "outer")
+		clk.t = 5
+		rec.Begin(0, trace.CatCMA, "inner")
+		clk.t = 10
+		rec.End(a)
+		// inner left open: reuse its id via a second Begin is not possible,
+		// so close it late through a fresh span end — instead just leave it
+		// open; openness is the violation on a non-kill run.
+	})
+	if v := violationsOf(overlap); v["span-nesting"] == 0 {
+		t.Errorf("open span not caught: %v", v)
+	}
+
+	killed := seededResult(1, func(clk *fakeClock, rec *trace.Recorder) {
+		rec.Begin(0, trace.CatColl, "outer") // dies holding the span
+	})
+	killed.Killed = true
+	if v := violationsOf(killed); v["span-nesting"] != 0 {
+		t.Errorf("kill-run open span flagged: %v", v)
+	}
+
+	crossing := seededResult(1, func(clk *fakeClock, rec *trace.Recorder) {
+		a := rec.Begin(0, trace.CatColl, "outer")
+		clk.t = 5
+		b := rec.Begin(0, trace.CatCMA, "inner")
+		clk.t = 10
+		rec.End(a)
+		clk.t = 15
+		rec.End(b) // closes after its enclosing span
+	})
+	if v := violationsOf(crossing); v["span-nesting"] == 0 {
+		t.Errorf("crossing spans not caught: %v", v)
+	}
+}
+
+func TestInvariantLockBalance(t *testing.T) {
+	holder := trace.F("holder", 1)
+	over := seededResult(2, func(clk *fakeClock, rec *trace.Recorder) {
+		rec.Instant(0, trace.CatLock, "mm_lock_release", holder)
+	})
+	if v := violationsOf(over); v["lock-balance"] == 0 {
+		t.Errorf("over-release not caught: %v", v)
+	}
+
+	leak := seededResult(2, func(clk *fakeClock, rec *trace.Recorder) {
+		rec.Instant(0, trace.CatLock, "mm_lock_acquire", holder, trace.F("c", 1))
+	})
+	if v := violationsOf(leak); v["lock-balance"] == 0 {
+		t.Errorf("leaked acquire not caught: %v", v)
+	}
+	leak.Killed = true
+	if v := violationsOf(leak); v["lock-balance"] != 0 {
+		t.Errorf("kill-run held lock flagged: %v", v)
+	}
+
+	reacquire := seededResult(2, func(clk *fakeClock, rec *trace.Recorder) {
+		rec.Instant(0, trace.CatLock, "mm_lock_acquire", holder, trace.F("c", 1))
+		rec.Instant(0, trace.CatLock, "mm_lock_acquire", holder, trace.F("c", 1))
+	})
+	if v := violationsOf(reacquire); v["lock-balance"] == 0 {
+		t.Errorf("double acquire not caught: %v", v)
+	}
+}
+
+func TestInvariantGammaSanity(t *testing.T) {
+	r := seededResult(2, func(clk *fakeClock, rec *trace.Recorder) {
+		rec.Instant(0, trace.CatCMA, "gamma", trace.F("gamma", 0.5), trace.F("c", 1))
+		rec.Instant(0, trace.CatCMA, "gamma", trace.F("gamma", 1.5), trace.F("c", 7))
+		rec.Counter(0, trace.CatLock, trace.CounterInFlight, 2) // first sample must be 1
+		rec.Counter(0, trace.CatLock, trace.CounterInFlight, 0)
+		rec.Counter(1, trace.CatLock, trace.CounterInFlight, 1)
+		rec.Counter(1, trace.CatLock, trace.CounterInFlight, 3) // step +2
+	})
+	// gamma<1; c=7>procs; lane-0 first sample 2; lane-0 step -2;
+	// lane-1 value 3>procs; lane-1 step +2.
+	v := violationsOf(r)
+	if v["gamma-sanity"] != 6 {
+		t.Errorf("want 6 gamma-sanity violations, got %v", v)
+	}
+}
+
+func TestInvariantFaultConservation(t *testing.T) {
+	r := seededResult(2, func(clk *fakeClock, rec *trace.Recorder) {})
+	r.Stats = fault.Stats{Transients: 3, Retries: 1, Fallbacks: 1, BackoffTime: 0.5}
+	if v := violationsOf(r); v["fault-conservation"] == 0 {
+		t.Errorf("leaked transient not caught: %v", v)
+	}
+	r.Stats = fault.Stats{Transients: 2, Retries: 2, BackoffTime: 0} // retries need backoff
+	if v := violationsOf(r); v["fault-conservation"] == 0 {
+		t.Errorf("zero-backoff retries not caught: %v", v)
+	}
+	r.Stats = fault.Stats{Kills: 1}
+	if v := violationsOf(r); v["fault-conservation"] == 0 {
+		t.Errorf("kill without kill class not caught: %v", v)
+	}
+	r.Killed = true
+	if v := violationsOf(r); v["fault-conservation"] != 0 {
+		t.Errorf("legitimate kill flagged: %v", v)
+	}
+}
+
+func TestInvariantModelConformance(t *testing.T) {
+	r := seededResult(2, func(clk *fakeClock, rec *trace.Recorder) {})
+	r.Pred, r.Latency = 10, 100
+	if v := violationsOf(r); v["model-conformance"] == 0 {
+		t.Errorf("10x over the closed form not caught: %v", v)
+	}
+	r.Latency = 20
+	if v := violationsOf(r); v["model-conformance"] != 0 {
+		t.Errorf("2x flagged inside the envelope: %v", v)
+	}
+	r.Pred = 0 // no applicable form
+	r.Latency = 1e9
+	if v := violationsOf(r); v["model-conformance"] != 0 {
+		t.Errorf("formless run flagged: %v", v)
+	}
+}
+
+// TestRunOneGreenMatrix runs one fast spec per collective kind through
+// the full differential + invariant harness, plus one faulty run and
+// one kill-recovery run.
+func TestRunOneGreenMatrix(t *testing.T) {
+	specs := []string{
+		"arch=knl kind=scatter algo=throttled:2 size=4096 procs=5 root=2 seed=11",
+		"arch=knl kind=gather algo=parallel-write size=4096 procs=5 root=1 seed=12",
+		"arch=broadwell kind=alltoall algo=pairwise size=2048 procs=4 root=0 seed=13",
+		"arch=broadwell kind=allgather algo=ring-neighbor:3 size=2048 procs=7 root=0 seed=14",
+		"arch=power8 kind=bcast algo=knomial-read:3 size=4096 procs=6 root=5 seed=15",
+		"arch=power8 kind=reduce algo=knomial:2 size=2048 procs=5 root=3 seed=16",
+		"arch=knl kind=scatter algo=parallel-read size=2048 procs=4 root=0 seed=17 skew=4 faults=moderate,seed=9",
+		"arch=knl kind=gather algo=sequential-read size=1024 procs=4 root=0 seed=18 faults=kill=0.5,killop=2,seed=33 deadline=2000",
+	}
+	for _, line := range specs {
+		sp, err := ParseSpec(line)
+		if err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+		if _, err := RunOne(sp); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+}
+
+// TestRunOneCatchesWrongRoot seeds a deliberate mismatch: running
+// bcast's reference against a different root's payload must fail the
+// differential check — proof the oracle actually bites.
+func TestRunOneCatchesWrongRoot(t *testing.T) {
+	sends := [][]byte{{1, 2}, {3, 4}, {5, 6}}
+	exp, err := Reference(core.KindBcast, 3, 2, 0, sends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DiffPayload(1, []byte{3, 4}, exp[1]); d == "" {
+		t.Error("wrong-root payload passed the oracle")
+	}
+}
+
+func TestGenDeterministicAndValid(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		a := Gen(7, i, GenOptions{Faults: true, Kills: true})
+		b := Gen(7, i, GenOptions{Faults: true, Kills: true})
+		if a != b {
+			t.Fatalf("index %d: %s != %s", i, a, b)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("index %d: generated invalid spec %s: %v", i, a, err)
+		}
+	}
+	// A different seed must move the corpus.
+	same := 0
+	for i := 0; i < 50; i++ {
+		if Gen(1, i, GenOptions{}) == Gen(2, i, GenOptions{}) {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Error("seed does not affect the corpus")
+	}
+}
+
+func TestShrinkMinimizes(t *testing.T) {
+	start := Spec{Arch: "knl", Kind: core.KindScatter, Algo: "throttled:4", Count: 4096,
+		Procs: 9, Root: 5, Seed: 77, Skew: 3, Faults: "light,seed=2"}
+	if err := start.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Artificial failure: anything with Count >= 8 and Procs >= 3 fails.
+	min := Shrink(start, func(sp Spec) bool { return sp.Count >= 8 && sp.Procs >= 3 })
+	if min.Count != 8 || min.Procs != 3 {
+		t.Errorf("not minimal: %s", min)
+	}
+	if min.Root != 0 || min.Skew != 0 || min.Faults != "" || min.Seed != 0 {
+		t.Errorf("irrelevant dimensions kept: %s", min)
+	}
+	if err := min.Validate(); err != nil {
+		t.Errorf("shrunk spec invalid: %v", err)
+	}
+}
+
+// FuzzParseSpec: any line the parser accepts must round-trip through
+// String and describe a runnable spec.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("arch=knl kind=scatter algo=throttled:4 size=65536 procs=8 root=3 seed=17")
+	f.Add("arch=power8 kind=reduce algo=knomial:2 size=64 procs=3 root=0 seed=0 skew=1.5 faults=light deadline=500")
+	f.Add("arch=broadwell kind=alltoall algo=pairwise size=4K procs=4 root=0 seed=9")
+	f.Fuzz(func(t *testing.T, line string) {
+		sp, err := ParseSpec(line)
+		if err != nil {
+			return
+		}
+		back, err := ParseSpec(sp.String())
+		if err != nil {
+			t.Fatalf("String() of accepted spec rejected: %q -> %q: %v", line, sp.String(), err)
+		}
+		if back != sp {
+			t.Fatalf("round trip drift: %s != %s", back, sp)
+		}
+	})
+}
+
+// FuzzDifferential: every generated spec must run green. This is the
+// native-toolchain twin of cmd/camc-fuzz, so `go test -fuzz` can drive
+// the same generator indefinitely.
+func FuzzDifferential(f *testing.F) {
+	for i := 0; i < 8; i++ {
+		f.Add(int64(1), i)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, i int) {
+		sp := Gen(seed, i&0xffff, GenOptions{Faults: true, Kills: true})
+		// Bound fuzz iterations to the fast sizes; the seeded corpus and
+		// cmd/camc-fuzz cover the large ones.
+		if sp.Count > 65536 {
+			sp.Count = 65536
+		}
+		if _, err := RunOne(sp); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package check
+
+import (
+	"math/rand"
+	"strconv"
+
+	"camc/internal/core"
+)
+
+// GenOptions bounds what the generator draws.
+type GenOptions struct {
+	// Archs are the profile names to draw from (default all three).
+	Archs []string
+	// Kinds are the collective kinds to draw from (default all six).
+	Kinds []core.Kind
+	// MaxProcs caps the communicator size (default 12 — large enough
+	// for every tree/ring shape, small enough to keep a 200-spec corpus
+	// in seconds).
+	MaxProcs int
+	// Faults enables drawing fault-injection plans.
+	Faults bool
+	// Kills enables drawing kill plans (implies the recovery harness).
+	Kills bool
+}
+
+func (o GenOptions) withDefaults() GenOptions {
+	if len(o.Archs) == 0 {
+		o.Archs = []string{"knl", "broadwell", "power8"}
+	}
+	if len(o.Kinds) == 0 {
+		o.Kinds = core.SpecKinds()
+	}
+	if o.MaxProcs < 2 {
+		o.MaxProcs = 12
+	}
+	return o
+}
+
+// genSizes is the size ladder the generator draws from; small sizes
+// dominate (they exercise eager/shm paths and run fast), with enough
+// kernel-assisted sizes to keep the model-conformance and contention
+// machinery honest.
+var genSizes = []int64{64, 512, 4096, 16384, 65536, 65536, 262144}
+
+// Gen derives the i-th spec of a seeded corpus. It is a pure function
+// of (seed, i, o): the same arguments always yield the same spec, so a
+// corpus is re-enumerable from its seed alone.
+func Gen(seed int64, i int, o GenOptions) Spec {
+	o = o.withDefaults()
+	rng := rand.New(rand.NewSource(seed*1000003 + int64(i)))
+	sp := Spec{
+		Arch:  o.Archs[rng.Intn(len(o.Archs))],
+		Kind:  o.Kinds[rng.Intn(len(o.Kinds))],
+		Count: genSizes[rng.Intn(len(genSizes))],
+		Procs: 2 + rng.Intn(o.MaxProcs-1),
+		Seed:  rng.Int63n(1 << 31),
+	}
+	sp.Root = rng.Intn(sp.Procs)
+
+	// Draw a family, optionally with an explicit parameter, then clamp
+	// it through Replan so the spec is valid for the drawn communicator
+	// size (a non-coprime ring stride or an over-wide throttle would be
+	// a generator bug, not a finding).
+	infos := core.Specs(sp.Kind)
+	info := infos[rng.Intn(len(infos))]
+	spec := info.Name
+	if info.Default > 0 && rng.Intn(2) == 0 {
+		spec += ":" + strconv.Itoa(1+rng.Intn(8))
+	}
+	al, err := core.Replan(sp.Kind, spec, sp.Procs)
+	if err != nil {
+		panic("check: generator drew an invalid spec " + spec + ": " + err.Error())
+	}
+	sp.Algo = al.Name
+
+	if rng.Intn(10) < 3 {
+		sp.Skew = float64(1+rng.Intn(40)) / 2 // 0.5 .. 20 us
+	}
+	if o.Faults {
+		switch rng.Intn(10) {
+		case 0, 1:
+			sp.Faults = []string{"light", "moderate", "heavy"}[rng.Intn(3)] +
+				",seed=" + strconv.Itoa(1+rng.Intn(1000))
+		case 2:
+			sp.Faults = "partial=0.4,eagain=0.5,seed=" + strconv.Itoa(1+rng.Intn(1000))
+		case 3:
+			if o.Kills {
+				sp.Faults = "kill=0.4,killop=3,seed=" + strconv.Itoa(1+rng.Intn(1000))
+				sp.Deadline = 2000
+			}
+		}
+	}
+	return sp
+}
+
+// Shrink greedily minimizes a failing spec: each step proposes a
+// strictly simpler candidate (smaller payload, fewer ranks, root 0, no
+// skew, no faults) and keeps it only if the failure reproduces, looping
+// to a fixpoint. failing must be a deterministic predicate — RunOne
+// wrapped in an error check is the intended one.
+func Shrink(sp Spec, failing func(Spec) bool) Spec {
+	try := func(cand Spec) bool {
+		if cand.Validate() != nil {
+			return false
+		}
+		return failing(cand)
+	}
+	for changed := true; changed; {
+		changed = false
+		// Halve the payload.
+		for sp.Count > 1 {
+			cand := sp
+			cand.Count /= 2
+			if !try(cand) {
+				break
+			}
+			sp = cand
+			changed = true
+		}
+		// Shrink the communicator, re-clamping the algorithm parameter
+		// for the smaller size.
+		for sp.Procs > 2 {
+			cand := sp
+			cand.Procs--
+			if cand.Root >= cand.Procs {
+				cand.Root = 0
+			}
+			if al, err := core.Replan(cand.Kind, cand.Algo, cand.Procs); err == nil {
+				cand.Algo = al.Name
+			}
+			if !try(cand) {
+				break
+			}
+			sp = cand
+			changed = true
+		}
+		for _, mutate := range []func(*Spec){
+			func(c *Spec) { c.Root = 0 },
+			func(c *Spec) { c.Skew = 0 },
+			func(c *Spec) { c.Faults = "" },
+			func(c *Spec) { c.Faults, c.Deadline = "", 0 },
+			func(c *Spec) { c.Seed = 0 },
+		} {
+			cand := sp
+			mutate(&cand)
+			if cand != sp && try(cand) {
+				sp = cand
+				changed = true
+			}
+		}
+	}
+	return sp
+}

@@ -1,0 +1,303 @@
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"camc/internal/trace"
+)
+
+// Violation is one invariant failure with enough context to debug it.
+type Violation struct {
+	Invariant string // registry name
+	Detail    string
+}
+
+func (v Violation) Error() string { return v.Invariant + ": " + v.Detail }
+
+// Invariant is one machine-checked property of a traced execution.
+type Invariant struct {
+	Name string
+	// Doc is a one-line statement of the property, surfaced by
+	// camc-fuzz -list-invariants and the docs.
+	Doc   string
+	Check func(r *RunResult) []Violation
+}
+
+// Invariants returns the registry, in evaluation order.
+func Invariants() []Invariant {
+	return []Invariant{
+		{"clock-monotone", "virtual time never runs backwards: non-edge events are recorded in non-decreasing Start order, spans close at End >= Start", checkClockMonotone},
+		{"span-nesting", "per-lane spans are well-formed: every span closes and spans on one lane strictly nest", checkSpanNesting},
+		{"lock-balance", "per (mm-owner, holder) pair, mm-lock chunk acquires and releases balance and never go negative", checkLockBalance},
+		{"gamma-sanity", "every sampled contention factor has 1 <= c <= procs and gamma >= 1, and the in-flight counter steps by exactly +-1 staying in [0, procs]", checkGammaSanity},
+		{"fault-conservation", "every injected transient is accounted for: Transients == Retries + Fallbacks, and all counters are non-negative", checkFaultConservation},
+		{"model-conformance", "for fault-free, skew-free runs of algorithms with closed forms, the simulated latency stays within the model envelope", checkModelConformance},
+	}
+}
+
+// CheckInvariants evaluates the registry over one run. For a kill-plan
+// run (r.Killed) the structural trace invariants that a legitimately
+// dying rank breaks — span closure, lock balance — are relaxed as
+// documented on the individual checks.
+func CheckInvariants(r *RunResult) []Violation {
+	var out []Violation
+	for _, inv := range Invariants() {
+		out = append(out, inv.Check(r)...)
+	}
+	return out
+}
+
+// checkClockMonotone: the recorder appends at begin time and the
+// simulator's clock is globally monotone, so Start must be
+// non-decreasing in recording order for all events recorded at their
+// Start (spans, instants, counters). Edges are recorded at receive end
+// with Start = the earlier wait start, so they are exempt from the
+// recording-order rule but must satisfy their own ordering fields:
+// SendTs <= ReadyTs and Start <= End.
+func checkClockMonotone(r *RunResult) []Violation {
+	var out []Violation
+	bad := func(format string, args ...any) {
+		out = append(out, Violation{"clock-monotone", fmt.Sprintf(format, args...)})
+	}
+	last := math.Inf(-1)
+	for i, e := range r.Rec.Events() {
+		if e.Kind == trace.KindEdge {
+			if e.SendTs > e.ReadyTs {
+				bad("event %d (%s): edge SendTs %.4f > ReadyTs %.4f", i, e.Name, e.SendTs, e.ReadyTs)
+			}
+			if e.Start > e.End {
+				bad("event %d (%s): edge wait start %.4f > recv end %.4f", i, e.Name, e.Start, e.End)
+			}
+			continue
+		}
+		if e.Start < last {
+			bad("event %d (%s): Start %.4f < previous %.4f", i, e.Name, e.Start, last)
+		}
+		last = e.Start
+	}
+	return out
+}
+
+// checkSpanNesting: spans on one lane must nest (collective step > MPI
+// op > shm/CMA op > chunk) and every span must be closed by the end of
+// the run. A lane whose rank was killed mid-operation legitimately
+// leaves its innermost spans open, so on a kill run lanes with open
+// spans are skipped entirely.
+func checkSpanNesting(r *RunResult) []Violation {
+	var out []Violation
+	type span struct {
+		name       string
+		start, end float64
+	}
+	perLane := map[int][]span{}
+	openLane := map[int]bool{}
+	for _, e := range r.Rec.Events() {
+		if e.Kind != trace.KindSpan {
+			continue
+		}
+		if e.End < e.Start { // never closed
+			openLane[e.Lane] = true
+			continue
+		}
+		perLane[e.Lane] = append(perLane[e.Lane], span{e.Name, e.Start, e.End})
+	}
+	for lane := range openLane {
+		if !r.Killed {
+			out = append(out, Violation{"span-nesting",
+				fmt.Sprintf("lane %d: span left open at end of run", lane)})
+		}
+		delete(perLane, lane) // a dying rank's remaining spans are partial
+	}
+	for lane, spans := range perLane {
+		// Spans arrive in begin order (recording order). A stack check:
+		// pop finished siblings, then the new span must fit inside the
+		// enclosing one.
+		var stack []span
+		for _, s := range spans {
+			for len(stack) > 0 && stack[len(stack)-1].end <= s.start {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 && s.end > stack[len(stack)-1].end {
+				top := stack[len(stack)-1]
+				out = append(out, Violation{"span-nesting",
+					fmt.Sprintf("lane %d: span %s [%.4f, %.4f] overlaps enclosing %s [%.4f, %.4f]",
+						lane, s.name, s.start, s.end, top.name, top.start, top.end)})
+				continue
+			}
+			stack = append(stack, s)
+		}
+	}
+	return out
+}
+
+// lockKey identifies one (mm owner lane, holder lane) pair.
+type lockKey struct{ owner, holder int }
+
+// checkLockBalance: the kernel emits mm_lock_acquire / mm_lock_release
+// instants per contention chunk on the mm owner's lane with the
+// caller's lane as the "holder" arg. Each caller is a single simulated
+// process, so per (owner, holder) the balance must alternate 0 -> 1 ->
+// 0 and end at zero. A killed rank can die holding a chunk, so on a
+// kill run a non-zero final balance is tolerated (but over-release
+// never is).
+func checkLockBalance(r *RunResult) []Violation {
+	var out []Violation
+	balance := map[lockKey]int{}
+	for i, e := range r.Rec.Events() {
+		if e.Kind != trace.KindInstant || (e.Name != "mm_lock_acquire" && e.Name != "mm_lock_release") {
+			continue
+		}
+		h, ok := e.Arg("holder")
+		if !ok {
+			out = append(out, Violation{"lock-balance",
+				fmt.Sprintf("event %d: %s without holder arg", i, e.Name)})
+			continue
+		}
+		k := lockKey{owner: e.Lane, holder: int(h)}
+		if e.Name == "mm_lock_acquire" {
+			balance[k]++
+			if balance[k] > 1 {
+				out = append(out, Violation{"lock-balance",
+					fmt.Sprintf("event %d: holder %d re-acquired owner %d's mm lock (balance %d)", i, k.holder, k.owner, balance[k])})
+			}
+		} else {
+			balance[k]--
+			if balance[k] < 0 {
+				out = append(out, Violation{"lock-balance",
+					fmt.Sprintf("event %d: holder %d released owner %d's mm lock it never acquired", i, k.holder, k.owner)})
+			}
+		}
+	}
+	if !r.Killed {
+		for k, b := range balance {
+			if b != 0 {
+				out = append(out, Violation{"lock-balance",
+					fmt.Sprintf("holder %d ends with balance %d on owner %d's mm lock", k.holder, b, k.owner)})
+			}
+		}
+	}
+	return out
+}
+
+// checkGammaSanity: every γ(c) sample must carry a concurrency count in
+// [1, procs] and a factor >= 1 (contention never accelerates a copy),
+// and the mm in-flight counter must step by exactly ±1 per sample,
+// staying within [0, procs].
+func checkGammaSanity(r *RunResult) []Violation {
+	var out []Violation
+	bad := func(format string, args ...any) {
+		out = append(out, Violation{"gamma-sanity", fmt.Sprintf(format, args...)})
+	}
+	p := float64(r.Procs)
+	lastInFlight := map[int]float64{}
+	for i, e := range r.Rec.Events() {
+		switch {
+		case e.Kind == trace.KindInstant && e.Name == "gamma":
+			g, _ := e.Arg("gamma")
+			c, ok := e.Arg("c")
+			if !ok {
+				bad("event %d: gamma sample without c arg", i)
+				continue
+			}
+			if c < 1 || c > p {
+				bad("event %d: gamma concurrency c=%v outside [1, %d]", i, c, r.Procs)
+			}
+			if g < 1 {
+				bad("event %d: gamma %v < 1", i, g)
+			}
+		case e.Kind == trace.KindInstant && e.Name == "mm_lock_acquire":
+			if c, ok := e.Arg("c"); ok && (c < 1 || c > p) {
+				bad("event %d: mm_lock_acquire concurrency c=%v outside [1, %d]", i, c, r.Procs)
+			}
+		case e.Kind == trace.KindCounter && e.Name == trace.CounterInFlight:
+			if e.Value < 0 || e.Value > p {
+				bad("event %d: %s = %v outside [0, %d]", i, e.Name, e.Value, r.Procs)
+			}
+			if prev, ok := lastInFlight[e.Lane]; ok {
+				if d := e.Value - prev; d != 1 && d != -1 {
+					bad("event %d: %s on lane %d stepped %v -> %v (want ±1)", i, e.Name, e.Lane, prev, e.Value)
+				}
+			} else if e.Value != 1 {
+				bad("event %d: first %s sample on lane %d is %v, want 1", i, e.Name, e.Lane, e.Value)
+			}
+			lastInFlight[e.Lane] = e.Value
+		case e.Kind == trace.KindCounter && e.Name == trace.CounterQueue:
+			if e.Value < 0 {
+				bad("event %d: %s = %v < 0", i, e.Name, e.Value)
+			}
+		}
+	}
+	return out
+}
+
+// checkFaultConservation: the retry machinery must account for every
+// injected transient — each one either burned a backoff retry or
+// terminated a budget into a per-peer fallback, so Transients ==
+// Retries + Fallbacks. Injected partials are always resumed in place at
+// no budget cost, so they appear only in Partials. All counters and
+// accumulated times must be non-negative.
+func checkFaultConservation(r *RunResult) []Violation {
+	var out []Violation
+	s := r.Stats
+	bad := func(format string, args ...any) {
+		out = append(out, Violation{"fault-conservation", fmt.Sprintf(format, args...)})
+	}
+	if s.Transients != s.Retries+s.Fallbacks {
+		bad("Transients (%d) != Retries (%d) + Fallbacks (%d)", s.Transients, s.Retries, s.Fallbacks)
+	}
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"Transients", s.Transients}, {"Partials", s.Partials},
+		{"LockSpikes", s.LockSpikes}, {"ShmStalls", s.ShmStalls},
+		{"Stragglers", s.Stragglers}, {"Retries", s.Retries},
+		{"Fallbacks", s.Fallbacks}, {"BounceOps", s.BounceOps},
+		{"BounceBytes", s.BounceBytes}, {"Kills", s.Kills},
+	} {
+		if c.v < 0 {
+			bad("%s = %d < 0", c.name, c.v)
+		}
+	}
+	if s.BackoffTime < 0 {
+		bad("BackoffTime = %v < 0", s.BackoffTime)
+	}
+	if s.Retries > 0 && s.BackoffTime <= 0 {
+		bad("%d retries but zero backoff time", s.Retries)
+	}
+	if s.BounceBytes > 0 && s.BounceOps == 0 {
+		bad("%d bounce bytes moved in zero bounce ops", s.BounceBytes)
+	}
+	if s.Kills > 0 && !r.Killed {
+		bad("%d kills recorded by a plan without the kill class", s.Kills)
+	}
+	return out
+}
+
+// modelEnvelope is the accepted simulated/predicted latency ratio band
+// for the closed forms. The forms are first-order (they ignore
+// barrier/skew interleaving and socket placement of the root), so the
+// band is deliberately generous: it catches order-of-magnitude breaks —
+// a mis-costed path, a serialization bug, a dropped contention term —
+// not fitting error.
+const (
+	modelEnvelopeLo = 1.0 / 4
+	modelEnvelopeHi = 4.0
+)
+
+// checkModelConformance: when RunOne computed a closed-form prediction
+// (fault-free, skew-free, kernel-assisted sizes only — see predictFor),
+// the simulated latency must stay within the envelope of it.
+func checkModelConformance(r *RunResult) []Violation {
+	if r.Pred <= 0 || r.Latency <= 0 {
+		return nil
+	}
+	ratio := r.Latency / r.Pred
+	if ratio < modelEnvelopeLo || ratio > modelEnvelopeHi {
+		return []Violation{{"model-conformance",
+			fmt.Sprintf("%s/%s size %d procs %d: simulated %.2fus vs closed form %.2fus (ratio %.3f outside [%.2f, %.2f])",
+				r.Spec.Kind, r.Spec.Algo, r.Spec.Count, r.Procs, r.Latency, r.Pred, ratio, modelEnvelopeLo, modelEnvelopeHi)}}
+	}
+	return nil
+}

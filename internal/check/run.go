@@ -1,0 +1,206 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"camc/internal/arch"
+	"camc/internal/core"
+	"camc/internal/fault"
+	"camc/internal/kernel"
+	"camc/internal/liveness"
+	"camc/internal/measure"
+	"camc/internal/mpi"
+	"camc/internal/trace"
+)
+
+// RunResult is everything one checked execution produced: the inputs,
+// the virtual latency, the fault accounting, the full trace, and the
+// closed-form prediction when one applies. Invariants consume it.
+type RunResult struct {
+	Spec    Spec
+	Latency float64 // us; the first attempt's latency on the recovery path
+	Stats   fault.Stats
+	Rec     *trace.Recorder
+	Procs   int
+	Killed  bool    // the plan had the kill class armed
+	Pred    float64 // closed-form latency; 0 = no applicable form
+
+	// Recovery is set when the kill path ran (see
+	// measure.CollectiveRecovered); its payload verification already
+	// happened inside the harness.
+	Recovery *measure.RecoveryResult
+}
+
+// RunOne executes one spec with real data movement and full tracing,
+// compares every receive buffer against the reference executor, and
+// evaluates the invariant registry. The returned error is non-nil for
+// any differential mismatch or invariant violation (the RunResult is
+// still returned for diagnostics); it is nil only for a fully green
+// run. RunOne is deterministic: the same Spec produces byte-identical
+// results, which is what makes shrunk reproducers trustworthy.
+func RunOne(sp Spec) (*RunResult, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	prof, err := arch.ByName(sp.Arch)
+	if err != nil {
+		return nil, err
+	}
+	fcfg := sp.faultConfig()
+	if fcfg != nil && fcfg.KillProb > 0 {
+		return runRecovered(sp, prof, fcfg)
+	}
+	return runDifferential(sp, prof, fcfg)
+}
+
+// runDifferential is the oracle path: seeded payloads in, algorithm
+// runs traced, receive buffers compared byte-for-byte against
+// Reference, then the invariant registry.
+func runDifferential(sp Spec, prof *arch.Profile, fcfg *fault.Config) (*RunResult, error) {
+	algo, err := core.LookupAlgorithm(sp.Kind, sp.Algo)
+	if err != nil {
+		return nil, err
+	}
+	p := sp.Procs
+	sendLen, recvLen, err := BufSizes(sp.Kind, p, sp.Count)
+	if err != nil {
+		return nil, err
+	}
+	mem := (8*int64(p) + 16) * (sp.Count + int64(prof.PageSize))
+	if mem < 1<<20 {
+		mem = 1 << 20
+	}
+	c := mpi.New(mpi.Config{Arch: prof, Procs: p, CopyData: true, MemPerProc: mem, Fault: fcfg})
+	rec := trace.NewUnbound()
+	c.AttachTrace(rec)
+	plan := c.FaultPlan()
+
+	rng := rand.New(rand.NewSource(sp.Seed))
+	send := make([]kernel.Addr, p)
+	recv := make([]kernel.Addr, p)
+	snap := make([][]byte, p)
+	for r := 0; r < p; r++ {
+		rank := c.Rank(r)
+		send[r] = rank.Alloc(sendLen)
+		recv[r] = rank.Alloc(recvLen)
+		buf := rank.OS.Bytes(send[r], sendLen)
+		rng.Read(buf)
+		snap[r] = append([]byte(nil), buf...)
+		rb := rank.OS.Bytes(recv[r], recvLen)
+		for i := range rb {
+			rb[i] = 0xEE
+		}
+	}
+	var skew []float64
+	if sp.Skew > 0 {
+		skew = make([]float64, p)
+		for i := range skew {
+			skew[i] = rng.Float64() * sp.Skew
+		}
+	}
+
+	starts := make([]float64, p)
+	ends := make([]float64, p)
+	c.Start(func(r *mpi.Rank) {
+		r.Barrier()
+		if skew != nil {
+			r.SP.Sleep(skew[r.ID])
+		}
+		starts[r.ID] = r.SP.Now()
+		if d := plan.StragglerDelay(r.ID, 0); d > 0 {
+			rec.Instant(r.ID, trace.CatFault, "straggle", trace.F("delay", d))
+			r.SP.Sleep(d)
+		}
+		algo.Run(r, core.Args{Send: send[r.ID], Recv: recv[r.ID], Count: sp.Count, Root: sp.Root})
+		ends[r.ID] = r.SP.Now()
+		r.Barrier()
+	})
+	res := &RunResult{Spec: sp, Rec: rec, Procs: p}
+	if err := c.Sim.Run(); err != nil {
+		return res, fmt.Errorf("check: %s: simulation failed: %v", sp, err)
+	}
+	res.Latency = maxOf(ends) - maxOf(starts)
+	res.Stats = plan.Stats()
+
+	// Differential comparison against the reference executor.
+	exp, err := Reference(sp.Kind, p, sp.Count, sp.Root, snap)
+	if err != nil {
+		return res, err
+	}
+	var diffs []string
+	for r := 0; r < p; r++ {
+		got := c.Rank(r).OS.Bytes(recv[r], recvLen)
+		if d := DiffPayload(r, got, exp[r]); d != "" {
+			diffs = append(diffs, d)
+		}
+	}
+	if len(diffs) > 0 {
+		return res, fmt.Errorf("check: %s: differential mismatch vs reference executor: %s", sp, strings.Join(diffs, "; "))
+	}
+
+	// Sends must be untouched: the collective owns only Recv.
+	for r := 0; r < p; r++ {
+		got := c.Rank(r).OS.Bytes(send[r], sendLen)
+		for i := range got {
+			if got[i] != snap[r][i] {
+				return res, fmt.Errorf("check: %s: rank %d send buffer mutated at offset %d", sp, r, i)
+			}
+		}
+	}
+
+	if fcfg == nil && sp.Skew == 0 {
+		if pred, ok := predictFor(prof, p, sp.Kind, sp.Algo, sp.Count); ok {
+			res.Pred = pred
+		}
+	}
+	return res, violationsErr(res)
+}
+
+// runRecovered is the kill path: the spec's plan permanently kills
+// ranks mid-operation, so the run goes through the full recovery
+// harness (detect, agree, shrink, replan, verified re-run — the payload
+// check happens inside measure.CollectiveRecoveredTraced against a
+// fresh pattern on the survivor communicator). The trace and fault
+// invariants then run over the whole recovery cycle.
+func runRecovered(sp Spec, prof *arch.Profile, fcfg *fault.Config) (*RunResult, error) {
+	lcfg := liveness.Defaults()
+	if sp.Deadline > 0 {
+		lcfg.Deadline = sp.Deadline
+	}
+	rres, rec, err := measure.CollectiveRecoveredTraced(prof, sp.Kind, sp.Algo, sp.Count,
+		measure.Options{Procs: sp.Procs, Root: sp.Root, Fault: fcfg, Liveness: &lcfg,
+			SkewSeed: sp.Seed, MaxSkew: sp.Skew})
+	res := &RunResult{Spec: sp, Rec: rec, Procs: sp.Procs, Killed: true}
+	if err != nil {
+		return res, fmt.Errorf("check: %s: recovery harness: %v", sp, err)
+	}
+	res.Latency = rres.FirstLatency
+	res.Stats = rres.Stats
+	res.Recovery = &rres
+	return res, violationsErr(res)
+}
+
+// violationsErr folds the invariant registry's findings into one error.
+func violationsErr(res *RunResult) error {
+	vs := CheckInvariants(res)
+	if len(vs) == 0 {
+		return nil
+	}
+	msgs := make([]string, len(vs))
+	for i, v := range vs {
+		msgs[i] = v.Error()
+	}
+	return fmt.Errorf("check: %s: %d invariant violation(s): %s", res.Spec, len(vs), strings.Join(msgs, "; "))
+}
+
+func maxOf(v []float64) float64 {
+	var m float64
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

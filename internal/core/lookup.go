@@ -1,11 +1,5 @@
 package core
 
-import (
-	"fmt"
-	"strconv"
-	"strings"
-)
-
 // LookupAlgorithm resolves an algorithm spec string for a collective
 // kind, as accepted by the camc-trace command line. Specs are the
 // registered algorithm names, with an optional ":k" parameter for the
@@ -18,101 +12,20 @@ import (
 //	allgather: ring-source-read | ring-source-write | ring-neighbor[:j] |
 //	           recursive-doubling | bruck | ring-pt2pt | ring-shm | tuned
 //	alltoall:  pairwise-cma-coll | pairwise-cma-pt2pt | pairwise-shmem | bruck | tuned
+//	reduce:    flat-sequential | parallel-write | knomial[:k] | binomial-shm | binomial-pt2pt | tuned
 //
-// "throttle:k" and "throttled:k" are synonyms. Defaults when the
-// parameter is omitted: k=4 for throttled, k=4 for k-nomial trees,
-// j=1 for the neighbor ring.
+// "throttle:k" and "throttled:k" are synonyms, as are "pairwise" and
+// "pairwise-cma-coll". Defaults when the parameter is omitted: k=4 for
+// throttled and the bcast k-nomial trees, k=2 for the reduce k-nomial
+// tree, j=1 for the neighbor ring. A ":k" suffix on a parameter-free
+// family is rejected rather than silently ignored.
+//
+// The grammar is shared with Replan (see spec.go), so every spec this
+// function accepts also replans after a communicator shrink.
 func LookupAlgorithm(kind Kind, spec string) (Algorithm, error) {
-	name, param := spec, 0
-	if i := strings.IndexByte(spec, ':'); i >= 0 {
-		name = spec[:i]
-		v, err := strconv.Atoi(spec[i+1:])
-		if err != nil || v < 1 {
-			return Algorithm{}, fmt.Errorf("core: bad parameter in algorithm spec %q", spec)
-		}
-		param = v
+	e, k, err := resolveSpec(kind, spec)
+	if err != nil {
+		return Algorithm{}, err
 	}
-	withDefault := func(def int) int {
-		if param == 0 {
-			return def
-		}
-		return param
-	}
-	if name == "tuned" {
-		return Algorithm{Name: spec, Kind: kind, Run: Tuned(kind)}, nil
-	}
-	switch kind {
-	case KindScatter:
-		switch name {
-		case "parallel-read":
-			return Algorithm{Name: spec, Kind: kind, Run: ScatterParallelRead}, nil
-		case "sequential-write":
-			return Algorithm{Name: spec, Kind: kind, Run: ScatterSeqWrite}, nil
-		case "throttle", "throttled":
-			return Algorithm{Name: spec, Kind: kind, Run: ScatterThrottled(withDefault(4))}, nil
-		case "binomial-shm":
-			return Algorithm{Name: spec, Kind: kind, Run: ScatterBinomial(TransportShm)}, nil
-		case "binomial-pt2pt":
-			return Algorithm{Name: spec, Kind: kind, Run: ScatterBinomial(TransportPt2pt)}, nil
-		}
-	case KindGather:
-		switch name {
-		case "parallel-write":
-			return Algorithm{Name: spec, Kind: kind, Run: GatherParallelWrite}, nil
-		case "sequential-read":
-			return Algorithm{Name: spec, Kind: kind, Run: GatherSeqRead}, nil
-		case "throttle", "throttled":
-			return Algorithm{Name: spec, Kind: kind, Run: GatherThrottled(withDefault(4))}, nil
-		case "binomial-shm":
-			return Algorithm{Name: spec, Kind: kind, Run: GatherBinomial(TransportShm)}, nil
-		case "binomial-pt2pt":
-			return Algorithm{Name: spec, Kind: kind, Run: GatherBinomial(TransportPt2pt)}, nil
-		}
-	case KindBcast:
-		switch name {
-		case "direct-read":
-			return Algorithm{Name: spec, Kind: kind, Run: BcastDirectRead}, nil
-		case "direct-write":
-			return Algorithm{Name: spec, Kind: kind, Run: BcastDirectWrite}, nil
-		case "scatter-allgather":
-			return Algorithm{Name: spec, Kind: kind, Run: BcastScatterAllgather}, nil
-		case "knomial-read":
-			return Algorithm{Name: spec, Kind: kind, Run: BcastKnomialRead(withDefault(4))}, nil
-		case "knomial-write":
-			return Algorithm{Name: spec, Kind: kind, Run: BcastKnomialWrite(withDefault(4))}, nil
-		case "binomial-shm":
-			return Algorithm{Name: spec, Kind: kind, Run: BcastBinomial(TransportShm)}, nil
-		case "vandegeijn-pt2pt":
-			return Algorithm{Name: spec, Kind: kind, Run: BcastVanDeGeijn(TransportPt2pt)}, nil
-		}
-	case KindAllgather:
-		switch name {
-		case "ring-source-read":
-			return Algorithm{Name: spec, Kind: kind, Run: AllgatherRingSourceRead}, nil
-		case "ring-source-write":
-			return Algorithm{Name: spec, Kind: kind, Run: AllgatherRingSourceWrite}, nil
-		case "ring-neighbor":
-			return Algorithm{Name: spec, Kind: kind, Run: AllgatherRingNeighbor(withDefault(1))}, nil
-		case "recursive-doubling":
-			return Algorithm{Name: spec, Kind: kind, Run: AllgatherRecursiveDoubling}, nil
-		case "bruck":
-			return Algorithm{Name: spec, Kind: kind, Run: AllgatherBruck}, nil
-		case "ring-pt2pt":
-			return Algorithm{Name: spec, Kind: kind, Run: AllgatherRing(TransportPt2pt)}, nil
-		case "ring-shm":
-			return Algorithm{Name: spec, Kind: kind, Run: AllgatherRing(TransportShm)}, nil
-		}
-	case KindAlltoall:
-		switch name {
-		case "pairwise-cma-coll", "pairwise":
-			return Algorithm{Name: spec, Kind: kind, Run: AlltoallPairwiseColl}, nil
-		case "pairwise-cma-pt2pt":
-			return Algorithm{Name: spec, Kind: kind, Run: AlltoallPairwisePt2pt}, nil
-		case "pairwise-shmem":
-			return Algorithm{Name: spec, Kind: kind, Run: AlltoallPairwiseShm}, nil
-		case "bruck":
-			return Algorithm{Name: spec, Kind: kind, Run: AlltoallBruck}, nil
-		}
-	}
-	return Algorithm{}, fmt.Errorf("core: unknown %s algorithm %q", kind, name)
+	return Algorithm{Name: spec, Kind: kind, Run: e.build(k)}, nil
 }

@@ -19,49 +19,35 @@ import (
 //     non-roots (and to at least 1). A throttle wider than the reader
 //     set is equivalent to parallel access, which defeats the point of
 //     having chosen a throttled family.
-//   - knomial-read:k / knomial-write:k (bcast): the radix is clamped to
-//     [2, p] — a base-k tree over p ranks never fans wider than p, and
-//     the tree construction requires k >= 2.
+//   - knomial-read:k / knomial-write:k (bcast) and knomial:k (reduce):
+//     the radix is clamped to [2, p] — a base-k tree over p ranks never
+//     fans wider than p, and the tree construction requires k >= 2.
 //   - ring-neighbor:j (allgather): the stride must satisfy
 //     gcd(p, j mod p) == 1 or the ring does not visit every block.
 //     Replan decrements j until the ring is a single cycle again
 //     (j = 1 always is).
 //
 // Parameter-free specs pass through unchanged, so Replan is safe to
-// call unconditionally on any spec LookupAlgorithm accepts. The
-// returned Algorithm's Name reflects the clamped parameter, so traces
-// and result tables show what actually ran.
+// call unconditionally on any spec LookupAlgorithm accepts — the two
+// share one grammar table (spec.go), each family registering its clamp
+// rule once. The returned Algorithm's Name reflects the clamped
+// parameter, so traces and result tables show what actually ran.
 func Replan(kind Kind, spec string, p int) (Algorithm, error) {
 	if p < 1 {
 		return Algorithm{}, fmt.Errorf("core: replan for %d ranks", p)
 	}
-	name, param := spec, 0
-	if i := strings.IndexByte(spec, ':'); i >= 0 {
-		name = spec[:i]
-		v, err := strconv.Atoi(spec[i+1:])
-		if err != nil || v < 1 {
-			return Algorithm{}, fmt.Errorf("core: bad parameter in algorithm spec %q", spec)
-		}
-		param = v
+	e, k, err := resolveSpec(kind, spec)
+	if err != nil {
+		return Algorithm{}, err
 	}
-	pick := func(def int) int {
-		if param == 0 {
-			return def
-		}
-		return param
-	}
-	clamped := 0
-	switch {
-	case (kind == KindScatter || kind == KindGather) && (name == "throttle" || name == "throttled"):
-		clamped = clampThrottle(pick(4), p)
-	case kind == KindBcast && (name == "knomial-read" || name == "knomial-write"):
-		clamped = clampRadix(pick(4), p)
-	case kind == KindAllgather && name == "ring-neighbor":
-		clamped = clampStride(pick(1), p)
-	default:
+	if e.clamp == nil {
 		return LookupAlgorithm(kind, spec)
 	}
-	return LookupAlgorithm(kind, name+":"+strconv.Itoa(clamped))
+	name := spec
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name = spec[:i]
+	}
+	return LookupAlgorithm(kind, name+":"+strconv.Itoa(e.clamp(k, p)))
 }
 
 // clampThrottle bounds a throttle factor to the non-root count of a

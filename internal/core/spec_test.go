@@ -1,0 +1,206 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestLookupEverySpec walks the whole registered grammar: every family
+// resolves by canonical name and by every alias, parameterized families
+// accept an explicit parameter, and parameter-free families reject one
+// instead of silently ignoring it.
+func TestLookupEverySpec(t *testing.T) {
+	kinds := SpecKinds()
+	if len(kinds) != 6 {
+		t.Fatalf("SpecKinds() = %v, want 6 kinds", kinds)
+	}
+	for _, kind := range kinds {
+		infos := Specs(kind)
+		if len(infos) == 0 {
+			t.Fatalf("no specs registered for %s", kind)
+		}
+		for _, info := range infos {
+			names := append([]string{info.Name}, info.Aliases...)
+			for _, name := range names {
+				al, err := LookupAlgorithm(kind, name)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", kind, name, err)
+				}
+				if al.Name != name || al.Kind != kind || al.Run == nil {
+					t.Fatalf("%s/%s: bad algorithm %+v", kind, name, al)
+				}
+				if info.Default > 0 {
+					if _, err := LookupAlgorithm(kind, name+":3"); err != nil {
+						t.Fatalf("%s/%s:3: %v", kind, name, err)
+					}
+					if _, err := LookupAlgorithm(kind, name+":0"); err == nil {
+						t.Fatalf("%s/%s:0 accepted", kind, name)
+					}
+				} else {
+					if _, err := LookupAlgorithm(kind, name+":3"); err == nil {
+						t.Fatalf("%s/%s:3 accepted on a parameter-free family", kind, name)
+					}
+				}
+				if _, err := LookupAlgorithm(kind, name+":x"); err == nil {
+					t.Fatalf("%s/%s:x accepted", kind, name)
+				}
+			}
+		}
+	}
+}
+
+// TestReplanRoundTrip: for every registered family, every Replan output
+// spec must itself resolve through LookupAlgorithm — a replanned name
+// that the parser rejects would strand recovery after a shrink.
+func TestReplanRoundTrip(t *testing.T) {
+	for _, kind := range SpecKinds() {
+		for _, info := range Specs(kind) {
+			specs := []string{info.Name}
+			if info.Default > 0 {
+				specs = append(specs, info.Name+":2", info.Name+":7", info.Name+":64")
+			}
+			for _, a := range info.Aliases {
+				specs = append(specs, a)
+				if info.Default > 0 {
+					specs = append(specs, a+":9")
+				}
+			}
+			for _, spec := range specs {
+				for _, p := range []int{2, 3, 5, 7, 8, 12, 16} {
+					al, err := Replan(kind, spec, p)
+					if err != nil {
+						t.Fatalf("Replan(%s, %q, %d): %v", kind, spec, p, err)
+					}
+					rt, err := LookupAlgorithm(kind, al.Name)
+					if err != nil {
+						t.Fatalf("Replan(%s, %q, %d) = %q does not round-trip: %v",
+							kind, spec, p, al.Name, err)
+					}
+					if rt.Kind != kind {
+						t.Fatalf("round-trip of %q changed kind to %s", al.Name, rt.Kind)
+					}
+					// The replanned name must keep the family spelling the
+					// caller used, so tables and traces stay greppable.
+					base := spec
+					if i := strings.IndexByte(spec, ':'); i >= 0 {
+						base = spec[:i]
+					}
+					if got := al.Name; got != base && !strings.HasPrefix(got, base+":") {
+						t.Fatalf("Replan(%s, %q, %d) renamed family: %q", kind, spec, p, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClampStrideSingleCycle is the property behind the ring-neighbor
+// replan rule: for any composite p and any stride, the clamped stride
+// generates a single p-cycle (gcd(p, j mod p) == 1), so every rank's
+// block visits every rank.
+func TestClampStrideSingleCycle(t *testing.T) {
+	for _, p := range []int{4, 6, 8, 9, 10, 12, 14, 15, 16, 20, 21, 24, 36, 60, 64} {
+		for j := 1; j <= 3*p+1; j++ {
+			g := clampStride(j, p)
+			if g < 1 || g >= p {
+				t.Fatalf("clampStride(%d, %d) = %d out of [1, p)", j, p, g)
+			}
+			if gcd(p, g%p) != 1 {
+				t.Fatalf("clampStride(%d, %d) = %d: gcd(%d, %d) != 1", j, p, g, p, g%p)
+			}
+			// Walk the ring and prove it is one cycle.
+			seen := 0
+			for r, steps := g%p, 0; steps < p; steps++ {
+				seen++
+				r = (r + g) % p
+			}
+			if seen != p {
+				t.Fatalf("clampStride(%d, %d) = %d: cycle covers %d of %d", j, p, g, seen, p)
+			}
+		}
+	}
+}
+
+// TestClampBounds pins the clamp helpers' ranges directly.
+func TestClampBounds(t *testing.T) {
+	for p := 1; p <= 40; p++ {
+		for k := 1; k <= 3*p; k++ {
+			if got := clampThrottle(k, p); got < 1 || (p > 1 && got > p-1) {
+				t.Fatalf("clampThrottle(%d, %d) = %d", k, p, got)
+			}
+			if got := clampRadix(k, p); got < 2 || (p >= 2 && got > p) {
+				t.Fatalf("clampRadix(%d, %d) = %d", k, p, got)
+			}
+		}
+	}
+}
+
+// TestLookupRejectsParamOnParameterFree pins the error text the CLIs
+// surface for the most likely user mistake.
+func TestLookupRejectsParamOnParameterFree(t *testing.T) {
+	_, err := LookupAlgorithm(KindScatter, "parallel-read:7")
+	if err == nil || !strings.Contains(err.Error(), "takes no parameter") {
+		t.Fatalf("err = %v, want 'takes no parameter'", err)
+	}
+	if _, err := Replan(KindScatter, "parallel-read:7", 4); err == nil {
+		t.Fatal("Replan accepted a parameter on a parameter-free family")
+	}
+}
+
+// TestReduceSpecsResolve pins that the reduce grammar reaches every
+// registered reduce implementation (reduce joined the shared table
+// later than the five paper collectives).
+func TestReduceSpecsResolve(t *testing.T) {
+	for _, spec := range []string{
+		"flat-sequential", "parallel-write", "knomial", "knomial:3",
+		"binomial-shm", "binomial-pt2pt", "tuned",
+	} {
+		if _, err := LookupAlgorithm(KindReduce, spec); err != nil {
+			t.Fatalf("reduce/%s: %v", spec, err)
+		}
+	}
+	al, err := Replan(KindReduce, "knomial:16", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Name != "knomial:5" {
+		t.Fatalf("reduce knomial:16 replanned for p=5 as %q, want knomial:5", al.Name)
+	}
+}
+
+// FuzzLookupSpec feeds arbitrary spec strings through the shared
+// grammar: the parser must never panic, and anything LookupAlgorithm
+// accepts must Replan at every communicator size and round-trip.
+func FuzzLookupSpec(f *testing.F) {
+	for _, kind := range SpecKinds() {
+		for _, info := range Specs(kind) {
+			f.Add(string(kind), info.Name)
+			if info.Default > 0 {
+				f.Add(string(kind), info.Name+":"+strconv.Itoa(info.Default))
+			}
+		}
+	}
+	f.Add("scatter", "throttle:99")
+	f.Add("allgather", "ring-neighbor:6")
+	f.Add("bogus", "tuned")
+	f.Fuzz(func(t *testing.T, kindStr, spec string) {
+		kind := Kind(kindStr)
+		al, err := LookupAlgorithm(kind, spec)
+		if err != nil {
+			return
+		}
+		for _, p := range []int{1, 2, 3, 6, 9, 16} {
+			rp, err := Replan(kind, spec, p)
+			if err != nil {
+				t.Fatalf("lookup accepted %s/%q but Replan(p=%d) rejected it: %v", kind, spec, p, err)
+			}
+			if _, err := LookupAlgorithm(kind, rp.Name); err != nil {
+				t.Fatalf("Replan(%s, %q, %d) = %q does not round-trip: %v", kind, spec, p, rp.Name, err)
+			}
+		}
+		if al.Run == nil {
+			t.Fatalf("%s/%q: nil Run", kind, spec)
+		}
+	})
+}

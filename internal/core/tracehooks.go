@@ -17,7 +17,7 @@ func beginColl(r *mpi.Rank, name string, a Args) (*trace.Recorder, trace.SpanID)
 	if rec == nil {
 		return nil, trace.NoSpan
 	}
-	return rec, rec.Begin(r.ID, trace.CatColl, name,
+	return rec, rec.Begin(r.Lane(), trace.CatColl, name,
 		trace.F("count", float64(a.Count)), trace.F("root", float64(a.Root)))
 }
 
@@ -25,7 +25,7 @@ func beginColl(r *mpi.Rank, name string, a Args) (*trace.Recorder, trace.SpanID)
 // rank's lane.
 func collStep(r *mpi.Rank, i, peer int) {
 	if rec := r.Tracer(); rec != nil {
-		rec.Instant(r.ID, trace.CatColl, "step",
+		rec.Instant(r.Lane(), trace.CatColl, "step",
 			trace.F("i", float64(i)), trace.F("peer", float64(peer)))
 	}
 }
@@ -35,7 +35,7 @@ func collStep(r *mpi.Rank, i, peer int) {
 // rank is in the first wave).
 func tokenAcquire(r *mpi.Rank, k int) {
 	if rec := r.Tracer(); rec != nil {
-		rec.Instant(r.ID, trace.CatThrottle, "token_acquire", trace.F("k", float64(k)))
+		rec.Instant(r.Lane(), trace.CatThrottle, "token_acquire", trace.F("k", float64(k)))
 	}
 }
 
@@ -43,7 +43,7 @@ func tokenAcquire(r *mpi.Rank, k int) {
 // (or back to the root when the chain ends).
 func tokenRelease(r *mpi.Rank, to, k int) {
 	if rec := r.Tracer(); rec != nil {
-		rec.Instant(r.ID, trace.CatThrottle, "token_release",
+		rec.Instant(r.Lane(), trace.CatThrottle, "token_release",
 			trace.F("to", float64(to)), trace.F("k", float64(k)))
 	}
 }
@@ -52,7 +52,7 @@ func tokenRelease(r *mpi.Rank, to, k int) {
 // (e.g. the scatter and ring halves of Van de Geijn broadcast).
 func beginPhase(r *mpi.Rank, name string, args ...trace.Arg) trace.SpanID {
 	if rec := r.Tracer(); rec != nil {
-		return rec.Begin(r.ID, trace.CatColl, name, args...)
+		return rec.Begin(r.Lane(), trace.CatColl, name, args...)
 	}
 	return trace.NoSpan
 }

@@ -165,6 +165,8 @@ func Tuned(kind Kind) func(r *mpi.Rank, a Args) {
 		return TunedAllgather
 	case KindAlltoall:
 		return TunedAlltoall
+	case KindReduce:
+		return TunedReduce
 	}
 	panic("core: unknown collective kind " + string(kind))
 }

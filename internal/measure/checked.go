@@ -65,7 +65,7 @@ func CollectiveChecked(a *arch.Profile, kind core.Kind, algo func(*mpi.Rank, cor
 		// Straggler skew counts inside the timed window (see collective).
 		if d := plan.StragglerDelay(r.ID, 0); d > 0 {
 			if rec != nil {
-				rec.Instant(r.ID, trace.CatFault, "straggle", trace.F("delay", d))
+				rec.Instant(r.Lane(), trace.CatFault, "straggle", trace.F("delay", d))
 			}
 			r.SP.Sleep(d)
 		}

@@ -128,7 +128,7 @@ func collective(a *arch.Profile, kind core.Kind, algo func(*mpi.Rank, core.Args)
 			// descheduling), which is exactly the robustness cost x8 bills.
 			if d := plan.StragglerDelay(r.ID, it); d > 0 {
 				if rec != nil {
-					rec.Instant(r.ID, trace.CatFault, "straggle", trace.F("delay", d))
+					rec.Instant(r.Lane(), trace.CatFault, "straggle", trace.F("delay", d))
 				}
 				r.SP.Sleep(d)
 			}
@@ -147,6 +147,10 @@ func collective(a *arch.Profile, kind core.Kind, algo func(*mpi.Rank, core.Args)
 }
 
 func maxOf(v []float64) float64 {
+	if len(v) == 0 {
+		// Degenerate window (no ranks timed): zero width, not a panic.
+		return 0
+	}
 	m := v[0]
 	for _, x := range v[1:] {
 		if x > m {
@@ -166,8 +170,14 @@ func Sweep(a *arch.Profile, kind core.Kind, algo func(*mpi.Rank, core.Args), siz
 	return out
 }
 
-// Sizes builds a power-of-two size ladder [lo, hi].
+// Sizes builds a power-of-two size ladder [lo, hi]. Degenerate requests
+// come back empty rather than looping or panicking: lo must be
+// positive (a zero or negative lo would never double its way past hi)
+// and the range must be non-empty.
 func Sizes(lo, hi int64) []int64 {
+	if lo <= 0 || hi < lo {
+		return nil
+	}
 	var out []int64
 	for s := lo; s <= hi; s *= 2 {
 		out = append(out, s)

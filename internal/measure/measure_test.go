@@ -21,6 +21,36 @@ func TestSizesLadder(t *testing.T) {
 	}
 }
 
+// Degenerate ladders come back empty instead of spinning forever
+// (lo <= 0 can never double past hi) or returning a partial ramp.
+func TestSizesDegenerate(t *testing.T) {
+	cases := []struct{ lo, hi int64 }{
+		{0, 1 << 20},       // lo = 0: s *= 2 would loop at zero
+		{-4, 1 << 20},      // negative lo: doubling diverges away from hi
+		{8 << 10, 4 << 10}, // empty range
+		{1, 0},
+	}
+	for _, tc := range cases {
+		if got := Sizes(tc.lo, tc.hi); got != nil {
+			t.Errorf("Sizes(%d, %d) = %v, want nil", tc.lo, tc.hi, got)
+		}
+	}
+	if got := Sizes(64, 64); len(got) != 1 || got[0] != 64 {
+		t.Errorf("Sizes(64, 64) = %v, want [64]", got)
+	}
+}
+
+// maxOf is the timing-window reducer; an empty window (no ranks timed)
+// is a zero-width window, not a panic.
+func TestMaxOfEmpty(t *testing.T) {
+	if got := maxOf(nil); got != 0 {
+		t.Errorf("maxOf(nil) = %g, want 0", got)
+	}
+	if got := maxOf([]float64{-3, -1, -2}); got != -1 {
+		t.Errorf("maxOf = %g, want -1", got)
+	}
+}
+
 func TestSweepMatchesCollective(t *testing.T) {
 	a := arch.KNL()
 	sizes := []int64{4 << 10, 16 << 10}

@@ -133,7 +133,7 @@ func collectiveRecovered(a *arch.Profile, kind core.Kind, spec string, count int
 			starts[r.ID] = r.SP.Now()
 			if d := plan.StragglerDelay(r.ID, 0); d > 0 {
 				if rec != nil {
-					rec.Instant(r.ID, trace.CatFault, "straggle", trace.F("delay", d))
+					rec.Instant(r.Lane(), trace.CatFault, "straggle", trace.F("delay", d))
 				}
 				r.SP.Sleep(d)
 			}

@@ -182,6 +182,18 @@ func (r *Rank) Size() int { return r.Comm.Size() }
 // (nil when tracing is disabled).
 func (r *Rank) Tracer() *trace.Recorder { return r.Comm.Tracer() }
 
+// Lane returns this rank's trace lane. Lanes are registered by OS pid
+// at AttachTrace time, so a rank keeps its lane across a communicator
+// Shrink even though its rank ID is renumbered — all events of one
+// simulated process (MPI, collective, and kernel CMA alike) land on one
+// lane. Without a recorder the rank ID is returned (nothing records).
+func (r *Rank) Lane() int {
+	if rec := r.Tracer(); rec != nil {
+		return rec.LaneForPid(r.OS.PID())
+	}
+	return r.ID
+}
+
 // Peer returns the OS process behind rank i (the PID table every rank
 // builds at init).
 func (r *Rank) Peer(i int) *kernel.Process { return r.Comm.ranks[i].OS }
@@ -293,7 +305,7 @@ func (r *Rank) killCheck() {
 		r.killPoint = -1 // fire once
 		r.Comm.FaultPlan().CountKill()
 		if rec := r.Tracer(); rec != nil {
-			rec.Instant(r.ID, trace.CatLiveness, "rank_killed",
+			rec.Instant(r.Lane(), trace.CatLiveness, "rank_killed",
 				trace.F("op", float64(r.ops)))
 		}
 		if b := r.Comm.Liveness(); b != nil {
@@ -347,7 +359,7 @@ func (r *Rank) Agree(localErr error) error {
 	rec := r.Tracer()
 	span := trace.NoSpan
 	if rec != nil {
-		span = rec.Begin(r.ID, trace.CatLiveness, "agree",
+		span = rec.Begin(r.Lane(), trace.CatLiveness, "agree",
 			trace.F("round", float64(round)))
 	}
 	set := b.Agree(r.SP, r.ID, round, local)
@@ -385,7 +397,7 @@ func (r *Rank) Shrink(failed []int) *Rank {
 	nr := nc.ranks[nc.RankFromParent(r.ID)]
 	nr.SP = r.SP
 	if rec := r.Tracer(); rec != nil {
-		rec.Instant(r.ID, trace.CatLiveness, "shrink",
+		rec.Instant(r.Lane(), trace.CatLiveness, "shrink",
 			trace.F("survivors", float64(nc.Size())), trace.F("new_rank", float64(nr.ID)))
 	}
 	// One-time address exchange on the surviving set: every rank
@@ -422,6 +434,15 @@ func (c *Comm) buildShrunk(failed []int) {
 	nc := &Comm{Node: c.Node, Sim: c.Sim, cfg: c.cfg}
 	nc.cfg.Procs = len(alive)
 	nc.Shm = shm.New(c.Node, len(alive))
+	if rec := c.Tracer(); rec != nil {
+		// The new transport numbers ranks from 0, but each survivor keeps
+		// the trace lane its pid was registered under.
+		lanes := make([]int, len(alive))
+		for newID, oldID := range alive {
+			lanes[newID] = rec.LaneForPid(c.ranks[oldID].OS.PID())
+		}
+		nc.Shm.SetLanes(lanes)
+	}
 	if b := c.Node.Liveness(); b != nil {
 		c.Node.SetLiveness(liveness.NewBoard(c.Sim, len(alive), b.Config()))
 	}
@@ -462,7 +483,7 @@ func (r *Rank) Barrier() {
 	r.killCheck()
 	span := trace.NoSpan
 	if rec := r.Tracer(); rec != nil {
-		span = rec.Begin(r.ID, trace.CatMPI, "barrier")
+		span = rec.Begin(r.Lane(), trace.CatMPI, "barrier")
 	}
 	r.Comm.Shm.Barrier(r.SP, r.ID)
 	r.Tracer().End(span)
@@ -499,7 +520,7 @@ func (r *Rank) Send(dst int, addr kernel.Addr, size int64) {
 		if rndv {
 			name = "send_rndv"
 		}
-		span = rec.Begin(r.ID, trace.CatMPI, name,
+		span = rec.Begin(r.Lane(), trace.CatMPI, name,
 			trace.F("peer", float64(dst)), trace.F("bytes", float64(size)))
 	}
 	r.SP.Sleep(matchCost)
@@ -526,7 +547,7 @@ func (r *Rank) Recv(src int, addr kernel.Addr, size int64) {
 		if rndv {
 			name = "recv_rndv"
 		}
-		span = rec.Begin(r.ID, trace.CatMPI, name,
+		span = rec.Begin(r.Lane(), trace.CatMPI, name,
 			trace.F("peer", float64(src)), trace.F("bytes", float64(size)))
 	}
 	r.SP.Sleep(matchCost)
@@ -686,7 +707,7 @@ func (r *Rank) vmOp(local kernel.Addr, peer int, remote kernel.Addr, size int64,
 	r.markCMADead(peer)
 	r.Comm.FaultPlan().CountFallback()
 	if rec := r.Tracer(); rec != nil {
-		rec.Instant(r.ID, trace.CatFault, "cma_fallback",
+		rec.Instant(r.Lane(), trace.CatFault, "cma_fallback",
 			trace.F("peer", float64(peer)), trace.F("completed", float64(done)))
 	}
 	r.bounce(local+kernel.Addr(done), peer, remote+kernel.Addr(done), size-done, read)

@@ -46,6 +46,7 @@ type Transport struct {
 	node   *kernel.Node
 	nranks int
 	queues []*sim.Chan[message] // index src*nranks+dst
+	lanes  []int                // trace lane per rank (nil = identity)
 }
 
 // New creates a transport among nranks processes of node.
@@ -56,6 +57,28 @@ func New(node *kernel.Node, nranks int) *Transport {
 		t.queues[i] = sim.NewChan[message](node.Sim, queueDepth)
 	}
 	return t
+}
+
+// SetLanes maps this transport's rank indices to trace lanes. A
+// transport built for a shrunk communicator renumbers its ranks from 0,
+// but each surviving process keeps the trace lane it was registered
+// under — without the mapping, one lane would interleave events from
+// two different processes and the per-lane span nesting would be
+// garbage.
+func (t *Transport) SetLanes(lanes []int) {
+	if len(lanes) != t.nranks {
+		panic(fmt.Sprintf("shm: SetLanes with %d lanes for %d ranks", len(lanes), t.nranks))
+	}
+	t.lanes = lanes
+}
+
+// lane returns the trace lane for rank i (identity when no mapping is
+// set, i.e. for a communicator whose rank IDs are the registered lanes).
+func (t *Transport) lane(i int) int {
+	if t.lanes == nil {
+		return i
+	}
+	return t.lanes[i]
 }
 
 // Ranks returns the number of ranks the transport connects.
@@ -100,8 +123,8 @@ func (t *Transport) stall(src, dst int) float64 {
 	d := t.node.FaultPlan().ShmStall(src, dst)
 	if d > 0 {
 		if rec := t.node.Recorder(); rec != nil {
-			rec.Instant(src, trace.CatFault, "fault_shm_stall",
-				trace.F("peer", float64(dst)), trace.F("delay", d))
+			rec.Instant(t.lane(src), trace.CatFault, "fault_shm_stall",
+				trace.F("peer", float64(t.lane(dst))), trace.F("delay", d))
 		}
 	}
 	return d
@@ -194,8 +217,8 @@ func (t *Transport) sendMsg(sp *sim.Proc, src, dst int, m message) {
 func (t *Transport) liveFail(self, peer int, op string) {
 	b := t.node.Liveness()
 	if rec := t.node.Recorder(); rec != nil {
-		rec.Instant(self, trace.CatLiveness, "peer_dead_"+op,
-			trace.F("peer", float64(peer)))
+		rec.Instant(t.lane(self), trace.CatLiveness, "peer_dead_"+op,
+			trace.F("peer", float64(t.lane(peer))))
 	}
 	panic(liveness.NewPeerDeadError(b.DeadSet()))
 }
@@ -229,7 +252,7 @@ func (t *Transport) RecvCtl(sp *sim.Proc, src, dst, tag int) int64 {
 	}
 	sp.Sleep(ctlCost)
 	if rec := t.node.Recorder(); rec != nil {
-		rec.Edge(src, dst, trace.CatShm, tagName(tag),
+		rec.Edge(t.lane(src), t.lane(dst), trace.CatShm, tagName(tag),
 			m.readyAt-t.node.Arch.ShmLatency, readyTs, waitStart, sp.Now())
 	}
 	return m.ctl
@@ -248,8 +271,8 @@ func (t *Transport) Send(sp *sim.Proc, src, dst, tag int, srcProc *kernel.Proces
 	span := trace.NoSpan
 	copyT := 0.0
 	if rec != nil {
-		span = rec.Begin(src, trace.CatShm, "shm_send",
-			trace.F("peer", float64(dst)), trace.F("bytes", float64(size)))
+		span = rec.Begin(t.lane(src), trace.CatShm, "shm_send",
+			trace.F("peer", float64(t.lane(dst))), trace.F("bytes", float64(size)))
 	}
 	for off := int64(0); ; off += cell {
 		n := cell
@@ -303,8 +326,8 @@ func (t *Transport) Exchange(sp *sim.Proc, me, sendPeer, recvPeer, tag int, proc
 	span := trace.NoSpan
 	copyT, waitStart, readyTs, lastReadyAt := 0.0, 0.0, 0.0, 0.0
 	if rec != nil {
-		span = rec.Begin(me, trace.CatShm, "shm_exchange",
-			trace.F("send_peer", float64(sendPeer)), trace.F("recv_peer", float64(recvPeer)),
+		span = rec.Begin(t.lane(me), trace.CatShm, "shm_exchange",
+			trace.F("send_peer", float64(t.lane(sendPeer))), trace.F("recv_peer", float64(t.lane(recvPeer))),
 			trace.F("sbytes", float64(sSize)), trace.F("rbytes", float64(rSize)))
 	}
 	var sent, got int64
@@ -365,7 +388,7 @@ func (t *Transport) Exchange(sp *sim.Proc, me, sendPeer, recvPeer, tag int, proc
 	if rec != nil {
 		// The edge covers the final incoming cell: the hand-off that can
 		// gate this rank's completion of the exchange.
-		rec.Edge(recvPeer, me, trace.CatShm, tagName(tag),
+		rec.Edge(t.lane(recvPeer), t.lane(me), trace.CatShm, tagName(tag),
 			lastReadyAt-a.ShmLatency, readyTs, waitStart, sp.Now(),
 			trace.F("bytes", float64(rSize)))
 		rec.End(span, trace.F("copy", copyT))
@@ -384,8 +407,8 @@ func (t *Transport) Recv(sp *sim.Proc, src, dst, tag int, dstProc *kernel.Proces
 	span := trace.NoSpan
 	copyT, waitStart, readyTs, lastReadyAt := 0.0, 0.0, 0.0, 0.0
 	if rec != nil {
-		span = rec.Begin(dst, trace.CatShm, "shm_recv",
-			trace.F("peer", float64(src)), trace.F("bytes", float64(size)))
+		span = rec.Begin(t.lane(dst), trace.CatShm, "shm_recv",
+			trace.F("peer", float64(t.lane(src))), trace.F("bytes", float64(size)))
 	}
 	var got int64
 	for {
@@ -420,7 +443,7 @@ func (t *Transport) Recv(sp *sim.Proc, src, dst, tag int, dstProc *kernel.Proces
 	if rec != nil {
 		// The edge covers the final cell — the hand-off that gates this
 		// receive's completion when the sender is the slower side.
-		rec.Edge(src, dst, trace.CatShm, tagName(tag),
+		rec.Edge(t.lane(src), t.lane(dst), trace.CatShm, tagName(tag),
 			lastReadyAt-a.ShmLatency, readyTs, waitStart, sp.Now(),
 			trace.F("bytes", float64(size)))
 		rec.End(span, trace.F("copy", copyT))

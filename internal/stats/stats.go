@@ -32,11 +32,31 @@ func SumSquaredResiduals(y, yhat []float64) float64 {
 	return s
 }
 
+// finite reports whether every value in every slice is a real number.
+// The fitters reject NaN/Inf inputs up front: a single poisoned sample
+// would otherwise propagate silently through the normal equations and
+// come back as NaN coefficients with a nil error.
+func finite(slices ...[]float64) bool {
+	for _, s := range slices {
+		for _, v := range s {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+var errNonFinite = errors.New("stats: non-finite (NaN/Inf) input sample")
+
 // LinearFit fits y = a + b·x by ordinary least squares and returns
 // (a, b).
 func LinearFit(x, y []float64) (a, b float64, err error) {
 	if len(x) != len(y) || len(x) < 2 {
 		return 0, 0, errors.New("stats: need >= 2 paired samples")
+	}
+	if !finite(x, y) {
+		return 0, 0, errNonFinite
 	}
 	n := float64(len(x))
 	var sx, sy, sxx, sxy float64
@@ -64,6 +84,9 @@ func PolyFit(x, y []float64, deg int) ([]float64, error) {
 	n := deg + 1
 	if len(x) != len(y) || len(x) < n {
 		return nil, fmt.Errorf("stats: need >= %d samples for degree %d", n, deg)
+	}
+	if !finite(x, y) {
+		return nil, errNonFinite
 	}
 	// Normal equations: (VᵀV)c = Vᵀy with Vandermonde V.
 	ata := make([][]float64, n)
@@ -157,6 +180,9 @@ func LevenbergMarquardt(f Model, x, y, p0 []float64, opts LMOptions) ([]float64,
 	if len(x) < len(p0) {
 		return nil, 0, errors.New("stats: fewer samples than parameters")
 	}
+	if !finite(x, y, p0) {
+		return nil, 0, errNonFinite
+	}
 	opts = opts.withDefaults()
 	p := append([]float64(nil), p0...)
 	np := len(p)
@@ -171,6 +197,11 @@ func LevenbergMarquardt(f Model, x, y, p0 []float64, opts LMOptions) ([]float64,
 		return s
 	}
 	cur := ssr(p)
+	if math.IsNaN(cur) || math.IsInf(cur, 0) {
+		// The model itself blew up at the start point; every trial step
+		// would compare against NaN and "never improve", so fail loudly.
+		return nil, 0, errors.New("stats: model produced non-finite residuals at p0")
+	}
 
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		// Jacobian (len(x) × np) and residuals.

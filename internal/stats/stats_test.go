@@ -160,3 +160,49 @@ func TestMeanAndSSR(t *testing.T) {
 		t.Fatalf("ssr = %g", s)
 	}
 }
+
+// Non-finite samples must be rejected up front by every fitter: a
+// single NaN would otherwise flow through the normal equations and
+// come back as NaN coefficients with a nil error.
+func TestFittersRejectNonFinite(t *testing.T) {
+	bad := [][]float64{
+		{1, math.NaN(), 3},
+		{1, math.Inf(1), 3},
+		{1, math.Inf(-1), 3},
+	}
+	good := []float64{1, 2, 3}
+	lin := func(p []float64, x float64) float64 { return p[0] + p[1]*x }
+	for _, b := range bad {
+		if _, _, err := LinearFit(b, good); err == nil {
+			t.Errorf("LinearFit(x=%v) accepted non-finite x", b)
+		}
+		if _, _, err := LinearFit(good, b); err == nil {
+			t.Errorf("LinearFit(y=%v) accepted non-finite y", b)
+		}
+		if _, err := PolyFit(b, good, 1); err == nil {
+			t.Errorf("PolyFit(x=%v) accepted non-finite x", b)
+		}
+		if _, err := PolyFit(good, b, 1); err == nil {
+			t.Errorf("PolyFit(y=%v) accepted non-finite y", b)
+		}
+		if _, _, err := LevenbergMarquardt(lin, b, good, []float64{0, 1}, LMOptions{}); err == nil {
+			t.Errorf("LM(x=%v) accepted non-finite x", b)
+		}
+		if _, _, err := LevenbergMarquardt(lin, good, b, []float64{0, 1}, LMOptions{}); err == nil {
+			t.Errorf("LM(y=%v) accepted non-finite y", b)
+		}
+	}
+	if _, _, err := LevenbergMarquardt(lin, good, good, []float64{math.NaN(), 1}, LMOptions{}); err == nil {
+		t.Error("LM accepted a NaN start parameter")
+	}
+}
+
+// A model that explodes at the start point must fail loudly, not
+// return p0 with a NaN SSR and a nil error.
+func TestLMNonFiniteModel(t *testing.T) {
+	blowup := func(p []float64, x float64) float64 { return math.Log(p[0]) } // p0[0] = -1 -> NaN
+	_, _, err := LevenbergMarquardt(blowup, []float64{1, 2}, []float64{1, 2}, []float64{-1}, LMOptions{})
+	if err == nil {
+		t.Fatal("LM returned nil error for a model that is NaN at p0")
+	}
+}
