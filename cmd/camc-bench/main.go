@@ -26,6 +26,7 @@ import (
 	"camc/internal/bench"
 	"camc/internal/check"
 	"camc/internal/fault"
+	"camc/internal/store"
 	"camc/internal/trace"
 )
 
@@ -51,6 +52,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		faults   = fs.String("faults", "", "add a custom fault scenario to x8 (and, with kill=..., to x9): a preset (none/light/moderate/heavy) and/or key=value overrides, e.g. heavy, partial=0.3,eagain=0.5,seed=7, or kill=0.4,killop=4,seed=11")
 		deadline = fs.Float64("deadline", 0, "liveness detector deadline for x9 in simulated microseconds (0 = experiment default)")
 		repro    = fs.String("repro", "", "replay one camc-fuzz reproducer spec line and report its verdict instead of running experiments")
+		storeF   = fs.String("store", "", "append every experiment cell to the results store at this directory (created if absent; query with camc-report)")
+		storeRun = fs.String("store-run", "", "append cells under this existing run id instead of recording a fresh run (needs -store; ids come from camc-report begin)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -142,6 +145,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	if *storeRun != "" && *storeF == "" {
+		fmt.Fprintln(stderr, "-store-run needs -store")
+		return 2
+	}
+	var st *store.Store
+	runID := *storeRun
+	if *storeF != "" {
+		var err error
+		st, err = store.Open(*storeF, store.Options{})
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer st.Close()
+		if runID == "" {
+			rr := store.RunRecord("bench", 0, int64(*jobs), "camc-bench -run "+*runF)
+			if _, err := st.Append(rr); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			runID = rr.RunID
+		} else if _, ok := st.RunByID(runID); !ok {
+			fmt.Fprintf(stderr, "store: unknown run id %q in %s (record one with camc-report begin)\n", runID, *storeF)
+			return 2
+		}
+	}
 	if *traceF != "" {
 		traceable := false
 		for _, e := range exps {
@@ -182,11 +211,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "trace: wrote %s (%s; load in chrome://tracing or ui.perfetto.dev)\n", *traceF, lastLabel)
 		}()
 	}
+	cells, appendErr := 0, error(nil)
 	for _, e := range exps {
-		if err := e.RunFormat(stdout, opts, f); err != nil {
+		var sink func(bench.Table)
+		if st != nil {
+			expID := e.ID
+			sink = func(t bench.Table) {
+				for _, r := range bench.CellRecords(runID, expID, t) {
+					if _, err := st.Append(r); err != nil && appendErr == nil {
+						appendErr = err
+					}
+					cells++
+				}
+			}
+		}
+		if err := e.RunFormatSink(stdout, opts, f, sink); err != nil {
 			fmt.Fprintf(stderr, "%s: %v\n", e.ID, err)
 			return 1
 		}
+	}
+	if st != nil {
+		if appendErr == nil {
+			appendErr = st.Sync()
+		}
+		if appendErr != nil {
+			fmt.Fprintln(stderr, appendErr)
+			return 1
+		}
+		fmt.Fprintf(stderr, "store: appended %d cells under run %s to %s\n", cells, runID, *storeF)
 	}
 	return 0
 }

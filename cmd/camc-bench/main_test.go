@@ -15,6 +15,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"camc/internal/store"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files with the current output")
@@ -190,5 +192,86 @@ func TestListSucceeds(t *testing.T) {
 		if !strings.Contains(stdout.String(), id) {
 			t.Fatalf("-list output missing %s:\n%s", id, stdout.String())
 		}
+	}
+}
+
+// TestStoreRecordsCells runs a small experiment with -store and
+// verifies the run and per-cell records land in the store, tagged with
+// arch/collective where the table titles carry them — and that the
+// rendered stdout is byte-identical to a storeless run.
+func TestStoreRecordsCells(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "bench.store")
+	var plain, stored, stderr bytes.Buffer
+	if code := run([]string{"-run", "fig7", "-quick", "-arch", "knl"}, &plain, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"-run", "fig7", "-quick", "-arch", "knl", "-store", dir}, &stored, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if plain.String() != stored.String() {
+		t.Fatal("-store changed the rendered experiment output")
+	}
+	if !strings.Contains(stderr.String(), "store: appended") {
+		t.Fatalf("missing store summary on stderr: %s", stderr.String())
+	}
+
+	st, err := store.Open(dir, store.Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := st.Runs()
+	if len(runs) != 1 || runs[0].Source != "bench" {
+		t.Fatalf("runs = %+v, want one bench run", runs)
+	}
+	cells, err := st.Select(store.Filter{Type: store.TypeCell})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) == 0 {
+		t.Fatal("no cell records stored")
+	}
+	for _, c := range cells {
+		if c.RunID != runs[0].RunID || c.Experiment != "fig7" {
+			t.Fatalf("stray cell %+v", c)
+		}
+		if c.Arch != "knl" || c.Collective != "scatter" {
+			t.Fatalf("cell missing title tags: %+v", c)
+		}
+		if c.Value <= 0 {
+			t.Fatalf("non-positive latency cell: %+v", c)
+		}
+	}
+	// A second invocation under the same run id accumulates more cells.
+	stderr.Reset()
+	var out2 bytes.Buffer
+	if code := run([]string{"-run", "tab5", "-store", dir, "-store-run", runs[0].RunID}, &out2, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	st2, err := store.Open(dir, store.Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st2.Runs()) != 1 {
+		t.Fatalf("reusing a run id recorded %d runs", len(st2.Runs()))
+	}
+	more, _ := st2.Select(store.Filter{Type: store.TypeCell, Experiment: "tab5"})
+	if len(more) == 0 {
+		t.Fatal("tab5 cells not appended under the existing run")
+	}
+}
+
+func TestStoreUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-run", "tab5", "-store-run", "r1"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-store-run without -store: exit %d, want 2", code)
+	}
+	stderr.Reset()
+	dir := filepath.Join(t.TempDir(), "bench.store")
+	if code := run([]string{"-run", "tab5", "-store", dir, "-store-run", "nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown -store-run id: exit %d, want 2 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "unknown run id") {
+		t.Fatalf("stderr missing hint: %s", stderr.String())
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"camc/internal/arch"
 	"camc/internal/check"
 	"camc/internal/core"
+	"camc/internal/store"
 )
 
 func main() {
@@ -38,18 +39,63 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("camc-fuzz", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		seed    = fs.Int64("seed", 1, "corpus seed; the corpus is a pure function of (seed, n)")
-		n       = fs.Int("n", 200, "number of specs to enumerate")
-		archF   = fs.String("arch", "", "restrict to one architecture: knl, broadwell, power8 (default all)")
-		kindsF  = fs.String("kinds", "", "comma-separated collective kinds (default all six)")
-		noFault = fs.Bool("no-faults", false, "draw only fault-free specs")
-		noKill  = fs.Bool("no-kills", false, "never draw kill plans (skip the recovery harness)")
-		verbose = fs.Bool("v", false, "print every spec as it runs")
-		repro   = fs.String("repro", "", "replay one reproducer spec line instead of fuzzing")
-		listInv = fs.Bool("list-invariants", false, "list the invariant registry and exit")
+		seed     = fs.Int64("seed", 1, "corpus seed; the corpus is a pure function of (seed, n)")
+		n        = fs.Int("n", 200, "number of specs to enumerate")
+		archF    = fs.String("arch", "", "restrict to one architecture: knl, broadwell, power8 (default all)")
+		kindsF   = fs.String("kinds", "", "comma-separated collective kinds (default all six)")
+		noFault  = fs.Bool("no-faults", false, "draw only fault-free specs")
+		noKill   = fs.Bool("no-kills", false, "never draw kill plans (skip the recovery harness)")
+		verbose  = fs.Bool("v", false, "print every spec as it runs")
+		repro    = fs.String("repro", "", "replay one reproducer spec line instead of fuzzing")
+		listInv  = fs.Bool("list-invariants", false, "list the invariant registry and exit")
+		storeF   = fs.String("store", "", "append the corpus verdict (and any failure reproducer) to the results store at this directory")
+		storeRun = fs.String("store-run", "", "append verdicts under this existing run id instead of recording a fresh run (needs -store)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *storeRun != "" && *storeF == "" {
+		fmt.Fprintln(stderr, "-store-run needs -store")
+		return 2
+	}
+	// openStore defers store setup until a verdict is ready to land, so
+	// usage errors never create directories.
+	openStore := func() (*store.Store, string, error) {
+		st, err := store.Open(*storeF, store.Options{})
+		if err != nil {
+			return nil, "", err
+		}
+		runID := *storeRun
+		if runID == "" {
+			rr := store.RunRecord("fuzz", *seed, 0, "camc-fuzz")
+			if _, err := st.Append(rr); err != nil {
+				st.Close()
+				return nil, "", err
+			}
+			runID = rr.RunID
+		} else if _, ok := st.RunByID(runID); !ok {
+			st.Close()
+			return nil, "", fmt.Errorf("store: unknown run id %q in %s (record one with camc-report begin)", runID, *storeF)
+		}
+		return st, runID, nil
+	}
+	// record appends verdict records and closes the store (no-op
+	// without -store).
+	record := func(recs ...func(runID string) store.Record) error {
+		if *storeF == "" {
+			return nil
+		}
+		st, runID, err := openStore()
+		if err != nil {
+			return err
+		}
+		for _, rec := range recs {
+			if _, err := st.Append(rec(runID)); err != nil {
+				st.Close()
+				return err
+			}
+		}
+		return st.Close()
 	}
 	if *listInv {
 		for _, inv := range check.Invariants() {
@@ -66,9 +112,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		res, err := check.RunOne(sp)
 		if err != nil {
 			fmt.Fprintf(stdout, "FAIL %s\n  %v\n", sp, err)
+			if rerr := record(func(id string) store.Record { return check.FailRecord(id, sp, err) }); rerr != nil {
+				fmt.Fprintln(stderr, rerr)
+			}
 			return 1
 		}
 		printPass(stdout, res)
+		if rerr := record(res.StoreRecord); rerr != nil {
+			fmt.Fprintln(stderr, rerr)
+			return 1
+		}
 		return 0
 	}
 	if *n < 1 {
@@ -114,6 +167,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return e != nil
 			})
 			fmt.Fprintf(stdout, "shrunk reproducer:\n  %s\nreplay with:\n  camc-fuzz -repro %q\n  camc-trace -repro %q\n", min, min.String(), min.String())
+			if rerr := record(
+				func(id string) store.Record { return check.FailRecord(id, min, err) },
+				func(id string) store.Record { return check.CorpusRecord(id, *archF, i, *n, faulty, killed) },
+			); rerr != nil {
+				fmt.Fprintln(stderr, rerr)
+			}
 			return 1
 		}
 		kindCount[sp.Kind]++
@@ -130,6 +189,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "  archs: %s\n", countLineStr(archCount))
 	fmt.Fprintf(stdout, "  fault plans: %d (of which kill plans: %d)\n", faulty, killed)
 	fmt.Fprintf(stdout, "  invariants per run: %d (see -list-invariants)\n", len(check.Invariants()))
+	if err := record(func(id string) store.Record {
+		return check.CorpusRecord(id, *archF, *n, *n, faulty, killed)
+	}); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
 	return 0
 }
 

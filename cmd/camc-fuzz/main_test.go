@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"camc/internal/store"
 )
 
 func runCLI(t *testing.T, args ...string) (int, string, string) {
@@ -79,5 +82,70 @@ func TestListInvariants(t *testing.T) {
 		if !strings.Contains(out, name) {
 			t.Errorf("missing invariant %s:\n%s", name, out)
 		}
+	}
+}
+
+// TestStoreCorpusVerdict runs a tiny corpus with -store and checks the
+// run record plus the aggregate corpus verdict land in the store.
+func TestStoreCorpusVerdict(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "fuzz.store")
+	code, out, errb := runCLI(t, "-seed", "1", "-n", "8", "-arch", "knl", "-store", dir)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s\n%s", code, out, errb)
+	}
+	st, err := store.Open(dir, store.Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := st.Runs()
+	if len(runs) != 1 || runs[0].Source != "fuzz" || runs[0].Seed != 1 {
+		t.Fatalf("runs = %+v, want one fuzz run with seed 1", runs)
+	}
+	verdicts, err := st.Select(store.Filter{Type: store.TypeVerdict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != 1 {
+		t.Fatalf("%d verdicts, want 1 aggregate", len(verdicts))
+	}
+	v := verdicts[0]
+	if v.Verdict != "pass" || v.Arch != "knl" || v.Series != "corpus" || v.Value != 8 {
+		t.Fatalf("corpus verdict %+v", v)
+	}
+	if !strings.Contains(v.Detail, "corpus=8") {
+		t.Fatalf("verdict detail %q", v.Detail)
+	}
+}
+
+// TestStoreReproVerdict replays one reproducer with -store and checks
+// the per-spec pass verdict is recorded with its spec line.
+func TestStoreReproVerdict(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "fuzz.store")
+	spec := "arch=knl kind=scatter algo=throttled:2 size=4096 procs=5 root=2 seed=11"
+	code, out, errb := runCLI(t, "-repro", spec, "-store", dir)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s\n%s", code, out, errb)
+	}
+	st, err := store.Open(dir, store.Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts, _ := st.Select(store.Filter{Type: store.TypeVerdict, Verdict: "pass"})
+	if len(verdicts) != 1 {
+		t.Fatalf("%d pass verdicts, want 1", len(verdicts))
+	}
+	v := verdicts[0]
+	if v.Collective != "scatter" || v.Series != "throttled:2" || v.Size != 4096 || v.Detail != spec {
+		t.Fatalf("repro verdict %+v", v)
+	}
+	if v.Value <= 0 {
+		t.Fatalf("repro verdict has no latency: %+v", v)
+	}
+}
+
+func TestStoreRunUsageError(t *testing.T) {
+	code, _, errb := runCLI(t, "-n", "1", "-store-run", "r1")
+	if code != 2 || !strings.Contains(errb, "-store-run needs -store") {
+		t.Fatalf("exit %d, stderr %q", code, errb)
 	}
 }

@@ -149,8 +149,19 @@ const (
 // RunFormat generates the experiment's tables and renders them in the
 // requested format (plots also print the numeric table beneath).
 func (e *Experiment) RunFormat(w io.Writer, o Options, f Format) error {
+	return e.RunFormatSink(w, o, f, nil)
+}
+
+// RunFormatSink runs the experiment like RunFormat and additionally
+// hands every generated table to sink before rendering (nil sink
+// allowed). The sink sees tables in output order, so store appends are
+// deterministic, and recording never changes the printed output.
+func (e *Experiment) RunFormatSink(w io.Writer, o Options, f Format, sink func(Table)) error {
 	fmt.Fprintf(w, "=== %s: %s ===\n\n", e.ID, e.Title)
 	for _, t := range e.Tables(o) {
+		if sink != nil {
+			sink(t)
+		}
 		switch f {
 		case FormatPlot:
 			t.FprintPlot(w, 64, 16)

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"strings"
+
+	"camc/internal/arch"
+	"camc/internal/store"
+)
+
+// Store hook: flattening experiment tables into per-cell records for
+// the persistent results store, so every harness run leaves a durable,
+// queryable trail instead of a transient text table.
+
+// CellRecords flattens one experiment table into store cell records,
+// one per (series, x) value, tagged with the run id and experiment id.
+// Architecture and collective kind are recovered from the table title
+// (experiments bake them into titles like "Fig 7: Scatter algorithms,
+// Intel Xeon Phi 7250 (Knights Landing)"); cells whose title carries
+// neither stay untagged and still match by full key.
+func CellRecords(runID, expID string, t Table) []store.Record {
+	archName := archFromTitle(t.Title)
+	kind := kindFromTitle(t.Title)
+	var out []store.Record
+	for _, s := range t.Series {
+		for xi, v := range s.Values {
+			if xi >= len(t.XLabels) {
+				break
+			}
+			x := t.XLabels[xi]
+			size, _ := store.ParseSizeLabel(x)
+			out = append(out, store.Record{
+				Type:       store.TypeCell,
+				RunID:      runID,
+				Experiment: expID,
+				Table:      t.Title,
+				Arch:       archName,
+				Collective: kind,
+				Series:     s.Name,
+				X:          x,
+				Size:       size,
+				Value:      v,
+				Unit:       cellUnit(t),
+			})
+		}
+	}
+	return out
+}
+
+// archFromTitle maps a table title to a profile name by matching the
+// display string ("... , IBM Power8 (PPC64LE)") or the short name.
+func archFromTitle(title string) string {
+	lower := strings.ToLower(title)
+	for _, p := range arch.All() {
+		if strings.Contains(title, p.Display) || strings.Contains(lower, p.Name) {
+			return p.Name
+		}
+	}
+	switch {
+	case strings.Contains(lower, "knights landing"):
+		return "knl"
+	case strings.Contains(lower, "broadwell"):
+		return "broadwell"
+	case strings.Contains(lower, "power8"):
+		return "power8"
+	}
+	return ""
+}
+
+// kindTitleWords orders longer kind names first so "allgather" is not
+// misread as "gather".
+var kindTitleWords = []struct{ word, kind string }{
+	{"allgather", "allgather"},
+	{"alltoall", "alltoall"},
+	{"allreduce", "allreduce"},
+	{"scatterv", "scatterv"},
+	{"gatherv", "gatherv"},
+	{"scatter", "scatter"},
+	{"gather", "gather"},
+	{"broadcast", "bcast"},
+	{"bcast", "bcast"},
+	{"reduce", "reduce"},
+	{"barrier", "barrier"},
+}
+
+func kindFromTitle(title string) string {
+	lower := strings.ToLower(title)
+	for _, kw := range kindTitleWords {
+		if strings.Contains(lower, kw.word) {
+			return kw.kind
+		}
+	}
+	return ""
+}
+
+// cellUnit guesses the unit from the table's notes/title; the harness
+// reports latencies in simulated microseconds unless a table says
+// otherwise, and units only label reports (comparisons are per-key).
+func cellUnit(t Table) string {
+	probe := strings.ToLower(t.Title)
+	for _, n := range t.Notes {
+		probe += " " + strings.ToLower(n)
+	}
+	switch {
+	case strings.Contains(probe, "speedup") || strings.Contains(probe, "ratio"):
+		return "x"
+	case strings.Contains(probe, "deaths") || strings.Contains(probe, "count"):
+		return ""
+	default:
+		return "us"
+	}
+}

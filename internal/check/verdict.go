@@ -1,0 +1,72 @@
+package check
+
+import (
+	"fmt"
+
+	"camc/internal/store"
+)
+
+// Store bridging: render checked executions as persistent verdict
+// records, so fuzz outcomes live next to bench latencies in the
+// results store and camc-report can query both.
+
+// StoreRecord renders a green checked run as a store verdict record
+// under the given run id: the spec's cell identity, its measured
+// latency, and a pass verdict carrying the canonical reproducer line.
+func (r *RunResult) StoreRecord(runID string) store.Record {
+	return store.Record{
+		Type:       store.TypeVerdict,
+		RunID:      runID,
+		Experiment: "fuzz",
+		Arch:       r.Spec.Arch,
+		Collective: string(r.Spec.Kind),
+		Series:     r.Spec.Algo,
+		X:          fmt.Sprintf("%d", r.Spec.Count),
+		Size:       r.Spec.Count,
+		Value:      r.Latency,
+		Unit:       "us",
+		Verdict:    "pass",
+		Detail:     r.Spec.String(),
+	}
+}
+
+// FailRecord renders a failed spec (after shrinking) as a store
+// verdict record: the minimal reproducer and the failure text, so the
+// store keeps a durable trail of every red fuzz finding.
+func FailRecord(runID string, minimal Spec, failure error) store.Record {
+	return store.Record{
+		Type:       store.TypeVerdict,
+		RunID:      runID,
+		Experiment: "fuzz",
+		Arch:       minimal.Arch,
+		Collective: string(minimal.Kind),
+		Series:     minimal.Algo,
+		X:          fmt.Sprintf("%d", minimal.Count),
+		Size:       minimal.Count,
+		Verdict:    "fail",
+		Detail:     fmt.Sprintf("repro: %s | %v", minimal, failure),
+	}
+}
+
+// CorpusRecord summarizes one fuzz corpus sweep (camc-fuzz -seed/-n)
+// as a single verdict record: arch scope, pass count, and the draw's
+// fault/kill plan tallies in Detail.
+func CorpusRecord(runID, archScope string, passed, corpus, faultPlans, killPlans int) store.Record {
+	verdict := "pass"
+	if passed < corpus {
+		verdict = "fail"
+	}
+	if archScope == "" {
+		archScope = "all"
+	}
+	return store.Record{
+		Type:       store.TypeVerdict,
+		RunID:      runID,
+		Experiment: "fuzz",
+		Arch:       archScope,
+		Series:     "corpus",
+		Value:      float64(passed),
+		Verdict:    verdict,
+		Detail:     fmt.Sprintf("corpus=%d fault_plans=%d kill_plans=%d", corpus, faultPlans, killPlans),
+	}
+}

@@ -1,0 +1,243 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Type discriminates record kinds within the single log.
+type Type uint8
+
+// Record kinds.
+const (
+	// TypeRun is one harness invocation: git revision, host, seed,
+	// worker count. Every cell and verdict record points back at a run.
+	TypeRun Type = iota + 1
+	// TypeCell is one measured experiment cell: (experiment, table,
+	// arch, collective, series, x) -> value.
+	TypeCell
+	// TypeVerdict is an invariant/oracle outcome from the checking
+	// harness (camc-fuzz), pass or fail with detail.
+	TypeVerdict
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeRun:
+		return "run"
+	case TypeCell:
+		return "cell"
+	case TypeVerdict:
+		return "verdict"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// ParseType maps the CLI names back to a Type (0, false for unknown).
+func ParseType(s string) (Type, bool) {
+	switch s {
+	case "run":
+		return TypeRun, true
+	case "cell":
+		return TypeCell, true
+	case "verdict":
+		return TypeVerdict, true
+	}
+	return 0, false
+}
+
+// Record is the one fixed-format log entry. Fields not meaningful for a
+// record's Type stay zero; the binary codec writes every field so the
+// format never branches on type.
+type Record struct {
+	Seq  uint64 // store-assigned on Append; position in the total order
+	Type Type
+	// RunID ties cells and verdicts to their run record.
+	RunID string
+	// Unix is the wall-clock append time in seconds (runs record their
+	// creation; cells inherit whatever the appender sets, usually 0).
+	Unix int64
+
+	// Run metadata (TypeRun).
+	Source    string // "bench", "fuzz", "chaos", "manual", ...
+	GitRev    string
+	Host      string
+	GoVersion string
+	CPUs      int64
+	Jobs      int64
+	Seed      int64
+	Note      string
+
+	// Cell / verdict payload.
+	Experiment string  // experiment id ("tab6") or metric family ("bench.sh")
+	Table      string  // full table title the cell came from
+	Arch       string  // "knl", "broadwell", "power8" when known
+	Collective string  // "scatter", "gather", ... when known
+	Series     string  // series (column) name or metric name
+	X          string  // x label ("64K", "8 readers", ...)
+	Size       int64   // bytes when X parses as a message size, else 0
+	Value      float64 // the measurement
+	Unit       string  // "us", "s", "ns/op", ...
+	Verdict    string  // "pass" / "fail" (TypeVerdict)
+	Detail     string  // free-form context (reproducer spec, counts)
+}
+
+// payloadVersion versions the record payload independently of the
+// segment container, so fields can be added behind a version bump.
+const payloadVersion = 1
+
+func encodeRecord(r Record) ([]byte, error) {
+	if r.Type == 0 {
+		return nil, fmt.Errorf("store: record has no type")
+	}
+	buf := make([]byte, 0, 128)
+	buf = append(buf, payloadVersion, byte(r.Type))
+	buf = binary.AppendUvarint(buf, r.Seq)
+	buf = binary.AppendVarint(buf, r.Unix)
+	buf = binary.AppendVarint(buf, r.CPUs)
+	buf = binary.AppendVarint(buf, r.Jobs)
+	buf = binary.AppendVarint(buf, r.Seed)
+	buf = binary.AppendVarint(buf, r.Size)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Value))
+	for _, s := range r.strings() {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	return buf, nil
+}
+
+func decodeRecord(b []byte) (Record, error) {
+	var r Record
+	if len(b) < 2 {
+		return r, fmt.Errorf("payload too short")
+	}
+	if b[0] != payloadVersion {
+		return r, fmt.Errorf("record payload version %d, want %d", b[0], payloadVersion)
+	}
+	r.Type = Type(b[1])
+	b = b[2:]
+	uv := func() uint64 {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			b = nil
+			return 0
+		}
+		b = b[n:]
+		return v
+	}
+	iv := func() int64 {
+		v, n := binary.Varint(b)
+		if n <= 0 {
+			b = nil
+			return 0
+		}
+		b = b[n:]
+		return v
+	}
+	r.Seq = uv()
+	r.Unix = iv()
+	r.CPUs = iv()
+	r.Jobs = iv()
+	r.Seed = iv()
+	r.Size = iv()
+	if len(b) < 8 {
+		return r, fmt.Errorf("truncated value field")
+	}
+	r.Value = math.Float64frombits(binary.LittleEndian.Uint64(b))
+	b = b[8:]
+	dst := r.stringPtrs()
+	for i := range dst {
+		n := uv()
+		if b == nil || uint64(len(b)) < n {
+			return r, fmt.Errorf("truncated string field %d", i)
+		}
+		*dst[i] = string(b[:n])
+		b = b[n:]
+	}
+	if len(b) != 0 {
+		return r, fmt.Errorf("%d trailing bytes", len(b))
+	}
+	return r, nil
+}
+
+// strings returns the string fields in codec order; stringPtrs must
+// mirror it exactly.
+func (r *Record) strings() []string {
+	return []string{
+		r.RunID, r.Source, r.GitRev, r.Host, r.GoVersion, r.Note,
+		r.Experiment, r.Table, r.Arch, r.Collective, r.Series, r.X,
+		r.Unit, r.Verdict, r.Detail,
+	}
+}
+
+func (r *Record) stringPtrs() []*string {
+	return []*string{
+		&r.RunID, &r.Source, &r.GitRev, &r.Host, &r.GoVersion, &r.Note,
+		&r.Experiment, &r.Table, &r.Arch, &r.Collective, &r.Series, &r.X,
+		&r.Unit, &r.Verdict, &r.Detail,
+	}
+}
+
+// NewRunID derives a fresh, sortable run id for a source.
+func NewRunID(source string) string {
+	return fmt.Sprintf("%s-%s", source, strconv.FormatInt(time.Now().UnixNano(), 36))
+}
+
+// RunRecord captures the environment of a new harness run: git
+// revision (best effort), host name, Go version and CPU count, stamped
+// with the current time and a fresh run id.
+func RunRecord(source string, seed, jobs int64, note string) Record {
+	host, _ := os.Hostname()
+	return Record{
+		Type:      TypeRun,
+		RunID:     NewRunID(source),
+		Unix:      time.Now().Unix(),
+		Source:    source,
+		GitRev:    gitRev(),
+		Host:      host,
+		GoVersion: runtime.Version(),
+		CPUs:      int64(runtime.NumCPU()),
+		Jobs:      jobs,
+		Seed:      seed,
+		Note:      note,
+	}
+}
+
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// ParseSizeLabel converts the harness's size labels ("4K", "1M",
+// "1024") to bytes. Labels that are not pure sizes return 0, false.
+func ParseSizeLabel(s string) (int64, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, false
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'K', 'k':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'M', 'm':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'G', 'g':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n * mult, true
+}

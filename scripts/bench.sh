@@ -1,45 +1,70 @@
 #!/bin/sh
-# Measures the two performance layers of the sweep engine and writes
-# results/BENCH_sweep.json:
+# Measures the two performance layers of the sweep engine, records every
+# measurement durably in the results store (results/camc.store), and
+# regenerates the results/BENCH_sweep.json snapshot from it:
 #
 #   - wall-clock of the representative tab6 sweep (full size ladder,
-#     all architectures) at -j 1 vs -j $(nproc)
+#     all architectures) at -j 1 vs -j $JOBS
 #   - the simulator dispatch micro-benchmarks (ns/event, allocs/op)
 #   - the x9 chaos recovery latencies (worst-case detection and shrink
 #     across the quick kill matrix, in simulated us)
 #
-# The "seed_baseline" block in the JSON is the pre-optimisation
-# measurement (central-scheduler dispatcher, sequential sweeps) captured
-# once on the host it documents; rerunning this script refreshes only
-# the "current" block. Run from anywhere:
+# The per-cell sweep latencies land in the store too (camc-bench -store),
+# so "which cells regressed since run X?" is answerable afterwards with
+#
+#     camc-report regress -store results/camc.store
+#
+# The JSON file is now an export, not the source of truth; its
+# "seed_baseline" block (the pre-optimisation measurement) is emitted as
+# a constant by camc-report export. Run from anywhere:
 #
 #     sh scripts/bench.sh
 set -eu
 cd "$(dirname "$0")/.."
 
-JOBS=${JOBS:-$(nproc)}
+# nproc is Linux coreutils; fall back to the BSD/macOS sysctl spelling,
+# then to 1, so the script stays POSIX-portable.
+NCPU=$( (nproc || sysctl -n hw.ncpu || echo 1) 2>/dev/null | head -n1 )
+JOBS=${JOBS:-$NCPU}
+STORE=${STORE:-results/camc.store}
 OUT=${OUT:-results/BENCH_sweep.json}
 mkdir -p results
 bin=$(mktemp -d)
 trap 'rm -rf "$bin"' EXIT
 go build -o "$bin/camc-bench" ./cmd/camc-bench
+go build -o "$bin/camc-report" ./cmd/camc-report
 
+RUN=$("$bin/camc-report" begin -store "$STORE" -source bench \
+    -jobs "$JOBS" -note "scripts/bench.sh")
+echo "== recording run $RUN in $STORE"
+
+# Portable wall-clock timer: date +%s.%N is a GNU extension (BSD date
+# prints a literal N), so take timestamps from camc-report instead and
+# diff them in awk.
 secs() {
-    start=$(date +%s.%N)
+    start=$("$bin/camc-report" now)
     "$@" >/dev/null
-    end=$(date +%s.%N)
+    end=$("$bin/camc-report" now)
     awk -v a="$start" -v b="$end" 'BEGIN{printf "%.2f", b-a}'
+}
+
+# cell SERIES VALUE UNIT — append one metric to the store under $RUN.
+cell() {
+    "$bin/camc-report" append -store "$STORE" -run "$RUN" \
+        -experiment bench.sh -series "$1" -value "$2" -unit "$3"
 }
 
 echo "== tab6 sweep, -j 1"
 t1=$(secs "$bin/camc-bench" -run tab6 -j 1)
 echo "   ${t1}s"
-echo "== tab6 sweep, -j $JOBS"
-tn=$(secs "$bin/camc-bench" -run tab6 -j "$JOBS")
+echo "== tab6 sweep, -j $JOBS (per-cell latencies recorded)"
+tn=$(secs "$bin/camc-bench" -run tab6 -j "$JOBS" -store "$STORE" -store-run "$RUN")
 echo "   ${tn}s"
+cell tab6_seconds_j1 "$t1" s
+cell tab6_seconds_jN "$tn" s
 
 echo "== x9 chaos sweep (recovery latencies)"
-x9_csv=$("$bin/camc-bench" -run x9 -quick -format csv)
+x9_csv=$("$bin/camc-bench" -run x9 -quick -format csv -store "$STORE" -store-run "$RUN")
 # Section-scoped column maxima from the CSV: worst-case detection
 # (first death -> coherent agreement) and shrink (agreement -> rebuilt
 # communicator) latency across the quick kill matrix, plus the
@@ -58,6 +83,9 @@ x9_cycle=$(echo "$x9_csv" | awk -F, '
     s == 2 && $1 != "collective" && NF > 1 { sh[$1] = $2 }
     END { for (k in d) { v = d[k] + sh[k]; if (v > m) m = v } printf "%.2f", m }')
 echo "   detect ${x9_detect}us, shrink ${x9_shrink}us, detect-to-shrink ${x9_cycle}us (simulated, worst case)"
+cell x9_detect_us_max "$x9_detect" us
+cell x9_shrink_us_max "$x9_shrink" us
+cell x9_detect_to_shrink_us_max "$x9_cycle" us
 
 echo "== simulator dispatch benchmarks"
 bench_out=$(go test -run '^$' -bench 'BenchmarkDispatch|BenchmarkSchedule' -benchmem ./internal/sim/)
@@ -70,36 +98,13 @@ field() {
         '$1 ~ "^"name"(-[0-9]+)?$" { for (i = 2; i < NF; i++) if ($(i+1) == metric) { printf "%s", $i; exit } }'
 }
 
-cat >"$OUT" <<EOF
-{
-  "host": {
-    "cpus": $(nproc),
-    "go": "$(go env GOVERSION)",
-    "tab6_jobs": $JOBS
-  },
-  "seed_baseline": {
-    "comment": "pre-optimisation: container/heap dispatcher with central scheduler goroutine, sequential sweeps; captured at the PR-1 tip on a 1-CPU Xeon 2.70GHz container. The parallel -j speedup only materialises on multi-core hosts; the dispatcher gains apply everywhere.",
-    "tab6_seconds": 31.6,
-    "dispatch_ns_per_event": 760.0,
-    "dispatch_allocs_per_op": 2172,
-    "selfwake_ns_per_event": 625.0,
-    "selfwake_allocs_per_op": 2057,
-    "schedule_ns_per_op": 100.4,
-    "schedule_allocs_per_op": 2
-  },
-  "current": {
-    "tab6_seconds_j1": $t1,
-    "tab6_seconds_jN": $tn,
-    "dispatch_ns_per_event": $(field BenchmarkDispatch ns/event),
-    "dispatch_allocs_per_op": $(field BenchmarkDispatch allocs/op),
-    "selfwake_ns_per_event": $(field BenchmarkDispatchSelfWake ns/event),
-    "selfwake_allocs_per_op": $(field BenchmarkDispatchSelfWake allocs/op),
-    "schedule_ns_per_op": $(field BenchmarkSchedule ns/op),
-    "schedule_allocs_per_op": $(field BenchmarkSchedule allocs/op),
-    "x9_detect_us_max": $x9_detect,
-    "x9_shrink_us_max": $x9_shrink,
-    "x9_detect_to_shrink_us_max": $x9_cycle
-  }
-}
-EOF
-echo "wrote $OUT"
+cell dispatch_ns_per_event "$(field BenchmarkDispatch ns/event)" ns/event
+cell dispatch_allocs_per_op "$(field BenchmarkDispatch allocs/op)" allocs/op
+cell selfwake_ns_per_event "$(field BenchmarkDispatchSelfWake ns/event)" ns/event
+cell selfwake_allocs_per_op "$(field BenchmarkDispatchSelfWake allocs/op)" allocs/op
+cell schedule_ns_per_op "$(field BenchmarkSchedule ns/op)" ns/op
+cell schedule_allocs_per_op "$(field BenchmarkSchedule allocs/op)" allocs/op
+
+"$bin/camc-report" export -store "$STORE" -out "$OUT"
+echo "run $RUN recorded; compare against the previous run with:"
+echo "    go run ./cmd/camc-report regress -store $STORE"

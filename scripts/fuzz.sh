@@ -1,9 +1,9 @@
 #!/bin/sh
-# Runs the fixed-seed differential-fuzz smoke corpus (the CI gate) and
-# records the outcome into results/BENCH_sweep.json under a "fuzz"
-# block: corpus size, failures, per-arch pass counts, and how many
-# fault/kill plans the draw exercised. The rest of the JSON (the sweep
-# and dispatcher measurements from scripts/bench.sh) is left untouched.
+# Runs the fixed-seed differential-fuzz smoke corpus (the CI gate),
+# records the per-arch corpus verdicts durably in the results store
+# (camc-fuzz -store), and regenerates the "fuzz" block of
+# results/BENCH_sweep.json from the store with camc-report export —
+# the JSON is an export now, not a hand-merged document.
 #
 #     sh scripts/fuzz.sh            # seed 1, 200 specs per arch profile
 #     SEED=7 N=500 sh scripts/fuzz.sh
@@ -12,48 +12,31 @@ cd "$(dirname "$0")/.."
 
 SEED=${SEED:-1}
 N=${N:-200}
+STORE=${STORE:-results/camc.store}
 OUT=${OUT:-results/BENCH_sweep.json}
 mkdir -p results
 bin=$(mktemp -d)
 trap 'rm -rf "$bin"' EXIT
 go build -o "$bin/camc-fuzz" ./cmd/camc-fuzz
+go build -o "$bin/camc-report" ./cmd/camc-report
+
+RUN=$("$bin/camc-report" begin -store "$STORE" -source fuzz \
+    -seed "$SEED" -note "scripts/fuzz.sh")
+echo "== recording run $RUN in $STORE"
 
 failures=0
-archs="knl broadwell power8"
-arch_json=""
-for a in $archs; do
+for a in knl broadwell power8; do
     echo "== camc-fuzz -seed $SEED -n $N -arch $a"
-    if out=$("$bin/camc-fuzz" -seed "$SEED" -n "$N" -arch "$a"); then
-        pass=$N
+    if out=$("$bin/camc-fuzz" -seed "$SEED" -n "$N" -arch "$a" \
+        -store "$STORE" -store-run "$RUN"); then
+        :
     else
         failures=$((failures + 1))
-        pass=$(echo "$out" | grep -o 'FAIL at corpus index [0-9]*' | grep -o '[0-9]*' || echo 0)
         echo "$out" | grep -A2 'FAIL' >&2 || true
     fi
     echo "$out" | tail -6
-    faultplans=$(echo "$out" | grep -o 'fault plans: [0-9]*' | grep -o '[0-9]*' || echo 0)
-    killplans=$(echo "$out" | grep -o 'kill plans: [0-9]*' | grep -o '[0-9]*' || echo 0)
-    arch_json="$arch_json{\"arch\": \"$a\", \"passed\": $pass, \"fault_plans\": ${faultplans:-0}, \"kill_plans\": ${killplans:-0}},"
 done
-arch_json="[${arch_json%,}]"
 
-python3 - "$OUT" <<EOF
-import json, sys
-path = sys.argv[1]
-try:
-    with open(path) as f:
-        doc = json.load(f)
-except (FileNotFoundError, json.JSONDecodeError):
-    doc = {}
-doc["fuzz"] = {
-    "seed": $SEED,
-    "corpus_per_arch": $N,
-    "failing_archs": $failures,
-    "archs": $arch_json,
-}
-with open(path, "w") as f:
-    json.dump(doc, f, indent=2)
-    f.write("\n")
-EOF
-echo "wrote fuzz block to $OUT (seed $SEED, $N specs/arch, $failures failing arch runs)"
+"$bin/camc-report" export -store "$STORE" -out "$OUT"
+echo "wrote $OUT from $STORE (seed $SEED, $N specs/arch, $failures failing arch runs)"
 [ "$failures" -eq 0 ]
