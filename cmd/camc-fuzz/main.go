@@ -11,6 +11,7 @@
 //	camc-fuzz -seed 1 -n 200
 //	camc-fuzz -seed 7 -n 500 -arch knl -kinds scatter,reduce
 //	camc-fuzz -n 100 -no-kills
+//	camc-fuzz -n 100 -sparse
 //	camc-fuzz -repro "arch=knl kind=scatter algo=throttled:4 size=4096 procs=8 root=3 seed=17"
 //	camc-fuzz -list-invariants
 package main
@@ -45,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		kindsF   = fs.String("kinds", "", "comma-separated collective kinds (default all six)")
 		noFault  = fs.Bool("no-faults", false, "draw only fault-free specs")
 		noKill   = fs.Bool("no-kills", false, "never draw kill plans (skip the recovery harness)")
+		sparse   = fs.Bool("sparse", false, "cross-check every non-kill spec: materialized payload vs checksum-summary mode must agree on latency bits, event counts and page digests")
 		verbose  = fs.Bool("v", false, "print every spec as it runs")
 		repro    = fs.String("repro", "", "replay one reproducer spec line instead of fuzzing")
 		listInv  = fs.Bool("list-invariants", false, "list the invariant registry and exit")
@@ -118,6 +120,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		printPass(stdout, res)
+		if *sparse && !sp.Kills() {
+			if _, err := check.SparseCrossCheck(sp); err != nil {
+				fmt.Fprintf(stdout, "SPARSE-FAIL %s\n  %v\n", sp, err)
+				if rerr := record(func(id string) store.Record { return check.FailRecord(id, sp, err) }); rerr != nil {
+					fmt.Fprintln(stderr, rerr)
+				}
+				return 1
+			}
+			fmt.Fprintf(stdout, "  sparse cross-check green (materialized vs checksum-summary)\n")
+		}
 		if rerr := record(res.StoreRecord); rerr != nil {
 			fmt.Fprintln(stderr, rerr)
 			return 1
@@ -153,11 +165,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	kindCount := map[core.Kind]int{}
 	archCount := map[string]int{}
-	faulty, killed := 0, 0
+	faulty, killed, crossChecked := 0, 0, 0
 	for i := 0; i < *n; i++ {
 		sp := check.Gen(*seed, i, gopts)
 		if *verbose {
 			fmt.Fprintf(stdout, "%4d: %s\n", i, sp)
+		}
+		if *sparse && !sp.Kills() {
+			// The cross-check arm: the same spec must be observationally
+			// identical between the materialized byte-oracle run and the
+			// dataless checksum-summary run. Kill specs are skipped — their
+			// re-run happens on a shrunk communicator.
+			if _, err := check.SparseCrossCheck(sp); err != nil {
+				fmt.Fprintf(stdout, "SPARSE-FAIL at corpus index %d:\n  %v\n", i, err)
+				min := check.Shrink(sp, func(c check.Spec) bool {
+					if c.Kills() {
+						return false
+					}
+					_, e := check.SparseCrossCheck(c)
+					return e != nil
+				})
+				fmt.Fprintf(stdout, "shrunk reproducer:\n  %s\nreplay with:\n  camc-fuzz -sparse -repro %q\n", min, min.String())
+				if rerr := record(
+					func(id string) store.Record { return check.FailRecord(id, min, err) },
+					func(id string) store.Record { return check.CorpusRecord(id, *archF, i, *n, faulty, killed) },
+				); rerr != nil {
+					fmt.Fprintln(stderr, rerr)
+				}
+				return 1
+			}
+			crossChecked++
 		}
 		_, err := check.RunOne(sp)
 		if err != nil {
@@ -188,6 +225,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "  kinds: %s\n", countLine(kindCount))
 	fmt.Fprintf(stdout, "  archs: %s\n", countLineStr(archCount))
 	fmt.Fprintf(stdout, "  fault plans: %d (of which kill plans: %d)\n", faulty, killed)
+	if *sparse {
+		fmt.Fprintf(stdout, "  sparse cross-check: %d specs bit-identical (materialized vs checksum-summary)\n", crossChecked)
+	}
 	fmt.Fprintf(stdout, "  invariants per run: %d (see -list-invariants)\n", len(check.Invariants()))
 	if err := record(func(id string) store.Record {
 		return check.CorpusRecord(id, *archF, *n, *n, faulty, killed)

@@ -149,3 +149,24 @@ func TestStoreRunUsageError(t *testing.T) {
 		t.Fatalf("exit %d, stderr %q", code, errb)
 	}
 }
+
+func TestRunSparseCrossCheck(t *testing.T) {
+	code, out, _ := runCLI(t, "-seed", "1", "-n", "15", "-sparse")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "sparse cross-check:") {
+		t.Errorf("missing sparse cross-check summary:\n%s", out)
+	}
+}
+
+func TestRunSparseRepro(t *testing.T) {
+	code, out, _ := runCLI(t, "-sparse", "-repro",
+		"arch=knl kind=allgather algo=bruck size=2048 procs=6 root=0 seed=9")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "sparse cross-check green") {
+		t.Errorf("missing sparse repro verdict:\n%s", out)
+	}
+}

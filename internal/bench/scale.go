@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+
+	"camc/internal/arch"
+	"camc/internal/core"
+	"camc/internal/measure"
+	"camc/internal/mpi"
+)
+
+// x10: the cluster-scale rank sweep. The zero-alloc dispatcher, the
+// sparse page-table payload backing (pages materialize only when
+// written — the per-rank address space is purely virtual), the lazy
+// per-pair shm queues and the bulk address-exchange path let rank
+// ladders run on one host at sizes the eager implementation could not
+// reach: a 64k-rank bcast cell completes in tens of seconds under the
+// default Go heap. This is the regime the paper's contention model
+// gamma(c) is built for — Task & Chauhan's cluster-of-multicores
+// communication model — and the prerequisite the ROADMAP names for
+// hierarchical collectives and multi-tenant scenarios.
+
+// scaleLadder is one collective's rank ladder: an algorithm held fixed
+// while the communicator grows by powers of four.
+type scaleLadder struct {
+	word  string // collective word for the table title (store kind tagging)
+	kind  core.Kind
+	algo  func(*mpi.Rank, core.Args)
+	name  string // algorithm spec name for the series label
+	count int64  // bytes per rank block, held fixed across the ladder
+	ranks []int
+	quick []int
+	note  string
+}
+
+// scaleLadders returns the x10 matrix. Per-collective rank caps bound
+// the sweep's wall time, not its correctness: bcast moves O(n) bytes
+// per rank so the knomial ladder reaches 65536 ranks, while bruck
+// allgather and pairwise alltoall move O(p·n) per rank — their
+// simulated events grow quadratically with the communicator, so their
+// ladders stop at 4096 and 2048 ranks respectively.
+func scaleLadders() []scaleLadder {
+	return []scaleLadder{
+		{
+			word: "bcast", kind: core.KindBcast,
+			algo: core.BcastKnomialRead(8), name: "knomial-read:8",
+			count: 4096,
+			ranks: []int{1024, 4096, 16384, 65536},
+			quick: []int{1024, 4096},
+			note:  "bcast ladder reaches 65536 ranks: per-rank volume is flat in p",
+		},
+		{
+			word: "allgather", kind: core.KindAllgather,
+			algo: core.AllgatherBruck, name: "bruck",
+			count: 64,
+			ranks: []int{1024, 2048, 4096},
+			quick: []int{1024},
+			note:  "bruck allgather moves O(p*n) per rank; the ladder caps at 4096 ranks",
+		},
+		{
+			word: "alltoall", kind: core.KindAlltoall,
+			algo: core.AlltoallPairwiseColl, name: "pairwise-cma-coll",
+			count: 256,
+			ranks: []int{512, 1024, 2048},
+			quick: []int{256, 512},
+			note:  "pairwise alltoall is p rounds of p exchanges; the ladder caps at 2048 ranks",
+		},
+	}
+}
+
+func init() {
+	register(&Experiment{
+		ID:    "x10",
+		Title: "[extension] Cluster-scale rank sweep: dataless collectives at 1k-64k ranks",
+		Tables: func(o Options) []Table {
+			archs := o.archs(arch.All()...)
+			lads := scaleLadders()
+			// Flatten the (arch, ladder, rank) matrix into one parMap so
+			// cells fill every worker regardless of ladder lengths.
+			type cellKey struct {
+				ai, li, ri int
+			}
+			var cells []cellKey
+			for ai := range archs {
+				for li, l := range lads {
+					ranks := l.ranks
+					if o.Quick {
+						ranks = l.quick
+					}
+					for ri := range ranks {
+						cells = append(cells, cellKey{ai, li, ri})
+					}
+				}
+			}
+			vals := parMap(o, len(cells), func(i int) float64 {
+				c := cells[i]
+				a, l := archs[c.ai], lads[c.li]
+				ranks := l.ranks
+				if o.Quick {
+					ranks = l.quick
+				}
+				return measure.Collective(a, l.kind, l.algo, l.count, measure.Options{Procs: ranks[c.ri]})
+			})
+			byKey := make(map[cellKey]float64, len(cells))
+			for i, c := range cells {
+				byKey[c] = vals[i]
+			}
+			var out []Table
+			for ai, a := range archs {
+				for li, l := range lads {
+					ranks := l.ranks
+					if o.Quick {
+						ranks = l.quick
+					}
+					t := Table{
+						Title:   fmt.Sprintf("Scale ladder: %s %s latency vs ranks, %s", l.word, l.name, a.Display),
+						XHeader: "ranks",
+						Notes: []string{
+							fmt.Sprintf("%d bytes per rank block; dataless sparse run (pages back only written ranges)", l.count),
+							l.note,
+							"address exchange above 512 ranks rides one bulk vector per tree edge",
+						},
+					}
+					s := Series{Name: l.name}
+					for ri, r := range ranks {
+						t.XLabels = append(t.XLabels, fmt.Sprintf("%d", r))
+						s.Values = append(s.Values, byKey[cellKey{ai, li, ri}])
+					}
+					t.Series = []Series{s}
+					out = append(out, t)
+				}
+			}
+			return out
+		},
+	})
+}

@@ -26,6 +26,11 @@ type RunResult struct {
 	Procs   int
 	Killed  bool    // the plan had the kill class armed
 	Pred    float64 // closed-form latency; 0 = no applicable form
+	Events  uint64  // simulator events processed by the run
+
+	// Digests is the per-rank payload MemDigest, populated only when the
+	// run tracked per-page digests (the sparse cross-check arms).
+	Digests []uint64
 
 	// Recovery is set when the kill path ran (see
 	// measure.CollectiveRecovered); its payload verification already
@@ -59,6 +64,19 @@ func RunOne(sp Spec) (*RunResult, error) {
 // runs traced, receive buffers compared byte-for-byte against
 // Reference, then the invariant registry.
 func runDifferential(sp Spec, prof *arch.Profile, fcfg *fault.Config) (*RunResult, error) {
+	return runPayload(sp, prof, fcfg, true, false)
+}
+
+// runPayload is one arm of a payload-carrying execution. materialize
+// selects real bytes (CopyData) and with them the byte-level oracle
+// comparison against the reference executor; track selects per-page
+// digest folding (mpi.Config.Sparse). The two knobs are independent:
+// (true, false) is the classic differential path, (true, true) and
+// (false, true) are the two arms SparseCrossCheck compares. Seeding
+// goes through the kernel's WriteAt/FillAt payload layer — never a raw
+// Bytes slice — so both arms fold identical content digests from an
+// identical rng stream.
+func runPayload(sp Spec, prof *arch.Profile, fcfg *fault.Config, materialize, track bool) (*RunResult, error) {
 	algo, err := core.LookupAlgorithm(sp.Kind, sp.Algo)
 	if err != nil {
 		return nil, err
@@ -72,7 +90,7 @@ func runDifferential(sp Spec, prof *arch.Profile, fcfg *fault.Config) (*RunResul
 	if mem < 1<<20 {
 		mem = 1 << 20
 	}
-	c := mpi.New(mpi.Config{Arch: prof, Procs: p, CopyData: true, MemPerProc: mem, Fault: fcfg})
+	c := mpi.New(mpi.Config{Arch: prof, Procs: p, CopyData: materialize, Sparse: track, MemPerProc: mem, Fault: fcfg})
 	rec := trace.NewUnbound()
 	c.AttachTrace(rec)
 	plan := c.FaultPlan()
@@ -80,18 +98,16 @@ func runDifferential(sp Spec, prof *arch.Profile, fcfg *fault.Config) (*RunResul
 	rng := rand.New(rand.NewSource(sp.Seed))
 	send := make([]kernel.Addr, p)
 	recv := make([]kernel.Addr, p)
+	seed := make([]byte, sendLen)
 	snap := make([][]byte, p)
 	for r := 0; r < p; r++ {
 		rank := c.Rank(r)
 		send[r] = rank.Alloc(sendLen)
 		recv[r] = rank.Alloc(recvLen)
-		buf := rank.OS.Bytes(send[r], sendLen)
-		rng.Read(buf)
-		snap[r] = append([]byte(nil), buf...)
-		rb := rank.OS.Bytes(recv[r], recvLen)
-		for i := range rb {
-			rb[i] = 0xEE
-		}
+		rng.Read(seed)
+		rank.OS.WriteAt(send[r], seed)
+		snap[r] = append([]byte(nil), seed...)
+		rank.OS.FillAt(recv[r], recvLen, 0xEE)
 	}
 	var skew []float64
 	if sp.Skew > 0 {
@@ -123,29 +139,38 @@ func runDifferential(sp Spec, prof *arch.Profile, fcfg *fault.Config) (*RunResul
 	}
 	res.Latency = maxOf(ends) - maxOf(starts)
 	res.Stats = plan.Stats()
-
-	// Differential comparison against the reference executor.
-	exp, err := Reference(sp.Kind, p, sp.Count, sp.Root, snap)
-	if err != nil {
-		return res, err
-	}
-	var diffs []string
-	for r := 0; r < p; r++ {
-		got := c.Rank(r).OS.Bytes(recv[r], recvLen)
-		if d := DiffPayload(r, got, exp[r]); d != "" {
-			diffs = append(diffs, d)
+	res.Events = c.Sim.EventsProcessed()
+	if track {
+		res.Digests = make([]uint64, p)
+		for r := range res.Digests {
+			res.Digests[r] = c.Rank(r).OS.MemDigest()
 		}
 	}
-	if len(diffs) > 0 {
-		return res, fmt.Errorf("check: %s: differential mismatch vs reference executor: %s", sp, strings.Join(diffs, "; "))
-	}
 
-	// Sends must be untouched: the collective owns only Recv.
-	for r := 0; r < p; r++ {
-		got := c.Rank(r).OS.Bytes(send[r], sendLen)
-		for i := range got {
-			if got[i] != snap[r][i] {
-				return res, fmt.Errorf("check: %s: rank %d send buffer mutated at offset %d", sp, r, i)
+	if materialize {
+		// Differential comparison against the reference executor.
+		exp, err := Reference(sp.Kind, p, sp.Count, sp.Root, snap)
+		if err != nil {
+			return res, err
+		}
+		var diffs []string
+		for r := 0; r < p; r++ {
+			got := c.Rank(r).OS.Bytes(recv[r], recvLen)
+			if d := DiffPayload(r, got, exp[r]); d != "" {
+				diffs = append(diffs, d)
+			}
+		}
+		if len(diffs) > 0 {
+			return res, fmt.Errorf("check: %s: differential mismatch vs reference executor: %s", sp, strings.Join(diffs, "; "))
+		}
+
+		// Sends must be untouched: the collective owns only Recv.
+		for r := 0; r < p; r++ {
+			got := c.Rank(r).OS.Bytes(send[r], sendLen)
+			for i := range got {
+				if got[i] != snap[r][i] {
+					return res, fmt.Errorf("check: %s: rank %d send buffer mutated at offset %d", sp, r, i)
+				}
 			}
 		}
 	}

@@ -165,6 +165,15 @@ func (s Spec) Validate() error {
 	return nil
 }
 
+// Kills reports whether the spec's fault plan arms the kill class —
+// such specs route through the recovery harness and are excluded from
+// the sparse cross-check (a killed rank's re-run happens on a shrunk
+// communicator whose page layout is legitimately different).
+func (s Spec) Kills() bool {
+	fc := s.faultConfig()
+	return fc != nil && fc.KillProb > 0
+}
+
 // faultConfig parses the spec's fault plan (nil when fault-free).
 func (s Spec) faultConfig() *fault.Config {
 	if s.Faults == "" {

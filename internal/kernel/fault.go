@@ -135,14 +135,10 @@ func (caller *Process) bounce(sp *sim.Proc, callerAddr Addr, remote *Process, re
 		ct := 2 * (a.ShmCellOverhead + float64(m)*n.EffPerByte(beta)*socketMult)
 		sp.Sleep(ct)
 		n.EndCopy()
-		if n.CopyData {
-			if read {
-				copy(caller.data[callerAddr+Addr(off):callerAddr+Addr(off+m)],
-					remote.data[remoteAddr+Addr(off):remoteAddr+Addr(off+m)])
-			} else {
-				copy(remote.data[remoteAddr+Addr(off):remoteAddr+Addr(off+m)],
-					caller.data[callerAddr+Addr(off):callerAddr+Addr(off+m)])
-			}
+		if read {
+			movePayload(caller, callerAddr+Addr(off), remote, remoteAddr+Addr(off), m)
+		} else {
+			movePayload(remote, remoteAddr+Addr(off), caller, callerAddr+Addr(off), m)
 		}
 	}
 	if n.rec != nil {

@@ -46,6 +46,14 @@ type Node struct {
 	// large cost-only sweeps.
 	CopyData bool
 
+	// DigestPayload enables the checksum-summary payload mode: every
+	// payload-mutating operation folds into per-page FNV digests (see
+	// mem.go) whether or not bytes are materialized. With CopyData off
+	// this lets a dataless run remain comparable, digest-for-digest,
+	// against a materialized run of the same schedule. Set before any
+	// NewProcess call.
+	DigestPayload bool
+
 	// ChunkPages is the per-chunk page count for contention sampling.
 	ChunkPages int
 
@@ -157,7 +165,7 @@ type Process struct {
 
 	memLimit Addr
 	brk      Addr
-	data     []byte // nil when the node is dataless
+	mem      payloadMem // sparse payload backing + per-page digests
 
 	mmInFlight int        // CMA ops currently inside the locked page loop
 	mmLock     *sim.Mutex // explicit lock, allocated in EmergentLock mode
@@ -168,9 +176,10 @@ type Process struct {
 // len(procs) out of expected total procs. uid 0 is used; see SetUID.
 func (n *Node) NewProcess(memLimit int64) *Process {
 	p := &Process{node: n, pid: 1000 + len(n.procs), memLimit: Addr(memLimit)}
-	if n.CopyData {
-		p.data = make([]byte, memLimit)
-	}
+	// The address space is sparse: pages materialize on first touch, so
+	// memLimit is purely a virtual bound — a 64k-rank sweep holds only
+	// the pages its collective actually writes.
+	p.mem.init(int64(n.Arch.PageSize), n.CopyData, n.DigestPayload)
 	n.procs = append(n.procs, p)
 	return p
 }
@@ -209,17 +218,22 @@ func (p *Process) Alloc(size int64) Addr {
 	return base
 }
 
-// Bytes returns the backing slice for [a, a+n). It panics on a dataless
-// node or on an out-of-range access.
+// Bytes returns a contiguous writable slice over [a, a+n),
+// materializing sparse pages as needed. It panics on a dataless node or
+// on an out-of-range access. Writes through the returned slice bypass
+// the digest layer — harnesses comparing digests across runs must seed
+// via WriteAt/FillAt instead.
 func (p *Process) Bytes(a Addr, n int64) []byte {
-	if p.data == nil {
+	if !p.mem.bytes {
 		panic("kernel: Bytes on dataless node")
 	}
-	if a < 0 || n < 0 || a+Addr(n) > p.memLimit {
-		panic(fmt.Sprintf("kernel: access [%d,%d) out of range", a, a+Addr(n)))
-	}
-	return p.data[a : a+Addr(n)]
+	p.checkAccess(a, n)
+	return p.mem.view(int64(a), n)
 }
+
+// PayloadTracked reports whether this process maintains per-page op-fold
+// digests (the node's DigestPayload mode at creation time).
+func (p *Process) PayloadTracked() bool { return p.mem.track }
 
 // InFlight returns the number of CMA operations currently inside this
 // process's locked page loop (the concurrency the contention factor sees).
@@ -459,14 +473,10 @@ func (n *Node) vmTransfer(sp *sim.Proc, caller *Process, callerAddr Addr, remote
 			bd.Copy += ct
 			sp.Sleep(ct)
 			n.EndCopy()
-			if n.CopyData {
-				if read {
-					copy(caller.data[callerAddr+Addr(copied):callerAddr+Addr(copied+todo)],
-						remote.data[remoteAddr+Addr(copied):remoteAddr+Addr(copied+todo)])
-				} else {
-					copy(remote.data[remoteAddr+Addr(copied):remoteAddr+Addr(copied+todo)],
-						caller.data[callerAddr+Addr(copied):callerAddr+Addr(copied+todo)])
-				}
+			if read {
+				movePayload(caller, callerAddr+Addr(copied), remote, remoteAddr+Addr(copied), todo)
+			} else {
+				movePayload(remote, remoteAddr+Addr(copied), caller, callerAddr+Addr(copied), todo)
 			}
 			copied += todo
 		}
@@ -578,11 +588,24 @@ func (p *Process) Combine(sp *sim.Proc, dst, src Addr, size int64) {
 		panic(err)
 	}
 	sp.Sleep(float64(size) * p.node.Arch.MemCopyBeta())
-	if p.node.CopyData {
-		d := p.data[dst : dst+Addr(size)]
-		s := p.data[src : src+Addr(size)]
-		for i := range d {
-			d[i] += s[i]
+	if p.mem.bytes || p.mem.track {
+		// The combine folds before the bytes mutate so the digest sees
+		// the pre-combine source, matching the fold a dataless run makes.
+		var sum uint64
+		if p.mem.track {
+			sum = p.mem.rangeSum(int64(src), size)
+		}
+		if p.mem.bytes {
+			// Source view first: the destination view call may merge
+			// extents, which would strand writes through an older slice.
+			s := p.mem.view(int64(src), size)
+			d := p.mem.view(int64(dst), size)
+			for i := range d {
+				d[i] += s[i]
+			}
+		}
+		if p.mem.track {
+			p.mem.applyOp(int64(dst), size, opCombine, sum)
 		}
 	}
 }
@@ -600,7 +623,5 @@ func (p *Process) LocalCopy(sp *sim.Proc, dst, src Addr, size int64) {
 		panic(err)
 	}
 	sp.Sleep(float64(size) * p.node.Arch.MemCopyBeta())
-	if p.node.CopyData {
-		copy(p.data[dst:dst+Addr(size)], p.data[src:src+Addr(size)])
-	}
+	movePayload(p, dst, p, src, size)
 }

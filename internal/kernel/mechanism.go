@@ -134,14 +134,10 @@ func (n *Node) xpmemTransfer(sp *sim.Proc, caller *Process, callerAddr Addr, rem
 		bd.Copy += ct
 		sp.Sleep(ct)
 		n.EndCopy()
-		if n.CopyData {
-			if read {
-				copy(caller.data[callerAddr+Addr(off):callerAddr+Addr(off+todo)],
-					remote.data[remoteAddr+Addr(off):remoteAddr+Addr(off+todo)])
-			} else {
-				copy(remote.data[remoteAddr+Addr(off):remoteAddr+Addr(off+todo)],
-					caller.data[callerAddr+Addr(off):callerAddr+Addr(off+todo)])
-			}
+		if read {
+			movePayload(caller, callerAddr+Addr(off), remote, remoteAddr+Addr(off), todo)
+		} else {
+			movePayload(remote, remoteAddr+Addr(off), caller, callerAddr+Addr(off), todo)
 		}
 	}
 	n.record(span, bd, 0)

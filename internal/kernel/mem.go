@@ -1,0 +1,323 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sparse payload memory. A simulated address space used to be one
+// eagerly allocated []byte of memLimit bytes per process — fine for
+// correctness tests at tens of ranks, fatal for cluster-scale sweeps
+// where the address space is purely virtual (a 64k-rank allgather would
+// materialize terabytes before the first simulated copy). The backing
+// is now a sorted list of page-aligned extents materialized only for
+// the byte ranges actually touched, so resident memory is
+// O(pages-touched) instead of O(memLimit), and the contiguous
+// Bytes(a, n) API survives unchanged.
+//
+// Independently of the bytes, a process can track per-page FNV-1a
+// digests summarizing the *operation stream* applied to each page:
+// every payload-mutating operation (seeding via WriteAt/FillAt, CMA
+// transfers, shm cell delivery, Combine, LocalCopy) folds its kind,
+// offsets, and a summary of its source range into the destination
+// pages' digests. The fold is maintained identically whether or not
+// bytes are materialized, so a materialized run (whose bytes the
+// reference executor verifies exactly) and a dataless checksum-summary
+// run can be compared digest-for-digest: equal digests mean the two
+// runs applied the identical operation stream to identical sources —
+// the byte oracle transfers to runs that never held the bytes.
+
+// fnv-1a parameters (64-bit).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// digest-fold operation tags: each payload-mutating operation folds its
+// tag first, so streams that differ in operation kind can never
+// collide by offset coincidence.
+const (
+	opSeed    = 0x5eed // WriteAt: content hash of host-provided bytes
+	opFill    = 0xf111 // FillAt: repeated fill byte
+	opWrite   = 0x3317 // transfer landing: source-range summary
+	opCombine = 0xc0b1 // elementwise += : source-range summary
+)
+
+// extent is one materialized page-aligned span of an address space.
+type extent struct {
+	base int64
+	buf  []byte
+}
+
+// payloadMem is a process's payload state: sparse byte extents (bytes
+// mode) and per-page op-fold digests (tracking mode). Both may be off —
+// the cost-only sweep configuration — in which case every payload
+// operation is a no-op exactly as the old dataless mode was.
+type payloadMem struct {
+	pageSize int64
+	bytes    bool // materialize real bytes on demand
+	track    bool // maintain per-page digests
+	exts     []extent
+	digests  map[int64]uint64
+}
+
+func (m *payloadMem) init(pageSize int64, bytes, track bool) {
+	m.pageSize = pageSize
+	m.bytes = bytes
+	m.track = track
+	if track {
+		m.digests = make(map[int64]uint64)
+	}
+}
+
+// view returns a contiguous writable slice over [a, a+n), materializing
+// (and merging) whatever page-aligned extents are needed. Bounds are
+// the caller's responsibility.
+func (m *payloadMem) view(a, n int64) []byte {
+	if n == 0 {
+		return nil
+	}
+	lo := a / m.pageSize * m.pageSize
+	hi := (a + n + m.pageSize - 1) / m.pageSize * m.pageSize
+	// First extent that ends beyond lo.
+	i := sort.Search(len(m.exts), func(i int) bool {
+		return m.exts[i].base+int64(len(m.exts[i].buf)) > lo
+	})
+	if i < len(m.exts) && m.exts[i].base <= lo && m.exts[i].base+int64(len(m.exts[i].buf)) >= hi {
+		e := m.exts[i]
+		return e.buf[a-e.base : a-e.base+n]
+	}
+	// Merge every extent overlapping [lo, hi) into one fresh span that
+	// covers the union; untouched gaps materialize as zero pages, which
+	// matches the old make([]byte, memLimit) semantics.
+	newLo, newHi := lo, hi
+	j := i
+	for j < len(m.exts) && m.exts[j].base < hi {
+		if m.exts[j].base < newLo {
+			newLo = m.exts[j].base
+		}
+		if end := m.exts[j].base + int64(len(m.exts[j].buf)); end > newHi {
+			newHi = end
+		}
+		j++
+	}
+	buf := make([]byte, newHi-newLo)
+	for k := i; k < j; k++ {
+		copy(buf[m.exts[k].base-newLo:], m.exts[k].buf)
+	}
+	merged := extent{base: newLo, buf: buf}
+	m.exts = append(m.exts, extent{})
+	copy(m.exts[i+1:], m.exts[j:])
+	m.exts[i] = merged
+	m.exts = m.exts[:len(m.exts)-(j-i)]
+	return buf[a-newLo : a-newLo+n]
+}
+
+// fnvNum folds a 64-bit number into an FNV-1a state byte by byte.
+func fnvNum(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime64
+		x >>= 8
+	}
+	return h
+}
+
+// fnvBytes folds raw bytes into an FNV-1a state.
+func fnvBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// rangeSum summarizes the source range [a, a+n): the digest of every
+// overlapped page folded together with the intra-page sub-range it
+// contributes. Two processes whose pages carry equal digests produce
+// equal summaries for equal ranges — which is what lets a transfer's
+// destination fold stay identical across bytes and digest-only runs.
+func (m *payloadMem) rangeSum(a, n int64) uint64 {
+	h := uint64(fnvOffset64)
+	if n <= 0 {
+		return h
+	}
+	for pg := a / m.pageSize; pg*m.pageSize < a+n; pg++ {
+		lo := pg * m.pageSize
+		hi := lo + m.pageSize
+		if a > lo {
+			lo = a
+		}
+		if a+n < hi {
+			hi = a + n
+		}
+		h = fnvNum(h, m.digests[pg])
+		h = fnvNum(h, uint64(lo-pg*m.pageSize))
+		h = fnvNum(h, uint64(hi-pg*m.pageSize))
+	}
+	return h
+}
+
+// applyOp folds one payload-mutating operation over the destination
+// pages of [a, a+n): the op tag, the operation's source summary, and
+// the intra-page sub-range each page received.
+func (m *payloadMem) applyOp(a, n int64, op uint64, sum uint64) {
+	if n <= 0 {
+		return
+	}
+	for pg := a / m.pageSize; pg*m.pageSize < a+n; pg++ {
+		lo := pg * m.pageSize
+		hi := lo + m.pageSize
+		if a > lo {
+			lo = a
+		}
+		if a+n < hi {
+			hi = a + n
+		}
+		d := m.digests[pg]
+		d = fnvNum(d, op)
+		d = fnvNum(d, sum)
+		d = fnvNum(d, uint64(lo-pg*m.pageSize))
+		d = fnvNum(d, uint64(hi-pg*m.pageSize))
+		m.digests[pg] = d
+	}
+}
+
+// movePayload applies one completed transfer of n bytes from (src, sa)
+// to (dst, da): the real bytes when the node materializes them, and the
+// digest fold when tracking is on. Call it only after the virtual-time
+// cost has been charged — it never sleeps, so it cannot perturb
+// latencies or dispatch counts. src and dst may be the same process
+// with overlapping ranges (LocalCopy): the source summary is taken
+// before the bytes move, matching the copy's memmove semantics in the
+// fold order.
+func movePayload(dst *Process, da Addr, src *Process, sa Addr, n int64) {
+	if n <= 0 {
+		return
+	}
+	if !dst.mem.bytes && !dst.mem.track {
+		return
+	}
+	var sum uint64
+	if dst.mem.track {
+		sum = src.mem.rangeSum(int64(sa), n)
+	}
+	if dst.mem.bytes {
+		// Take the source view first: if the two ranges live in one
+		// payloadMem, the later view call may merge extents, and a merge
+		// leaves a stale slice's old buffer readable but abandons writes
+		// through it — so the destination view must be the last taken.
+		s := src.mem.view(int64(sa), n)
+		copy(dst.mem.view(int64(da), n), s)
+	}
+	if dst.mem.track {
+		dst.mem.applyOp(int64(da), n, opWrite, sum)
+	}
+}
+
+// PageDigest is one page's op-fold digest.
+type PageDigest struct {
+	Page   int64
+	Digest uint64
+}
+
+// PageDigests returns every touched page's digest in page order. Empty
+// when digest tracking is off.
+func (p *Process) PageDigests() []PageDigest {
+	out := make([]PageDigest, 0, len(p.mem.digests))
+	for pg, d := range p.mem.digests {
+		out = append(out, PageDigest{Page: pg, Digest: d})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Page < out[j].Page })
+	return out
+}
+
+// MemDigest folds the whole address space's page digests into one
+// value: equal MemDigests mean the identical operation stream touched
+// the identical pages. Zero when digest tracking is off.
+func (p *Process) MemDigest() uint64 {
+	if !p.mem.track {
+		return 0
+	}
+	h := uint64(fnvOffset64)
+	for _, pd := range p.PageDigests() {
+		h = fnvNum(h, uint64(pd.Page))
+		h = fnvNum(h, pd.Digest)
+	}
+	return h
+}
+
+// WriteAt stores host-provided payload bytes at a through the payload
+// layer: bytes mode copies them into the sparse backing, and tracking
+// mode folds their content hash — so a materialized run and a
+// checksum-summary run seeded with the same bytes stay
+// digest-comparable. Harnesses must seed through WriteAt/FillAt (not a
+// Bytes slice) when they intend to compare digests across runs.
+func (p *Process) WriteAt(a Addr, data []byte) {
+	n := int64(len(data))
+	if n == 0 {
+		return
+	}
+	p.checkAccess(a, n)
+	if !p.mem.bytes && !p.mem.track {
+		panic(fmt.Sprintf("kernel: WriteAt on pid %d without payload bytes or digest tracking", p.pid))
+	}
+	if p.mem.bytes {
+		copy(p.mem.view(int64(a), n), data)
+	}
+	if p.mem.track {
+		p.mem.applyOp(int64(a), n, opSeed, fnvBytes(fnvOffset64, data))
+	}
+}
+
+// FillAt stores n copies of v at a through the payload layer, with the
+// same digest discipline as WriteAt.
+func (p *Process) FillAt(a Addr, n int64, v byte) {
+	if n <= 0 {
+		return
+	}
+	p.checkAccess(a, n)
+	if !p.mem.bytes && !p.mem.track {
+		panic(fmt.Sprintf("kernel: FillAt on pid %d without payload bytes or digest tracking", p.pid))
+	}
+	if p.mem.bytes {
+		b := p.mem.view(int64(a), n)
+		for i := range b {
+			b[i] = v
+		}
+	}
+	if p.mem.track {
+		h := fnvNum(fnvOffset64, uint64(v))
+		h = fnvNum(h, uint64(n))
+		p.mem.applyOp(int64(a), n, opFill, h)
+	}
+}
+
+// RangeDigest summarizes the payload range [a, a+n) for transport-level
+// digest threading (the shm staging path). Panics unless digest
+// tracking is on.
+func (p *Process) RangeDigest(a Addr, n int64) uint64 {
+	if !p.mem.track {
+		panic(fmt.Sprintf("kernel: RangeDigest on pid %d without digest tracking", p.pid))
+	}
+	p.checkAccess(a, n)
+	return p.mem.rangeSum(int64(a), n)
+}
+
+// ApplyPayload folds a transfer summarized by sum (from RangeDigest on
+// the source) into [a, a+n)'s page digests — the digest-mode
+// counterpart of a transport delivering bytes. No-op unless digest
+// tracking is on.
+func (p *Process) ApplyPayload(a Addr, n int64, sum uint64) {
+	if !p.mem.track {
+		return
+	}
+	p.checkAccess(a, n)
+	p.mem.applyOp(int64(a), n, opWrite, sum)
+}
+
+func (p *Process) checkAccess(a Addr, n int64) {
+	if a < 0 || n < 0 || a+Addr(n) > p.memLimit {
+		panic(fmt.Sprintf("kernel: access [%d,%d) out of range", a, a+Addr(n)))
+	}
+}

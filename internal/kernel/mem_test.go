@@ -1,0 +1,137 @@
+package kernel
+
+import (
+	"bytes"
+	"testing"
+
+	"camc/internal/arch"
+	"camc/internal/sim"
+)
+
+// TestSparseViewZeroFill checks that untouched pages read as zero and
+// that writes through one view are visible through later overlapping
+// views — the make([]byte, memLimit) semantics the extent table replaces.
+func TestSparseViewZeroFill(t *testing.T) {
+	s := sim.New()
+	n := NewNode(s, arch.KNL())
+	p := n.NewProcess(1 << 30)
+
+	ps := int64(n.Arch.PageSize)
+	// Touch two distant ranges, then a range spanning the gap.
+	copy(p.Bytes(0, 16), []byte("abcdefghijklmnop"))
+	copy(p.Bytes(Addr(10*ps), 4), []byte("WXYZ"))
+	if len(p.mem.exts) != 2 {
+		t.Fatalf("expected 2 extents, got %d", len(p.mem.exts))
+	}
+	span := p.Bytes(0, 10*ps+4)
+	if !bytes.Equal(span[:16], []byte("abcdefghijklmnop")) {
+		t.Errorf("first write lost after merge: %q", span[:16])
+	}
+	if !bytes.Equal(span[10*ps:10*ps+4], []byte("WXYZ")) {
+		t.Errorf("second write lost after merge: %q", span[10*ps:10*ps+4])
+	}
+	for i := int64(16); i < 10*ps; i++ {
+		if span[i] != 0 {
+			t.Fatalf("untouched byte %d reads %d, want 0", i, span[i])
+		}
+	}
+	if len(p.mem.exts) != 1 {
+		t.Errorf("expected 1 extent after merging view, got %d", len(p.mem.exts))
+	}
+	// A very large memLimit must not materialize anything by itself.
+	p2 := n.NewProcess(1 << 45)
+	if got := len(p2.mem.exts); got != 0 {
+		t.Errorf("fresh process materialized %d extents", got)
+	}
+}
+
+// TestDigestMatchesAcrossModes runs the same operation chain on a
+// materialized node and on a dataless digest-tracking node and requires
+// identical per-page digests: the property the sparse cross-check arm
+// of the fuzzer is built on.
+func TestDigestMatchesAcrossModes(t *testing.T) {
+	run := func(copyData bool) (uint64, uint64) {
+		s := sim.New()
+		n := NewNode(s, arch.KNL())
+		n.CopyData = copyData
+		n.DigestPayload = true
+		a := n.NewProcess(1 << 24)
+		b := n.NewProcess(1 << 24)
+
+		seed := make([]byte, 9000)
+		for i := range seed {
+			seed[i] = byte(i * 7)
+		}
+		a.WriteAt(64, seed)
+		b.FillAt(0, 4096, 0xEE)
+
+		s.Spawn("xfer", func(sp *sim.Proc) {
+			// Cross-process CMA both directions, then local ops.
+			if err := b.VMRead(sp, 128, a, 64, 5000); err != nil {
+				t.Error(err)
+			}
+			if err := a.VMWrite(sp, 70, b, 9000, 3000); err != nil {
+				t.Error(err)
+			}
+			a.Combine(sp, 200, 80, 1000)
+			b.LocalCopy(sp, 20000, 100, 2500)
+		})
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return a.MemDigest(), b.MemDigest()
+	}
+
+	aBytes, bBytes := run(true)
+	aDigest, bDigest := run(false)
+	if aBytes != aDigest || bBytes != bDigest {
+		t.Errorf("digest mismatch across modes: bytes=(%x,%x) dataless=(%x,%x)",
+			aBytes, bBytes, aDigest, bDigest)
+	}
+	if aBytes == 0 || bBytes == 0 {
+		t.Errorf("tracked processes returned zero MemDigest: (%x,%x)", aBytes, bBytes)
+	}
+}
+
+// TestDigestDistinguishesStreams checks the fold actually separates
+// different operation streams (different source, different offset,
+// different op kind).
+func TestDigestDistinguishesStreams(t *testing.T) {
+	mk := func(f func(p *Process)) uint64 {
+		s := sim.New()
+		n := NewNode(s, arch.KNL())
+		n.CopyData = false
+		n.DigestPayload = true
+		p := n.NewProcess(1 << 20)
+		f(p)
+		return p.MemDigest()
+	}
+	base := mk(func(p *Process) { p.WriteAt(0, []byte("hello")) })
+	if d := mk(func(p *Process) { p.WriteAt(0, []byte("hellp")) }); d == base {
+		t.Error("different content produced equal digest")
+	}
+	if d := mk(func(p *Process) { p.WriteAt(1, []byte("hello")) }); d == base {
+		t.Error("different offset produced equal digest")
+	}
+	if d := mk(func(p *Process) { p.FillAt(0, 5, 'h') }); d == base {
+		t.Error("different op kind produced equal digest")
+	}
+}
+
+// TestLocalCopyOverlap pins the memmove semantics of LocalCopy through
+// the sparse backing: an overlapping forward copy must not corrupt.
+func TestLocalCopyOverlap(t *testing.T) {
+	s := sim.New()
+	n := NewNode(s, arch.KNL())
+	p := n.NewProcess(1 << 20)
+	copy(p.Bytes(0, 8), []byte("12345678"))
+	s.Spawn("cp", func(sp *sim.Proc) {
+		p.LocalCopy(sp, 4, 0, 8) // dst overlaps src tail
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(p.Bytes(0, 12)); got != "123412345678" {
+		t.Errorf("overlapping LocalCopy produced %q, want %q", got, "123412345678")
+	}
+}

@@ -6,7 +6,9 @@
 package measure
 
 import (
+	"math"
 	"math/rand"
+	"sync"
 
 	"camc/internal/arch"
 	"camc/internal/core"
@@ -14,6 +16,7 @@ import (
 	"camc/internal/kernel"
 	"camc/internal/liveness"
 	"camc/internal/mpi"
+	"camc/internal/sim"
 	"camc/internal/trace"
 )
 
@@ -26,6 +29,12 @@ type Options struct {
 
 	// Mechanism selects the kernel-assist facility (default CMA).
 	Mechanism kernel.Mechanism
+
+	// Sparse enables per-page payload digest tracking (mpi.Config.Sparse)
+	// on the otherwise dataless measurement run. Latencies are unaffected;
+	// harnesses that cross-check digest equality against a materialized
+	// run set it.
+	Sparse bool
 
 	// SkewSeed, when non-zero, injects a deterministic random start
 	// delay of up to MaxSkew microseconds per rank before each timed
@@ -66,6 +75,50 @@ func CollectiveTraced(a *arch.Profile, kind core.Kind, algo func(*mpi.Rank, core
 	return lat, rec
 }
 
+// simPool recycles simulations (event-heap backing, Proc and timer free
+// lists) across sweep cells: a successful run leaves every process
+// finished, so the sim Resets cleanly and the next cell's Spawn loop
+// stops re-allocating resume channels.
+var simPool = sync.Pool{New: func() any { return sim.New() }}
+
+// scratch is the per-cell working set the sweep loop reuses instead of
+// re-allocating: buffer address tables, the start/end timestamp arrays,
+// and the skew schedule.
+type scratch struct {
+	send, recv         []kernel.Addr
+	starts, ends, skew []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func addrs(s []kernel.Addr, n int) []kernel.Addr {
+	if cap(s) < n {
+		return make([]kernel.Addr, n)
+	}
+	return s[:n]
+}
+
+func floats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// satMul multiplies non-negative int64s, saturating at MaxInt64 instead
+// of wrapping. The generous-mem heuristic below multiplies procs, count
+// and iters — at 64k ranks × megabyte counts the naive product wraps
+// negative and NewProcess would panic on a "negative" limit.
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}
+
 func collective(a *arch.Profile, kind core.Kind, algo func(*mpi.Rank, core.Args), count int64, opts Options, rec *trace.Recorder) float64 {
 	procs := opts.Procs
 	if procs == 0 {
@@ -78,25 +131,32 @@ func collective(a *arch.Profile, kind core.Kind, algo func(*mpi.Rank, core.Args)
 	mem := opts.Mem
 	if mem == 0 {
 		// Generous virtual sizing: p blocks for send and recv plus
-		// staging room for Bruck-style algorithms per iteration.
-		mem = (4*int64(procs) + 8) * (count + int64(a.PageSize)) * int64(iters+1)
+		// staging room for Bruck-style algorithms per iteration. The
+		// limit is purely virtual (pages materialize only when written),
+		// so saturating at MaxInt64 is harmless — overflow-wrapping to a
+		// negative limit is not.
+		mem = satMul(satMul(4*int64(procs)+8, count+int64(a.PageSize)), int64(iters+1))
 		if mem < 1<<22 {
 			mem = 1 << 22
 		}
 	}
-	c := mpi.New(mpi.Config{Arch: a, Procs: procs, CopyData: false, MemPerProc: mem, Mechanism: opts.Mechanism, Fault: opts.Fault, Liveness: opts.Liveness})
+	sm := simPool.Get().(*sim.Simulation)
+	c := mpi.New(mpi.Config{Arch: a, Procs: procs, CopyData: false, Sparse: opts.Sparse, Sim: sm, MemPerProc: mem, Mechanism: opts.Mechanism, Fault: opts.Fault, Liveness: opts.Liveness})
 	c.AttachTrace(rec)
 	plan := c.FaultPlan()
+	sc := scratchPool.Get().(*scratch)
 	var skew []float64
 	if opts.SkewSeed != 0 && opts.MaxSkew > 0 {
 		rng := rand.New(rand.NewSource(opts.SkewSeed))
-		skew = make([]float64, procs*iters)
+		skew = floats(sc.skew, procs*iters)
+		sc.skew = skew
 		for i := range skew {
 			skew[i] = rng.Float64() * opts.MaxSkew
 		}
 	}
-	send := make([]kernel.Addr, procs)
-	recv := make([]kernel.Addr, procs)
+	send := addrs(sc.send, procs)
+	recv := addrs(sc.recv, procs)
+	sc.send, sc.recv = send, recv
 	blocks := int64(procs)
 	var sendLen, recvLen int64
 	switch kind {
@@ -113,8 +173,9 @@ func collective(a *arch.Profile, kind core.Kind, algo func(*mpi.Rank, core.Args)
 		send[i] = c.Rank(i).Alloc(sendLen)
 		recv[i] = c.Rank(i).Alloc(recvLen)
 	}
-	starts := make([]float64, procs)
-	ends := make([]float64, procs)
+	starts := floats(sc.starts, procs)
+	ends := floats(sc.ends, procs)
+	sc.starts, sc.ends = starts, ends
 	var total float64
 	c.Start(func(r *mpi.Rank) {
 		for it := 0; it < iters; it++ {
@@ -143,6 +204,12 @@ func collective(a *arch.Profile, kind core.Kind, algo func(*mpi.Rank, core.Args)
 	if err := c.Sim.Run(); err != nil {
 		panic(err)
 	}
+	// A nil Run error means every process finished, so the simulation
+	// Resets cleanly; recycle it (and the scratch) for the next cell.
+	// Panic paths simply drop both — correctness over reuse.
+	sm.Reset()
+	simPool.Put(sm)
+	scratchPool.Put(sc)
 	return total / float64(iters)
 }
 

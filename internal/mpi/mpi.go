@@ -35,6 +35,20 @@ type Config struct {
 	// cost-only sweeps (benchmarks).
 	CopyData bool
 
+	// Sparse enables the checksum-summary payload mode: every
+	// payload-mutating operation folds into per-page FNV digests
+	// (kernel.Process.MemDigest), whether or not CopyData is on. A
+	// dataless Sparse run stays digest-comparable against a materialized
+	// run of the same schedule — see internal/check's sparse cross-check.
+	Sparse bool
+
+	// Sim, when non-nil, is an existing simulation to build on instead
+	// of allocating a fresh one. The caller must pass a freshly created
+	// or Reset simulation; measure's sweep loop uses this to recycle the
+	// simulator (and its event-heap backing and Proc free list) across
+	// iterations.
+	Sim *sim.Simulation
+
 	// MemPerProc is each rank's simulated address-space size in bytes.
 	// Defaults to 1 GiB (dataless) — set small when CopyData is on.
 	MemPerProc int64
@@ -212,9 +226,13 @@ type Result struct {
 // want Run.
 func New(cfg Config) *Comm {
 	cfg = cfg.withDefaults()
-	s := sim.New()
+	s := cfg.Sim
+	if s == nil {
+		s = sim.New()
+	}
 	node := kernel.NewNode(s, cfg.Arch)
 	node.CopyData = cfg.CopyData
+	node.DigestPayload = cfg.Sparse
 	node.SetMechanism(cfg.Mechanism)
 	if cfg.ChunkPages != 0 {
 		node.ChunkPages = cfg.ChunkPages

@@ -11,7 +11,12 @@ package shm
 // is a dissemination barrier. All are correct for any process count and
 // any root.
 
-import "camc/internal/sim"
+import (
+	"fmt"
+
+	"camc/internal/sim"
+	"camc/internal/trace"
+)
 
 // Tag space: the control collectives use tags far above the range the
 // point-to-point layer and the CMA collectives use, so one communicator
@@ -74,20 +79,35 @@ func (t *Transport) Gather64(sp *sim.Proc, me, root int, val int64) []int64 {
 	return out
 }
 
+// ctlVecThreshold is the rank count above which Allgather64 switches
+// from p chained control messages per tree edge to one bulk vector
+// message per edge. The chained form costs O(p) simulated events per
+// edge — O(p²) for the whole tree — which is what capped runs at a few
+// thousand ranks; the bulk form keeps the same serialized posting cost
+// (p·ctlCost at the sender) in O(1) events per edge. Every experiment
+// and golden file at or below this rank count sees the chained path,
+// bit-identical to the pre-threshold behaviour.
+const ctlVecThreshold = 512
+
 // Allgather64 gathers one 8-byte value per rank and distributes the full
 // vector to every rank: a gather to rank 0 followed by a binomial
-// broadcast of the packed vector (p values ride one control message per
-// tree edge, costed as p/8 cells' worth of copies via repeated ctl sends).
+// broadcast of the packed vector. At or below ctlVecThreshold ranks each
+// tree edge carries p chained control messages (the vector is tiny
+// compared to any data message, but the cost should still scale with p);
+// above it each edge is one bulk message whose posting cost is the same
+// serialized p·ctlCost.
+//
+// Above the threshold the returned slice is shared read-only between
+// ranks (a 64k-rank exchange would otherwise materialize p² host
+// entries); callers must not mutate it.
 func (t *Transport) Allgather64(sp *sim.Proc, me int, val int64) []int64 {
 	p := t.nranks
 	out := t.Gather64(sp, me, 0, val)
 	if p == 1 {
 		return out
 	}
-	// Broadcast the vector down a binomial tree. Each edge carries the
-	// p-entry vector; we model it as p chained control messages (the
-	// vector is tiny compared to any data message, but the cost should
-	// still scale with p).
+	bulk := p > ctlVecThreshold
+	// Broadcast the vector down a binomial tree.
 	rel := me
 	if rel != 0 {
 		mask := 1
@@ -96,9 +116,13 @@ func (t *Transport) Allgather64(sp *sim.Proc, me int, val int64) []int64 {
 		}
 		mask >>= 1
 		parent := rel - mask
-		out = make([]int64, p)
-		for i := 0; i < p; i++ {
-			out[i] = t.RecvCtl(sp, parent, me, tagAllgather)
+		if bulk {
+			out = t.recvCtlVec(sp, parent, me, tagAllgather, p)
+		} else {
+			out = make([]int64, p)
+			for i := 0; i < p; i++ {
+				out[i] = t.RecvCtl(sp, parent, me, tagAllgather)
+			}
 		}
 	}
 	mask := 1
@@ -107,11 +131,51 @@ func (t *Transport) Allgather64(sp *sim.Proc, me int, val int64) []int64 {
 	}
 	for ; rel+mask < p; mask <<= 1 {
 		child := rel + mask
-		for i := 0; i < p; i++ {
-			t.SendCtl(sp, me, child, tagAllgather, out[i])
+		if bulk {
+			t.sendCtlVec(sp, me, child, tagAllgather, out)
+		} else {
+			for i := 0; i < p; i++ {
+				t.SendCtl(sp, me, child, tagAllgather, out[i])
+			}
 		}
 	}
 	return out
+}
+
+// sendCtlVec posts an n-entry control vector as one message, costed as n
+// chained control posts at the sender (the serialized cost the chained
+// form charges) but consuming one simulator event instead of n.
+func (t *Transport) sendCtlVec(sp *sim.Proc, src, dst, tag int, vals []int64) {
+	sp.Sleep(float64(len(vals)) * ctlCost)
+	t.sendMsg(sp, src, dst, message{
+		tag:     tag,
+		readyAt: sp.Now() + t.node.Arch.ShmLatency + t.stall(src, dst),
+		vec:     vals,
+	})
+}
+
+// recvCtlVec consumes one bulk control vector from src, asserting the
+// expected tag and length.
+func (t *Transport) recvCtlVec(sp *sim.Proc, src, dst, tag, n int) []int64 {
+	waitStart := sp.Now()
+	m := t.recvMsg(sp, src, dst)
+	if m.tag != tag {
+		panic(fmt.Sprintf("shm: tag mismatch on %d->%d: got %d, want %d", src, dst, m.tag, tag))
+	}
+	if len(m.vec) != n {
+		panic(fmt.Sprintf("shm: expected %d-entry control vector on %d->%d, got %d", n, src, dst, len(m.vec)))
+	}
+	readyTs := sp.Now()
+	if m.readyAt > readyTs {
+		readyTs = m.readyAt
+		sp.Sleep(m.readyAt - sp.Now())
+	}
+	sp.Sleep(ctlCost)
+	if rec := t.node.Recorder(); rec != nil {
+		rec.Edge(t.lane(src), t.lane(dst), trace.CatShm, tagName(tag),
+			m.readyAt-t.node.Arch.ShmLatency, readyTs, waitStart, sp.Now())
+	}
+	return m.vec
 }
 
 // Notify posts a 0-byte completion message to dst.

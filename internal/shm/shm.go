@@ -36,25 +36,39 @@ type message struct {
 	size    int64
 	readyAt float64 // virtual time at which the receiver may consume it
 	ctl     int64   // control payload for 8-byte messages
+	vec     []int64 // bulk control vector (Allgather64 above ctlVecThreshold)
 	data    []byte  // staged cell payload (nil on dataless nodes)
+	sum     uint64  // staged payload range digest (digest-tracking nodes)
 	last    bool    // final cell of a data message
 }
+
+// denseQueueLimit is the rank count up to which the per-pair queues are
+// pre-allocated as a dense nranks² slice. Above it the queues are
+// created lazily in a map: collectives at scale use O(nranks·log nranks)
+// of the nranks² possible pairs, and a dense 64k-rank table would cost
+// tens of gigabytes before the first message moves.
+const denseQueueLimit = 256
 
 // Transport is a shared-memory segment connecting nranks local processes
 // with per-ordered-pair FIFO queues.
 type Transport struct {
 	node   *kernel.Node
 	nranks int
-	queues []*sim.Chan[message] // index src*nranks+dst
-	lanes  []int                // trace lane per rank (nil = identity)
+	queues []*sim.Chan[message]         // dense, index src*nranks+dst; nil above denseQueueLimit
+	lazy   map[int64]*sim.Chan[message] // sparse, keyed src*nranks+dst
+	lanes  []int                        // trace lane per rank (nil = identity)
 }
 
 // New creates a transport among nranks processes of node.
 func New(node *kernel.Node, nranks int) *Transport {
 	t := &Transport{node: node, nranks: nranks}
-	t.queues = make([]*sim.Chan[message], nranks*nranks)
-	for i := range t.queues {
-		t.queues[i] = sim.NewChan[message](node.Sim, queueDepth)
+	if nranks <= denseQueueLimit {
+		t.queues = make([]*sim.Chan[message], nranks*nranks)
+		for i := range t.queues {
+			t.queues[i] = sim.NewChan[message](node.Sim, queueDepth)
+		}
+	} else {
+		t.lazy = make(map[int64]*sim.Chan[message])
 	}
 	return t
 }
@@ -88,7 +102,19 @@ func (t *Transport) queue(src, dst int) *sim.Chan[message] {
 	if src < 0 || src >= t.nranks || dst < 0 || dst >= t.nranks {
 		panic(fmt.Sprintf("shm: rank out of range: %d -> %d (nranks %d)", src, dst, t.nranks))
 	}
-	return t.queues[src*t.nranks+dst]
+	if t.queues != nil {
+		return t.queues[src*t.nranks+dst]
+	}
+	// Lazy pair: creation order varies with the schedule, but a fresh
+	// queue holds no state and channel identity never feeds the event
+	// order, so determinism is unaffected.
+	key := int64(src)*int64(t.nranks) + int64(dst)
+	q := t.lazy[key]
+	if q == nil {
+		q = sim.NewChan[message](t.node.Sim, queueDepth)
+		t.lazy[key] = q
+	}
+	return q
 }
 
 // tagName maps the transport's well-known tags — including the pt2pt
@@ -298,6 +324,9 @@ func (t *Transport) Send(sp *sim.Proc, src, dst, tag int, srcProc *kernel.Proces
 		if t.node.CopyData && n > 0 {
 			m.data = append([]byte(nil), srcProc.Bytes(addr+kernel.Addr(off), n)...)
 		}
+		if n > 0 && srcProc.PayloadTracked() {
+			m.sum = srcProc.RangeDigest(addr+kernel.Addr(off), n)
+		}
 		t.sendMsg(sp, src, dst, m)
 		if m.last {
 			if rec != nil {
@@ -353,6 +382,9 @@ func (t *Transport) Exchange(sp *sim.Proc, me, sendPeer, recvPeer, tag int, proc
 			if t.node.CopyData && n > 0 {
 				m.data = append([]byte(nil), proc.Bytes(sAddr+kernel.Addr(sent), n)...)
 			}
+			if n > 0 && proc.PayloadTracked() {
+				m.sum = proc.RangeDigest(sAddr+kernel.Addr(sent), n)
+			}
 			t.sendMsg(sp, me, sendPeer, m)
 			sent += n
 			sendDone = m.last
@@ -380,6 +412,9 @@ func (t *Transport) Exchange(sp *sim.Proc, me, sendPeer, recvPeer, tag int, proc
 			t.node.EndCopy()
 			if t.node.CopyData && n > 0 {
 				copy(proc.Bytes(rAddr+kernel.Addr(got), n), m.data)
+			}
+			if n > 0 {
+				proc.ApplyPayload(rAddr+kernel.Addr(got), n, m.sum)
 			}
 			got += n
 			recvDone = m.last
@@ -434,6 +469,9 @@ func (t *Transport) Recv(sp *sim.Proc, src, dst, tag int, dstProc *kernel.Proces
 		t.node.EndCopy()
 		if t.node.CopyData && n > 0 {
 			copy(dstProc.Bytes(addr+kernel.Addr(got), n), m.data)
+		}
+		if n > 0 {
+			dstProc.ApplyPayload(addr+kernel.Addr(got), n, m.sum)
 		}
 		got += n
 		if m.last {

@@ -6,8 +6,11 @@ import (
 )
 
 // The hot-path allocation budget. The seed dispatcher boxed every event
-// through container/heap (~2 allocs per dispatch); the typed heap and
-// the Sleep fast path bring the steady state to zero.
+// through container/heap (~2 allocs per dispatch); the typed heap, the
+// Sleep fast path, and the Proc/timer free lists bring the steady state
+// to zero. These tests pin exact bounds: the dispatch loop allocates
+// nothing at all, and a full Reset+Spawn+Run cycle pays only the
+// goroutine-start closure per spawn.
 
 func TestScheduleZeroAllocSteadyState(t *testing.T) {
 	s := New()
@@ -25,53 +28,94 @@ func TestScheduleZeroAllocSteadyState(t *testing.T) {
 		s.popEvent()
 	})
 	if allocs != 0 {
-		t.Errorf("schedule+pop allocates %v per cycle, want 0", allocs)
+		t.Errorf("schedule+pop allocates %v per cycle, want exactly 0", allocs)
 	}
 }
 
 func TestSleepSelfWakeAllocs(t *testing.T) {
-	// One process running 1024 self-wake sleeps: the whole simulation
-	// (spawn included) must stay within a small constant budget — the
-	// fast path itself must not allocate per event.
+	// One process running 1024 self-wake sleeps, re-run on a warmed
+	// simulation via Reset: the Proc shell and resume channel come off
+	// the free list, so the only allocation left in the whole cycle is
+	// the goroutine-start closure — the dispatch loop itself is
+	// allocation-free.
 	const sleeps = 1024
-	allocs := testing.AllocsPerRun(10, func() {
-		s := New()
-		s.Spawn("solo", func(sp *Proc) {
-			for k := 0; k < sleeps; k++ {
-				sp.Sleep(0.5)
-			}
-		})
+	s := New()
+	body := func(sp *Proc) {
+		for k := 0; k < sleeps; k++ {
+			sp.Sleep(0.5)
+		}
+	}
+	cycle := func() {
+		s.Reset()
+		s.Spawn("solo", body)
 		if err := s.Run(); err != nil {
 			panic(err)
 		}
-	})
-	if allocs > 32 {
-		t.Errorf("self-wake run of %d sleeps allocates %v, want <= 32 (constant spawn overhead only)", sleeps, allocs)
+	}
+	cycle() // warm: first goroutine stack, heap backing, free lists
+	allocs := testing.AllocsPerRun(10, cycle)
+	if allocs > 4 {
+		t.Errorf("self-wake cycle of %d sleeps allocates %v, want <= 4 (spawn closure plus constant goroutine bookkeeping)", sleeps, allocs)
 	}
 }
 
 func TestContendedDispatchAllocBound(t *testing.T) {
-	// 16 processes ping-ponging sleeps: >1000 dispatches through the
-	// heap. Per-event allocations must stay well below one — the seed
-	// dispatcher's boxing alone cost ~2 per event.
+	// 16 processes ping-ponging sleeps: >3000 dispatches through the
+	// heap per cycle. With pooled Procs the cycle's allocations are the
+	// 16 goroutine-start closures — nothing scales with the event count.
 	const procs, sleeps = 16, 64
+	s := New()
+	names := make([]string, procs)
+	bodies := make([]func(*Proc), procs)
+	for p := 0; p < procs; p++ {
+		p := p
+		names[p] = fmt.Sprintf("p%d", p)
+		bodies[p] = func(sp *Proc) {
+			for k := 0; k < sleeps; k++ {
+				sp.Sleep(float64(1 + (p+k)%3))
+			}
+		}
+	}
 	var events uint64
-	allocs := testing.AllocsPerRun(10, func() {
-		s := New()
+	cycle := func() {
+		s.Reset()
 		for p := 0; p < procs; p++ {
-			p := p
-			s.Spawn(fmt.Sprintf("p%d", p), func(sp *Proc) {
-				for k := 0; k < sleeps; k++ {
-					sp.Sleep(float64(1 + (p+k)%3))
-				}
-			})
+			s.Spawn(names[p], bodies[p])
 		}
 		if err := s.Run(); err != nil {
 			panic(err)
 		}
 		events = s.EventsProcessed()
+	}
+	cycle()
+	allocs := testing.AllocsPerRun(10, cycle)
+	if allocs > procs+4 {
+		t.Errorf("contended cycle allocates %v, want <= %d (one spawn closure per proc)", allocs, procs+4)
+	}
+	if perEvent := allocs / float64(events); perEvent > 0.025 {
+		t.Errorf("contended cycle: %v allocs over %d events = %.4f/event, want <= 0.025", allocs, events, perEvent)
+	}
+}
+
+func TestTimedWaitTimerReuse(t *testing.T) {
+	// Timed waits in steady state must recycle their timer objects: a
+	// long sequence of RecvTimeout expiries may allocate waiter structs
+	// but not grow the timer population. The assertion is structural —
+	// after warmup the free list stops growing beyond one entry.
+	s := New()
+	ch := NewChan[int](s, 0)
+	const waits = 64
+	s.Spawn("waiter", func(sp *Proc) {
+		for k := 0; k < waits; k++ {
+			if _, ok := ch.RecvTimeout(sp, 1); ok {
+				panic("unexpected value")
+			}
+		}
 	})
-	if perEvent := allocs / float64(events); perEvent > 0.25 {
-		t.Errorf("contended run: %v allocs over %d events = %.3f/event, want <= 0.25", allocs, events, perEvent)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.timerFree) > 1 {
+		t.Errorf("timer free list grew to %d after %d timed waits, want at most 1 recycled timer", len(s.timerFree), waits)
 	}
 }

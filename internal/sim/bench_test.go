@@ -7,27 +7,29 @@ import (
 
 // BenchmarkDispatch measures the scheduler's per-event cost in the
 // contended regime: 16 processes ping-ponging short sleeps so nearly
-// every dispatch hands the token to a different process.
+// every dispatch hands the token to a different process. The bodies
+// loop b.N rounds inside one simulation, so the reported allocs/op are
+// the steady-state dispatch loop alone — pinned at 0 by
+// internal/sim/alloc_test.go.
 func BenchmarkDispatch(b *testing.B) {
-	const procs = 16
+	const procs, sleeps = 16, 64
 	b.ReportAllocs()
-	events := 0
-	for i := 0; i < b.N; i++ {
-		s := New()
-		for p := 0; p < procs; p++ {
-			p := p
-			s.Spawn(fmt.Sprintf("p%d", p), func(sp *Proc) {
-				for k := 0; k < 64; k++ {
+	s := New()
+	for p := 0; p < procs; p++ {
+		p := p
+		s.Spawn(fmt.Sprintf("p%d", p), func(sp *Proc) {
+			for i := 0; i < b.N; i++ {
+				for k := 0; k < sleeps; k++ {
 					sp.Sleep(float64(1 + (p+k)%3))
 				}
-			})
-		}
-		if err := s.Run(); err != nil {
-			b.Fatal(err)
-		}
-		events = int(s.EventsProcessed())
+			}
+		})
 	}
-	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*events), "ns/event")
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(s.EventsProcessed()), "ns/event")
 }
 
 // BenchmarkDispatchSelfWake measures the dominant pattern of the kernel
@@ -36,18 +38,19 @@ func BenchmarkDispatch(b *testing.B) {
 func BenchmarkDispatchSelfWake(b *testing.B) {
 	b.ReportAllocs()
 	const sleeps = 1024
-	for i := 0; i < b.N; i++ {
-		s := New()
-		s.Spawn("solo", func(sp *Proc) {
+	s := New()
+	s.Spawn("solo", func(sp *Proc) {
+		for i := 0; i < b.N; i++ {
 			for k := 0; k < sleeps; k++ {
 				sp.Sleep(0.5)
 			}
-		})
-		if err := s.Run(); err != nil {
-			b.Fatal(err)
 		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
 	}
-	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*sleeps), "ns/event")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(uint64(b.N)*sleeps), "ns/event")
 }
 
 // BenchmarkSchedule measures the raw event-heap push/pop cycle.
@@ -59,5 +62,36 @@ func BenchmarkSchedule(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.schedule(p, float64(i%64))
 		s.popEvent()
+	}
+}
+
+// BenchmarkRespawn measures a full Reset+Spawn+Run cycle on a warmed
+// simulation — the measure.Collective sweep pattern the Proc and timer
+// free lists exist for. The only steady-state allocation left is the
+// one bound-method closure per goroutine start.
+func BenchmarkRespawn(b *testing.B) {
+	const procs, sleeps = 16, 64
+	names := make([]string, procs)
+	bodies := make([]func(*Proc), procs)
+	for p := 0; p < procs; p++ {
+		p := p
+		names[p] = fmt.Sprintf("p%d", p)
+		bodies[p] = func(sp *Proc) {
+			for k := 0; k < sleeps; k++ {
+				sp.Sleep(float64(1 + (p+k)%3))
+			}
+		}
+	}
+	s := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		for p := 0; p < procs; p++ {
+			s.Spawn(names[p], bodies[p])
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

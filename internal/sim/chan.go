@@ -79,7 +79,7 @@ func (c *Chan[T]) Send(p *Proc, v T) {
 	}
 	sw := &sendWaiter[T]{p: p, val: v}
 	c.sendq = append(c.sendq, sw)
-	p.block("chan send")
+	p.block(blockedChanSend)
 }
 
 // TrySend delivers v without blocking; it reports whether the value was
@@ -126,7 +126,7 @@ func (c *Chan[T]) Recv(p *Proc) T {
 	}
 	rw := &recvWaiter[T]{p: p}
 	c.recvq = append(c.recvq, rw)
-	p.block("chan recv")
+	p.block(blockedChanRecv)
 	if !rw.ok {
 		panic("sim: chan recv woke without a value")
 	}
@@ -178,7 +178,7 @@ func (c *Chan[T]) RecvTimeout(p *Proc, d Time) (T, bool) {
 	}
 	rw := &recvWaiter[T]{p: p, tm: c.sim.scheduleTimer(p, c.sim.now+d)}
 	c.recvq = append(c.recvq, rw)
-	p.block("chan recv (timed)")
+	p.block(blockedChanRecvTimed)
 	if rw.ok {
 		return rw.val, true
 	}
@@ -205,7 +205,7 @@ func (c *Chan[T]) SendTimeout(p *Proc, v T, d Time) bool {
 	}
 	sw := &sendWaiter[T]{p: p, val: v, tm: c.sim.scheduleTimer(p, c.sim.now+d)}
 	c.sendq = append(c.sendq, sw)
-	p.block("chan send (timed)")
+	p.block(blockedChanSendTimed)
 	if sw.ok {
 		return true
 	}

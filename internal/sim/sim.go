@@ -41,7 +41,30 @@ type Simulation struct {
 	live      int // procs spawned and not yet finished
 	running   bool
 	processed uint64 // events dispatched, for stats/tests
+
+	// Free lists: finished Proc shells (resume channel included) and
+	// consumed timer objects are recycled instead of re-allocated, so a
+	// harness that runs many simulations back to back (Reset between
+	// runs) and the timed-wait hot path stay allocation-free in steady
+	// state.
+	procFree  []*Proc
+	timerFree []*timer
 }
+
+// blockedOn labels for deadlock diagnostics, interned as package
+// constants so blocking sites share one string value instead of
+// repeating literals at every call site.
+const (
+	blockedSleep         = "sleep"
+	blockedChanSend      = "chan send"
+	blockedChanRecv      = "chan recv"
+	blockedChanSendTimed = "chan send (timed)"
+	blockedChanRecvTimed = "chan recv (timed)"
+	blockedMutex         = "mutex lock"
+	blockedSemaphore     = "semaphore acquire"
+	blockedBarrier       = "barrier wait"
+	blockedWaitGroup     = "waitgroup wait"
+)
 
 // schedMsg returns the scheduling token to Run: either the heap drained
 // with the sender holding the token, or the sender's body panicked.
@@ -68,7 +91,8 @@ type Proc struct {
 	id        int
 	name      string
 	resume    chan struct{}
-	blockedOn string // diagnostic: what primitive the proc is blocked on
+	fn        func(p *Proc) // body, handed to the goroutine via the struct
+	blockedOn string        // diagnostic: what primitive the proc is blocked on
 	started   bool
 	finished  bool
 }
@@ -106,12 +130,30 @@ func (tm *timer) cancel() { tm.stopped = true }
 // scheduleTimer schedules a cancellable wake-up for p at time at. Unlike
 // schedule, the resulting event can be disarmed before it fires, which is
 // what lets a timed waiter be woken by either a peer or its deadline
-// without ever receiving two resumes.
+// without ever receiving two resumes. Timer objects come off a free
+// list: each timer backs exactly one heap event, and no waiter touches
+// its timer after the event is popped (a disarm always happens before
+// the peer's wake, and the timeout path never disarms), so the
+// dispatcher can recycle it at pop time.
 func (s *Simulation) scheduleTimer(p *Proc, at Time) *timer {
-	tm := &timer{}
+	var tm *timer
+	if n := len(s.timerFree); n > 0 {
+		tm = s.timerFree[n-1]
+		s.timerFree[n-1] = nil
+		s.timerFree = s.timerFree[:n-1]
+	} else {
+		tm = &timer{}
+	}
 	s.seq++
 	s.events.push(event{t: at, seq: s.seq, p: p, tm: tm})
 	return tm
+}
+
+// freeTimer returns a timer whose heap event has been consumed to the
+// free list.
+func (s *Simulation) freeTimer(tm *timer) {
+	tm.stopped = false
+	s.timerFree = append(s.timerFree, tm)
 }
 
 // eventHeap is a concrete binary min-heap ordered by (time, sequence).
@@ -142,6 +184,10 @@ func (h *eventHeap) push(e event) {
 	}
 }
 
+// minShrinkCap is the backing-array size below which pop never shrinks:
+// steady-state heaps (tens of events) keep one stable allocation.
+const minShrinkCap = 1024
+
 func (h *eventHeap) pop() event {
 	q := *h
 	top := q[0]
@@ -149,6 +195,17 @@ func (h *eventHeap) pop() event {
 	q[0] = q[n]
 	q[n] = event{} // drop the *Proc reference
 	q = q[:n]
+	// Shrink a once-large backing array when occupancy falls to an
+	// eighth of it, so a transient burst (a wide barrier fan-in, a
+	// many-rank spawn wave) doesn't pin its high-water memory for the
+	// rest of the process. Halving the capacity keeps the shrink
+	// geometric — push doubles, pop halves, so no push/pop sequence can
+	// oscillate across the boundary.
+	if c := cap(q); c >= minShrinkCap && n <= c/8 {
+		nq := make(eventHeap, n, c/2)
+		copy(nq, q)
+		q = nq
+	}
 	*h = q
 	i := 0
 	for {
@@ -196,11 +253,18 @@ func (s *Simulation) dispatchNext(self *Proc) int {
 			return dispatchedNone
 		}
 		e := s.events.pop()
-		if e.tm != nil && e.tm.stopped {
-			// Cancelled timer: discard without advancing the clock or
-			// counting a dispatch, so timed waits that complete in time
-			// leave no trace in either the timeline or the stats.
-			continue
+		if e.tm != nil {
+			stopped := e.tm.stopped
+			// A timer's single heap event is now consumed either way, and
+			// no waiter dereferences its timer after this point, so the
+			// object goes straight back on the free list.
+			s.freeTimer(e.tm)
+			if stopped {
+				// Cancelled timer: discard without advancing the clock or
+				// counting a dispatch, so timed waits that complete in time
+				// leave no trace in either the timeline or the stats.
+				continue
+			}
 		}
 		if e.t < s.now {
 			panic(fmt.Sprintf("sim: time went backwards: %g < %g", e.t, s.now))
@@ -234,34 +298,91 @@ func (p *Proc) yieldToken() {
 // Spawn registers a new process whose body is fn. If called before Run,
 // the process starts at time zero; if called from a running process, it
 // starts at the current virtual time. Spawn order breaks scheduling ties.
+//
+// Proc shells (struct plus resume channel) come off the free list that
+// Reset fills, so a harness running many simulations back to back only
+// pays one goroutine start per spawn; the body travels through the Proc
+// struct rather than a captured closure.
 func (s *Simulation) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{sim: s, id: len(s.procs), name: name, resume: make(chan struct{})}
+	var p *Proc
+	if n := len(s.procFree); n > 0 {
+		p = s.procFree[n-1]
+		s.procFree[n-1] = nil
+		s.procFree = s.procFree[:n-1]
+		p.id = len(s.procs)
+		p.name = name
+		p.blockedOn = ""
+		p.started, p.finished = false, false
+	} else {
+		p = &Proc{sim: s, id: len(s.procs), name: name, resume: make(chan struct{})}
+	}
+	p.fn = fn
 	s.procs = append(s.procs, p)
 	s.live++
-	go func() {
-		<-p.resume
-		p.started = true
-		var panicked any
-		func() {
-			defer func() {
-				if r := recover(); r != nil {
-					panicked = r
-				}
-			}()
-			fn(p)
-		}()
-		p.finished = true
-		s.live--
-		if panicked != nil {
-			s.sched <- schedMsg{proc: p, panicVal: panicked}
-			return
-		}
-		if s.dispatchNext(nil) == dispatchedNone {
-			s.sched <- schedMsg{proc: p}
-		}
-	}()
+	go p.main()
 	s.schedule(p, s.now)
 	return p
+}
+
+// main is the goroutine body of a spawned process: wait for the first
+// token delivery, run fn, then pass the token on and exit.
+func (p *Proc) main() {
+	<-p.resume
+	p.started = true
+	fn := p.fn
+	p.fn = nil
+	panicked := p.runBody(fn)
+	p.finished = true
+	s := p.sim
+	s.live--
+	if panicked != nil {
+		s.sched <- schedMsg{proc: p, panicVal: panicked}
+		return
+	}
+	if s.dispatchNext(nil) == dispatchedNone {
+		s.sched <- schedMsg{proc: p}
+	}
+}
+
+// runBody runs fn, converting a body panic into a value for Run to
+// re-raise.
+func (p *Proc) runBody(fn func(*Proc)) (panicked any) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = r
+		}
+	}()
+	fn(p)
+	return nil
+}
+
+// Reset returns the simulation to an empty time-zero state while
+// keeping allocated capacity: the event-heap backing array stays, and
+// finished Proc shells (resume channels included) plus any timers still
+// parked in dropped events go to the free lists for the next run.
+// Reset panics if any spawned process has not finished — a live
+// process's goroutine still references the state being recycled, so
+// only a cleanly drained simulation (Run returned nil) may be reused.
+func (s *Simulation) Reset() {
+	if s.running {
+		panic("sim: Reset during Run")
+	}
+	if s.live != 0 {
+		panic(fmt.Sprintf("sim: Reset with %d unfinished processes", s.live))
+	}
+	for i := range s.events {
+		if tm := s.events[i].tm; tm != nil {
+			s.freeTimer(tm)
+		}
+		s.events[i] = event{}
+	}
+	s.events = s.events[:0]
+	for i, p := range s.procs {
+		s.procFree = append(s.procFree, p)
+		s.procs[i] = nil
+	}
+	s.procs = s.procs[:0]
+	s.now, s.seq, s.processed = 0, 0, 0
 }
 
 // DeadlockError reports that the event heap drained while processes were
@@ -336,7 +457,7 @@ func (p *Proc) Sleep(d Time) {
 		return
 	}
 	s.schedule(p, t)
-	p.blockedOn = "sleep"
+	p.blockedOn = blockedSleep
 	p.yieldToken()
 }
 

@@ -17,7 +17,7 @@ func (m *Mutex) Lock(p *Proc) {
 		return
 	}
 	m.waiters = append(m.waiters, p)
-	p.block("mutex lock")
+	p.block(blockedMutex)
 	// Ownership was transferred to us by Unlock; m.held stays true.
 }
 
@@ -86,7 +86,7 @@ func (sm *Semaphore) Acquire(p *Proc, n int) {
 		return
 	}
 	sm.waiters = append(sm.waiters, semWaiter{p: p, n: n})
-	p.block("semaphore acquire")
+	p.block(blockedSemaphore)
 }
 
 // Release returns n permits and wakes as many queued waiters as can now
@@ -130,7 +130,7 @@ func (b *Barrier) Wait(p *Proc) {
 		return
 	}
 	b.arrived = append(b.arrived, p)
-	p.block("barrier wait")
+	p.block(blockedBarrier)
 }
 
 // WaitGroup waits for a counter to reach zero, in virtual time.
@@ -167,5 +167,5 @@ func (wg *WaitGroup) Wait(p *Proc) {
 		return
 	}
 	wg.waiters = append(wg.waiters, p)
-	p.block("waitgroup wait")
+	p.block(blockedWaitGroup)
 }
