@@ -31,6 +31,7 @@ var goldenCases = []struct {
 }{
 	{"x8_quick", []string{"-run", "x8", "-quick", "-j", "3"}},
 	{"x9_quick", []string{"-run", "x9", "-quick", "-j", "3"}},
+	{"x11_quick", []string{"-run", "x11", "-quick", "-j", "3"}},
 	{"tab5", []string{"-run", "tab5"}},
 	{"fig5_quick", []string{"-run", "fig5", "-quick"}},
 }

@@ -12,6 +12,7 @@
 //	camc-fuzz -seed 7 -n 500 -arch knl -kinds scatter,reduce
 //	camc-fuzz -n 100 -no-kills
 //	camc-fuzz -n 100 -sparse
+//	camc-fuzz -n 100 -cluster
 //	camc-fuzz -repro "arch=knl kind=scatter algo=throttled:4 size=4096 procs=8 root=3 seed=17"
 //	camc-fuzz -list-invariants
 package main
@@ -47,6 +48,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		noFault  = fs.Bool("no-faults", false, "draw only fault-free specs")
 		noKill   = fs.Bool("no-kills", false, "never draw kill plans (skip the recovery harness)")
 		sparse   = fs.Bool("sparse", false, "cross-check every non-kill spec: materialized payload vs checksum-summary mode must agree on latency bits, event counts and page digests")
+		clusterF = fs.Bool("cluster", false, "draw multi-node fabric specs (nodes/topo/design dimensions; fault-free by construction)")
 		verbose  = fs.Bool("v", false, "print every spec as it runs")
 		repro    = fs.String("repro", "", "replay one reproducer spec line instead of fuzzing")
 		listInv  = fs.Bool("list-invariants", false, "list the invariant registry and exit")
@@ -140,7 +142,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "-n %d: need at least one spec\n", *n)
 		return 2
 	}
-	gopts := check.GenOptions{Faults: !*noFault, Kills: !*noKill && !*noFault}
+	if *clusterF && *sparse {
+		fmt.Fprintln(stderr, "-sparse is a single-node cross-check; it cannot be combined with -cluster")
+		return 2
+	}
+	gopts := check.GenOptions{Faults: !*noFault && !*clusterF, Kills: !*noKill && !*noFault && !*clusterF, Cluster: *clusterF}
 	if *archF != "" {
 		if _, err := arch.ByName(*archF); err != nil {
 			fmt.Fprintf(stderr, "%v (use -arch knl, broadwell, or power8)\n", err)
@@ -165,6 +171,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	kindCount := map[core.Kind]int{}
 	archCount := map[string]int{}
+	designCount := map[string]int{}
+	topoCount := map[string]int{}
 	faulty, killed, crossChecked := 0, 0, 0
 	for i := 0; i < *n; i++ {
 		sp := check.Gen(*seed, i, gopts)
@@ -214,6 +222,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		kindCount[sp.Kind]++
 		archCount[sp.Arch]++
+		if sp.Nodes > 0 {
+			designCount[sp.Design]++
+			topoCount[sp.Topo]++
+		}
 		if sp.Faults != "" {
 			faulty++
 			if strings.Contains(sp.Faults, "kill=") {
@@ -224,7 +236,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "camc-fuzz: %d specs green (seed %d)\n", *n, *seed)
 	fmt.Fprintf(stdout, "  kinds: %s\n", countLine(kindCount))
 	fmt.Fprintf(stdout, "  archs: %s\n", countLineStr(archCount))
-	fmt.Fprintf(stdout, "  fault plans: %d (of which kill plans: %d)\n", faulty, killed)
+	if *clusterF {
+		fmt.Fprintf(stdout, "  cluster corpus: %d multi-node specs (designs: %s; topos: %s)\n",
+			*n, countLineStr(designCount), countLineStr(topoCount))
+	} else {
+		fmt.Fprintf(stdout, "  fault plans: %d (of which kill plans: %d)\n", faulty, killed)
+	}
 	if *sparse {
 		fmt.Fprintf(stdout, "  sparse cross-check: %d specs bit-identical (materialized vs checksum-summary)\n", crossChecked)
 	}

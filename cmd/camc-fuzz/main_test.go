@@ -170,3 +170,37 @@ func TestRunSparseRepro(t *testing.T) {
 		t.Errorf("missing sparse repro verdict:\n%s", out)
 	}
 }
+
+// TestRunClusterCorpus is the fixed-seed cluster arm CI replays: a
+// multi-node corpus over the fabric, differential-checked at world size
+// with the network invariants armed.
+func TestRunClusterCorpus(t *testing.T) {
+	code, out, _ := runCLI(t, "-seed", "1", "-n", "12", "-cluster")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "12 specs green (seed 1)") {
+		t.Errorf("missing summary:\n%s", out)
+	}
+	if !strings.Contains(out, "cluster corpus: 12 multi-node specs") {
+		t.Errorf("missing cluster summary:\n%s", out)
+	}
+}
+
+func TestRunClusterRepro(t *testing.T) {
+	code, out, _ := runCLI(t, "-repro",
+		"arch=knl kind=gather algo=throttled:2 size=2048 procs=3 root=4 seed=11 nodes=3 topo=fattree design=leader")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.HasPrefix(out, "PASS ") {
+		t.Errorf("missing verdict:\n%s", out)
+	}
+}
+
+func TestRunClusterSparseConflict(t *testing.T) {
+	code, _, errb := runCLI(t, "-n", "1", "-cluster", "-sparse")
+	if code != 2 || !strings.Contains(errb, "-cluster") {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+}

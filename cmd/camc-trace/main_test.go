@@ -152,3 +152,33 @@ func TestTraceDeterministicOutput(t *testing.T) {
 		t.Fatal("camc-trace output differs between identical invocations")
 	}
 }
+
+// TestTraceClusterRepro replays a multi-node reproducer: the verdict
+// must pass, and the exported trace must carry the network category
+// (fabric send/recv spans and link contention instants).
+func TestTraceClusterRepro(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	var stdout, stderr bytes.Buffer
+	args := []string{"-repro",
+		"arch=knl kind=gather algo=throttled:2 size=2048 procs=3 root=4 seed=11 nodes=3 topo=fattree design=leader",
+		"-summary", "-out", path}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.HasPrefix(out, "PASS ") {
+		t.Fatalf("missing PASS verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "net") {
+		t.Fatalf("summary missing the net category:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"net_send", "net_recv", "net_link", "hcoll:gather:leader"} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("exported trace missing %q", want)
+		}
+	}
+}

@@ -502,3 +502,135 @@ func FuzzDifferential(f *testing.F) {
 		}
 	})
 }
+
+func TestClusterSpecRoundTrip(t *testing.T) {
+	specs := []Spec{
+		{Arch: "knl", Kind: core.KindGather, Algo: "throttled:4", Count: 4096, Procs: 4, Root: 9,
+			Seed: 3, Nodes: 3, Topo: "fattree", Design: "leader"},
+		{Arch: "broadwell", Kind: core.KindAlltoall, Algo: "pairwise", Count: 512, Procs: 2, Root: 0,
+			Seed: 0, Nodes: 5, Topo: "dragonfly", Design: "shared"},
+		{Arch: "power8", Kind: core.KindBcast, Algo: "direct-read", Count: 64, Procs: 3, Root: 5,
+			Seed: 1, Nodes: 2, Topo: "dragonfly", Design: "flat"},
+	}
+	for _, sp := range specs {
+		got, err := ParseSpec(sp.String())
+		if err != nil {
+			t.Fatalf("%s: %v", sp, err)
+		}
+		if got != sp {
+			t.Errorf("round trip: got %s, want %s", got, sp)
+		}
+	}
+	// Omitted topo/design default at parse time.
+	sp, err := ParseSpec("arch=knl kind=bcast algo=direct-read size=64 procs=2 root=0 seed=1 nodes=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Topo != "fattree" || sp.Design != "leader" {
+		t.Errorf("defaults not applied: topo=%q design=%q", sp.Topo, sp.Design)
+	}
+}
+
+func TestClusterSpecErrors(t *testing.T) {
+	base := "arch=knl kind=gather algo=parallel-write size=64 procs=2 root=0 seed=1"
+	bad := []string{
+		base + " nodes=1",                                         // needs >= 2 nodes
+		base + " nodes=2 topo=torus",                              // unknown topology
+		base + " nodes=2 design=ring",                             // unknown design
+		base + " nodes=2 root=4",                                  // duplicate root key
+		base + " topo=fattree",                                    // topo without nodes
+		base + " design=leader",                                   // design without nodes
+		base + " nodes=2 skew=3",                                  // single-node machinery
+		base + " nodes=2 faults=light",                            // single-node machinery
+		base + " nodes=2 deadline=100",                            // single-node machinery
+		strings.Replace(base, "root=0", "root=4", 1) + " nodes=2", // world root out of range
+	}
+	for _, line := range bad {
+		if _, err := ParseSpec(line); err == nil {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+// TestRunOneClusterGreen: the multi-node oracle path end to end — every
+// design on a non-power-of-two world with a non-zero world root, both
+// topologies, byte-checked against the reference executor with the
+// full invariant registry (including the network invariants).
+func TestRunOneClusterGreen(t *testing.T) {
+	specs := []string{
+		"arch=knl kind=gather algo=throttled:2 size=2048 procs=3 root=4 seed=11 nodes=3 topo=fattree design=leader",
+		"arch=knl kind=bcast algo=direct-read size=2048 procs=2 root=1 seed=12 nodes=4 topo=dragonfly design=flat",
+		"arch=broadwell kind=alltoall algo=pairwise size=512 procs=2 root=0 seed=13 nodes=3 topo=fattree design=shared",
+		"arch=broadwell kind=allgather algo=ring-neighbor:2 size=512 procs=3 root=0 seed=14 nodes=2 topo=dragonfly design=leader",
+		"arch=power8 kind=reduce algo=knomial:2 size=1024 procs=3 root=7 seed=15 nodes=3 topo=fattree design=shared",
+		"arch=power8 kind=scatter algo=parallel-read size=1024 procs=2 root=3 seed=16 nodes=5 topo=dragonfly design=leader",
+	}
+	for _, line := range specs {
+		sp, err := ParseSpec(line)
+		if err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+		res, err := RunOne(sp)
+		if err != nil {
+			t.Errorf("%v", err)
+			continue
+		}
+		if len(res.Links) == 0 {
+			t.Errorf("%s: no link accounting on a cluster run", sp)
+		}
+		if res.Latency <= 0 {
+			t.Errorf("%s: no time elapsed", sp)
+		}
+	}
+}
+
+func TestGenClusterDeterministicAndValid(t *testing.T) {
+	opts := GenOptions{Cluster: true}
+	designs := map[string]bool{}
+	topos := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		a := Gen(5, i, opts)
+		b := Gen(5, i, opts)
+		if a != b {
+			t.Fatalf("index %d: %s != %s", i, a, b)
+		}
+		if a.Nodes < 2 || a.Nodes > 6 || a.Procs < 2 || a.Procs > 5 {
+			t.Fatalf("index %d: shape out of bounds: %s", i, a)
+		}
+		if a.Faults != "" || a.Skew != 0 {
+			t.Fatalf("index %d: cluster spec drew single-node machinery: %s", i, a)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("index %d: generated invalid spec %s: %v", i, a, err)
+		}
+		designs[a.Design] = true
+		topos[a.Topo] = true
+	}
+	if len(designs) != 3 || len(topos) != 2 {
+		t.Errorf("corpus not diverse: designs %v topos %v", designs, topos)
+	}
+}
+
+func TestShrinkClusterMinimizes(t *testing.T) {
+	start := Spec{Arch: "knl", Kind: core.KindGather, Algo: "throttled:4", Count: 4096,
+		Procs: 5, Root: 13, Seed: 77, Nodes: 6, Topo: "dragonfly", Design: "shared"}
+	if err := start.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Artificial failure that needs the fabric: anything multi-node fails.
+	min := Shrink(start, func(sp Spec) bool { return sp.Nodes >= 2 })
+	if min.Nodes != 2 || min.Procs != 2 || min.Count != 1 {
+		t.Errorf("not minimal: %s", min)
+	}
+	if min.Design != "leader" || min.Topo != "fattree" || min.Root != 0 || min.Seed != 0 {
+		t.Errorf("irrelevant dimensions kept: %s", min)
+	}
+	if err := min.Validate(); err != nil {
+		t.Errorf("shrunk spec invalid: %v", err)
+	}
+	// A failure independent of the fabric must drop the cluster entirely.
+	min = Shrink(start, func(sp Spec) bool { return sp.Count >= 8 })
+	if min.Nodes != 0 || min.Topo != "" || min.Design != "" {
+		t.Errorf("cluster dimension kept on a fabric-independent failure: %s", min)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"strconv"
 
+	"camc/internal/cluster"
 	"camc/internal/core"
 )
 
@@ -21,6 +22,13 @@ type GenOptions struct {
 	Faults bool
 	// Kills enables drawing kill plans (implies the recovery harness).
 	Kills bool
+	// Cluster makes every spec a multi-node one: 2..MaxNodes nodes with
+	// 2..5 ranks per node, a random topology and design, and a world
+	// root. Cluster specs never draw faults or skew (single-node
+	// machinery).
+	Cluster bool
+	// MaxNodes caps the node count in Cluster mode (default 6).
+	MaxNodes int
 }
 
 func (o GenOptions) withDefaults() GenOptions {
@@ -33,6 +41,9 @@ func (o GenOptions) withDefaults() GenOptions {
 	if o.MaxProcs < 2 {
 		o.MaxProcs = 12
 	}
+	if o.MaxNodes < 2 {
+		o.MaxNodes = 6
+	}
 	return o
 }
 
@@ -41,6 +52,11 @@ func (o GenOptions) withDefaults() GenOptions {
 // kernel-assisted sizes to keep the model-conformance and contention
 // machinery honest.
 var genSizes = []int64{64, 512, 4096, 16384, 65536, 65536, 262144}
+
+// genClusterSizes is the smaller ladder cluster specs draw from: world
+// sizes reach 30 ranks and alltoall buffers scale with world², so the
+// materialized-payload oracle stays fast and small.
+var genClusterSizes = []int64{64, 512, 2048, 8192, 16384}
 
 // Gen derives the i-th spec of a seeded corpus. It is a pure function
 // of (seed, i, o): the same arguments always yield the same spec, so a
@@ -56,6 +72,16 @@ func Gen(seed int64, i int, o GenOptions) Spec {
 		Seed:  rng.Int63n(1 << 31),
 	}
 	sp.Root = rng.Intn(sp.Procs)
+	if o.Cluster {
+		sp.Count = genClusterSizes[rng.Intn(len(genClusterSizes))]
+		sp.Nodes = 2 + rng.Intn(o.MaxNodes-1)
+		sp.Procs = 2 + rng.Intn(4) // PPN 2..5
+		sp.Root = rng.Intn(sp.Nodes * sp.Procs)
+		names := cluster.TopoNames()
+		sp.Topo = names[rng.Intn(len(names))]
+		designs := cluster.Designs()
+		sp.Design = string(designs[rng.Intn(len(designs))])
+	}
 
 	// Draw a family, optionally with an explicit parameter, then clamp
 	// it through Replan so the spec is valid for the drawn communicator
@@ -73,6 +99,9 @@ func Gen(seed int64, i int, o GenOptions) Spec {
 	}
 	sp.Algo = al.Name
 
+	if o.Cluster {
+		return sp
+	}
 	if rng.Intn(10) < 3 {
 		sp.Skew = float64(1+rng.Intn(40)) / 2 // 0.5 .. 20 us
 	}
@@ -122,11 +151,27 @@ func Shrink(sp Spec, failing func(Spec) bool) Spec {
 		for sp.Procs > 2 {
 			cand := sp
 			cand.Procs--
-			if cand.Root >= cand.Procs {
+			if cand.Root >= cand.Procs && cand.Nodes == 0 {
+				cand.Root = 0
+			}
+			if cand.Nodes > 0 && cand.Root >= cand.Nodes*cand.Procs {
 				cand.Root = 0
 			}
 			if al, err := core.Replan(cand.Kind, cand.Algo, cand.Procs); err == nil {
 				cand.Algo = al.Name
+			}
+			if !try(cand) {
+				break
+			}
+			sp = cand
+			changed = true
+		}
+		// Shrink the node count of a cluster spec.
+		for sp.Nodes > 2 {
+			cand := sp
+			cand.Nodes--
+			if cand.Root >= cand.Nodes*cand.Procs {
+				cand.Root = 0
 			}
 			if !try(cand) {
 				break
@@ -140,6 +185,26 @@ func Shrink(sp Spec, failing func(Spec) bool) Spec {
 			func(c *Spec) { c.Faults = "" },
 			func(c *Spec) { c.Faults, c.Deadline = "", 0 },
 			func(c *Spec) { c.Seed = 0 },
+			// Cluster simplifications: the canonical design and topology
+			// first, then the single-node version of the same collective.
+			func(c *Spec) {
+				if c.Nodes > 0 {
+					c.Design = string(cluster.DesignLeader)
+				}
+			},
+			func(c *Spec) {
+				if c.Nodes > 0 {
+					c.Topo = "fattree"
+				}
+			},
+			func(c *Spec) {
+				if c.Nodes > 0 {
+					c.Nodes, c.Topo, c.Design = 0, "", ""
+					if c.Root >= c.Procs {
+						c.Root = 0
+					}
+				}
+			},
 		} {
 			cand := sp
 			mutate(&cand)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"camc/internal/core"
 	"camc/internal/trace"
 )
 
@@ -33,6 +34,9 @@ func Invariants() []Invariant {
 		{"gamma-sanity", "every sampled contention factor has 1 <= c <= procs and gamma >= 1, and the in-flight counter steps by exactly +-1 staying in [0, procs]", checkGammaSanity},
 		{"fault-conservation", "every injected transient is accounted for: Transients == Retries + Fallbacks, and all counters are non-negative", checkFaultConservation},
 		{"model-conformance", "for fault-free, skew-free runs of algorithms with closed forms, the simulated latency stays within the model envelope", checkModelConformance},
+		{"net-span-nesting", "on cluster runs, every net_send/net_recv span nests inside an enclosing collective span on its lane", checkNetSpanNesting},
+		{"link-accounting", "on cluster runs, every link conserves flow (injected == delivered) and never delivers faster than its line rate over its activity window", checkLinkAccounting},
+		{"leader-phase-order", "on leader-design gathering kinds, a leader's intra-node phase completes before its first network send", checkLeaderPhaseOrder},
 	}
 }
 
@@ -271,6 +275,116 @@ func checkFaultConservation(r *RunResult) []Violation {
 	}
 	if s.Kills > 0 && !r.Killed {
 		bad("%d kills recorded by a plan without the kill class", s.Kills)
+	}
+	return out
+}
+
+// checkNetSpanNesting: fabric activity only ever happens on behalf of a
+// cluster collective, so on a cluster run every CatNet span must start
+// inside an open CatColl span on the same lane (the "hcoll:*" wrapper
+// or one of its phase spans).
+func checkNetSpanNesting(r *RunResult) []Violation {
+	if r.Spec.Nodes == 0 {
+		return nil
+	}
+	var out []Violation
+	type window struct{ start, end float64 }
+	collOpen := map[int][]window{}
+	for _, e := range r.Rec.Events() {
+		if e.Kind == trace.KindSpan && e.Cat == trace.CatColl && e.End >= e.Start {
+			collOpen[e.Lane] = append(collOpen[e.Lane], window{e.Start, e.End})
+		}
+	}
+	for _, e := range r.Rec.Events() {
+		if e.Kind != trace.KindSpan || e.Cat != trace.CatNet {
+			continue
+		}
+		inside := false
+		for _, w := range collOpen[e.Lane] {
+			if w.start <= e.Start && e.End <= w.end {
+				inside = true
+				break
+			}
+		}
+		if !inside {
+			out = append(out, Violation{"net-span-nesting",
+				fmt.Sprintf("lane %d: %s [%.4f, %.4f] outside any collective span", e.Lane, e.Name, e.Start, e.End)})
+		}
+	}
+	return out
+}
+
+// checkLinkAccounting: the fabric's per-link counters must conserve
+// flow, and because GammaNet(c) >= c a link's aggregate delivery can
+// never beat its line rate — delivered bytes times the per-byte time
+// must fit the link's activity window, with slack for the chunks in
+// flight at the window edges.
+func checkLinkAccounting(r *RunResult) []Violation {
+	if r.Spec.Nodes == 0 {
+		return nil
+	}
+	var out []Violation
+	chunkTime := float64(r.NetChunk) * r.NetBeta
+	for _, ls := range r.Links {
+		if ls.Injected != ls.Delivered {
+			out = append(out, Violation{"link-accounting",
+				fmt.Sprintf("link %s: injected %d bytes != delivered %d", ls.Name, ls.Injected, ls.Delivered)})
+		}
+		window := ls.Last - ls.First
+		if need := float64(ls.Delivered) * r.NetBeta; need > window+float64(ls.MaxActive)*chunkTime+1e-6 {
+			out = append(out, Violation{"link-accounting",
+				fmt.Sprintf("link %s: %d bytes need %.2fus of line rate but the activity window is %.2fus (max %d flows)",
+					ls.Name, ls.Delivered, need, window, ls.MaxActive)})
+		}
+	}
+	return out
+}
+
+// leaderGatheringKinds are the leader-design kinds whose on-node phase
+// runs strictly before the leaders' network exchange.
+var leaderGatheringKinds = map[core.Kind]bool{
+	core.KindGather: true, core.KindReduce: true,
+	core.KindAllgather: true, core.KindAlltoall: true,
+}
+
+// checkLeaderPhaseOrder: in a leader design of a gathering kind, a
+// leader cannot ship its node's contribution before the intra-node
+// phase has produced it — on every lane with network sends, the first
+// h_intra span must end at or before the first net_send starts.
+func checkLeaderPhaseOrder(r *RunResult) []Violation {
+	if r.Spec.Nodes == 0 || r.Spec.Design != "leader" || !leaderGatheringKinds[r.Spec.Kind] {
+		return nil
+	}
+	var out []Violation
+	firstIntraEnd := map[int]float64{}
+	for _, e := range r.Rec.Events() {
+		if e.Kind == trace.KindSpan && e.Name == "h_intra" && e.End >= e.Start {
+			if _, ok := firstIntraEnd[e.Lane]; !ok {
+				firstIntraEnd[e.Lane] = e.End
+			}
+		}
+	}
+	reported := map[int]bool{}
+	firstSend := map[int]float64{}
+	for _, e := range r.Rec.Events() {
+		if e.Kind != trace.KindSpan || e.Name != "net_send" {
+			continue
+		}
+		if _, ok := firstSend[e.Lane]; ok {
+			continue
+		}
+		firstSend[e.Lane] = e.Start
+		end, ok := firstIntraEnd[e.Lane]
+		if !ok {
+			out = append(out, Violation{"leader-phase-order",
+				fmt.Sprintf("lane %d: net_send at %.4f with no intra-node phase on the lane", e.Lane, e.Start)})
+			continue
+		}
+		if e.Start < end && !reported[e.Lane] {
+			reported[e.Lane] = true
+			out = append(out, Violation{"leader-phase-order",
+				fmt.Sprintf("lane %d: net_send at %.4f before the intra phase ends at %.4f", e.Lane, e.Start, end)})
+		}
 	}
 	return out
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"camc/internal/arch"
+	"camc/internal/cluster"
 	"camc/internal/core"
 	"camc/internal/fault"
 	"camc/internal/kernel"
@@ -36,6 +37,13 @@ type RunResult struct {
 	// measure.CollectiveRecovered); its payload verification already
 	// happened inside the harness.
 	Recovery *measure.RecoveryResult
+
+	// Links, NetBeta and NetChunk are set on cluster runs (Spec.Nodes >
+	// 0): the fabric's per-link accounting plus the per-byte time and
+	// chunk size the link invariants need to bound utilization.
+	Links    []cluster.LinkStat
+	NetBeta  float64
+	NetChunk int64
 }
 
 // RunOne executes one spec with real data movement and full tracing,
@@ -53,11 +61,93 @@ func RunOne(sp Spec) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if sp.Nodes > 0 {
+		return runCluster(sp, prof)
+	}
 	fcfg := sp.faultConfig()
 	if fcfg != nil && fcfg.KillProb > 0 {
 		return runRecovered(sp, prof, fcfg)
 	}
 	return runDifferential(sp, prof, fcfg)
+}
+
+// runCluster is the multi-node oracle path: the spec's collective runs
+// on a simulated fabric with materialized payload, every world rank's
+// receive buffer is compared against the sequential reference executor
+// at world size, and the invariant registry — including the
+// network-specific invariants — is evaluated over the traced run.
+func runCluster(sp Spec, prof *arch.Profile) (*RunResult, error) {
+	world := sp.Nodes * sp.Procs
+	sendLen, recvLen, err := BufSizes(sp.Kind, world, sp.Count)
+	if err != nil {
+		return nil, err
+	}
+	cl := cluster.New(cluster.Config{
+		Arch: prof, NumNodes: sp.Nodes, PPN: sp.Procs,
+		Topo: sp.Topo, CopyData: true,
+	})
+	coll, err := cluster.Lookup(cl, sp.Kind, cluster.Design(sp.Design), sp.Algo)
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.NewUnbound()
+	cl.AttachTrace(rec)
+
+	rng := rand.New(rand.NewSource(sp.Seed))
+	send := make([]kernel.Addr, world)
+	recv := make([]kernel.Addr, world)
+	seed := make([]byte, sendLen)
+	snap := make([][]byte, world)
+	for w := 0; w < world; w++ {
+		p := cl.WorldRank(w).OS
+		send[w] = p.Alloc(sendLen)
+		recv[w] = p.Alloc(recvLen)
+		rng.Read(seed)
+		p.WriteAt(send[w], seed)
+		snap[w] = append([]byte(nil), seed...)
+		p.FillAt(recv[w], recvLen, 0xEE)
+	}
+
+	res := &RunResult{Spec: sp, Rec: rec, Procs: world}
+	done, err := cl.Run(func(r *cluster.Rank) {
+		coll.Run(r, cluster.Args{Send: send[r.World], Recv: recv[r.World], Count: sp.Count, Root: sp.Root})
+	})
+	if err != nil {
+		return res, fmt.Errorf("check: %s: simulation failed: %v", sp, err)
+	}
+	res.Latency = done
+	res.Events = cl.Sim.EventsProcessed()
+	res.Links = cl.Fabric.LinkStats()
+	res.NetBeta = cl.Fabric.Beta
+	res.NetChunk = cl.Fabric.ChunkBytes
+
+	exp, err := Reference(sp.Kind, world, sp.Count, sp.Root, snap)
+	if err != nil {
+		return res, err
+	}
+	var diffs []string
+	for w := 0; w < world; w++ {
+		got := cl.WorldRank(w).OS.Bytes(recv[w], recvLen)
+		if d := DiffPayload(w, got, exp[w]); d != "" {
+			diffs = append(diffs, d)
+		}
+	}
+	if len(diffs) > 0 {
+		return res, fmt.Errorf("check: %s: differential mismatch vs reference executor: %s", sp, strings.Join(diffs, "; "))
+	}
+	for w := 0; w < world; w++ {
+		got := cl.WorldRank(w).OS.Bytes(send[w], sendLen)
+		for i := range got {
+			if got[i] != snap[w][i] {
+				return res, fmt.Errorf("check: %s: rank %d send buffer mutated at offset %d", sp, w, i)
+			}
+		}
+	}
+	err = violationsErr(res)
+	if err == nil {
+		cluster.Release(cl)
+	}
+	return res, err
 }
 
 // runDifferential is the oracle path: seeded payloads in, algorithm

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"camc/internal/arch"
+	"camc/internal/cluster"
 	"camc/internal/core"
 	"camc/internal/fault"
 )
@@ -45,6 +46,19 @@ type Spec struct {
 	// Deadline is the liveness detector deadline in simulated us used
 	// by the recovery path; 0 picks liveness.Defaults().
 	Deadline float64
+
+	// Nodes > 0 selects the multi-node fabric path: Procs becomes the
+	// per-node rank count (PPN), Root a world rank, and the run executes
+	// a cluster collective instead of a single-node one. Fault plans,
+	// skew and deadlines are single-node machinery and are rejected on
+	// cluster specs.
+	Nodes int
+	// Topo is the fabric topology name (cluster.TopoNames); only valid
+	// with Nodes > 0, where "" defaults to fattree at parse time.
+	Topo string
+	// Design is the cluster collective design (cluster.Designs); only
+	// valid with Nodes > 0, where "" defaults to leader at parse time.
+	Design string
 }
 
 // String renders the spec as the canonical one-line reproducer.
@@ -60,6 +74,9 @@ func (s Spec) String() string {
 	}
 	if s.Deadline != 0 {
 		fmt.Fprintf(&b, " deadline=%s", strconv.FormatFloat(s.Deadline, 'g', -1, 64))
+	}
+	if s.Nodes > 0 {
+		fmt.Fprintf(&b, " nodes=%d topo=%s design=%s", s.Nodes, s.Topo, s.Design)
 	}
 	return b.String()
 }
@@ -102,11 +119,25 @@ func ParseSpec(line string) (Spec, error) {
 			sp.Faults = val
 		case "deadline":
 			sp.Deadline, err = strconv.ParseFloat(val, 64)
+		case "nodes":
+			sp.Nodes, err = strconv.Atoi(val)
+		case "topo":
+			sp.Topo = val
+		case "design":
+			sp.Design = val
 		default:
 			return Spec{}, fmt.Errorf("check: unknown key %q", key)
 		}
 		if err != nil {
 			return Spec{}, fmt.Errorf("check: bad %s value %q: %v", key, val, err)
+		}
+	}
+	if sp.Nodes > 0 {
+		if sp.Topo == "" {
+			sp.Topo = "fattree"
+		}
+		if sp.Design == "" {
+			sp.Design = string(cluster.DesignLeader)
 		}
 	}
 	if err := sp.Validate(); err != nil {
@@ -134,7 +165,9 @@ func parseSize(s string) (int64, error) {
 
 // Validate checks cross-field consistency: the arch exists, the algo
 // resolves for the kind, the root is in range, and any fault spec
-// parses.
+// parses. A cluster spec (nodes > 0) additionally needs a known
+// topology and design, a world-rank root, and no single-node-only
+// machinery (faults, skew, deadline).
 func (s Spec) Validate() error {
 	if _, err := arch.ByName(s.Arch); err != nil {
 		return fmt.Errorf("check: %v", err)
@@ -145,8 +178,17 @@ func (s Spec) Validate() error {
 	if s.Procs < 2 {
 		return fmt.Errorf("check: procs %d < 2", s.Procs)
 	}
-	if s.Root < 0 || s.Root >= s.Procs {
-		return fmt.Errorf("check: root %d out of range [0, %d)", s.Root, s.Procs)
+	if s.Nodes > 0 {
+		if err := s.validateCluster(); err != nil {
+			return err
+		}
+	} else {
+		if s.Topo != "" || s.Design != "" {
+			return fmt.Errorf("check: topo/design need nodes>0")
+		}
+		if s.Root < 0 || s.Root >= s.Procs {
+			return fmt.Errorf("check: root %d out of range [0, %d)", s.Root, s.Procs)
+		}
 	}
 	if s.Skew < 0 {
 		return fmt.Errorf("check: negative skew %v", s.Skew)
@@ -161,6 +203,32 @@ func (s Spec) Validate() error {
 		if _, err := fault.Parse(s.Faults); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// validateCluster checks the cluster-only fields of a nodes>0 spec.
+func (s Spec) validateCluster() error {
+	if s.Nodes < 2 {
+		return fmt.Errorf("check: nodes %d < 2 (a cluster spec needs the fabric)", s.Nodes)
+	}
+	if _, err := cluster.TopoByName(s.Topo, s.Nodes, 16); err != nil {
+		return err
+	}
+	known := false
+	for _, d := range cluster.Designs() {
+		if string(d) == s.Design {
+			known = true
+		}
+	}
+	if !known {
+		return fmt.Errorf("check: unknown design %q (want one of %v)", s.Design, cluster.Designs())
+	}
+	if world := s.Nodes * s.Procs; s.Root < 0 || s.Root >= world {
+		return fmt.Errorf("check: root %d out of world range [0, %d)", s.Root, world)
+	}
+	if s.Faults != "" || s.Skew != 0 || s.Deadline != 0 {
+		return fmt.Errorf("check: faults/skew/deadline are single-node machinery, invalid with nodes>0")
 	}
 	return nil
 }

@@ -1,109 +1,71 @@
 // Package cluster extends the single-node simulation to multi-node jobs
-// (Fig 17 of the paper): several simulated nodes joined by an
-// InfiniBand/Omni-Path-class network model, with flat (single-level) and
-// hierarchical (two-level) rooted collectives built on top.
+// (Fig 17 of the paper and the ROADMAP's network tier): several
+// simulated nodes joined by a switched network fabric, with flat
+// (single-level), leader-based two-level, and MPI+MPI-style
+// shared-leader collectives for all six kinds built on top.
 //
-// The network model is intentionally simple — per-message latency plus
-// serialization at the receiving NIC — because the experiment it serves
-// only needs the intra-/inter-node cost split: the paper's point is that
-// fast contention-aware intra-node gathers make two-level designs win,
-// and win *more* as the node count grows.
+// The fabric models what the old flat latency+bandwidth Network could
+// not: per-link α/β behind a pluggable topology (two-tier fat tree,
+// dragonfly-lite), and a switch-contention term GammaNet(c) — the
+// network analogue of the paper's mm-lock γ(c) — that inflates a flow's
+// per-byte cost with the number of flows concurrently crossing the same
+// link. The paper's point survives the richer model: fast
+// contention-aware intra-node collectives make two-level designs win,
+// and win more as the node count grows, because the leader phase moves
+// O(nodes) network messages where a flat design moves O(world).
 package cluster
 
 import (
 	"fmt"
 
 	"camc/internal/arch"
-	"camc/internal/core"
 	"camc/internal/kernel"
 	"camc/internal/mpi"
 	"camc/internal/sim"
+	"camc/internal/trace"
 )
 
-// Network models the interconnect: one full-duplex NIC per node.
-type Network struct {
-	Latency float64 // one-way latency, us
-	BWBps   float64 // link bandwidth, bytes/second
-	// PerMsg is the receiver-side cost to progress one inter-node
-	// message: the rendezvous round trip plus matching/completion
-	// processing. It is what makes a flat gather scale with the *total*
-	// process count while the two-level design scales with the node
-	// count — the Fig 17 effect.
-	PerMsg float64
-
-	sim    *sim.Simulation
-	queues map[[2]int]*sim.Chan[netMsg] // (fromNode, toNode)
-	// nicBusy serializes each node's send and receive sides.
-	sendBusy []*sim.Mutex
-	recvBusy []*sim.Mutex
-}
-
-type netMsg struct {
-	size    int64
-	readyAt float64
-}
-
-func (n *Network) beta() float64 { return 1e6 / n.BWBps }
-
-func (n *Network) queue(from, to int) *sim.Chan[netMsg] {
-	q, ok := n.queues[[2]int{from, to}]
-	if !ok {
-		q = sim.NewChan[netMsg](n.sim, 1<<20)
-		n.queues[[2]int{from, to}] = q
-	}
-	return q
-}
-
-// send injects a message; the sender is busy for the injection time.
-func (n *Network) send(sp *sim.Proc, from, to int, size int64) {
-	n.sendBusy[from].Lock(sp)
-	inject := float64(size) * n.beta()
-	sp.Sleep(inject)
-	n.sendBusy[from].Unlock()
-	n.queue(from, to).Send(sp, netMsg{size: size, readyAt: sp.Now() + n.Latency})
-}
-
-// recv drains one message from the (from -> to) flow; the receiving NIC
-// serializes concurrent arrivals.
-func (n *Network) recv(sp *sim.Proc, from, to int, size int64) {
-	m := n.queue(from, to).Recv(sp)
-	if m.size != size {
-		panic(fmt.Sprintf("cluster: size mismatch on %d->%d: got %d want %d", from, to, m.size, size))
-	}
-	if m.readyAt > sp.Now() {
-		sp.Sleep(m.readyAt - sp.Now())
-	}
-	n.recvBusy[to].Lock(sp)
-	sp.Sleep(n.PerMsg + float64(size)*n.beta())
-	n.recvBusy[to].Unlock()
-}
-
 // Cluster is a multi-node job: NumNodes simulated nodes of the same
-// architecture, PPN ranks each, sharing one virtual clock.
+// architecture, PPN ranks each, sharing one virtual clock and one
+// network fabric.
 type Cluster struct {
-	Sim   *sim.Simulation
-	Arch  *arch.Profile
-	Net   *Network
-	Nodes []*mpi.Comm
+	Sim    *sim.Simulation
+	Arch   *arch.Profile
+	Fabric *Fabric
+	Nodes  []*mpi.Comm
 
 	NumNodes int
 	PPN      int
+	CopyData bool
+
+	key   fabKey
+	clean bool // last Run finished without error; required for Release
 }
 
 // Config describes a multi-node job.
 type Config struct {
-	Arch       *arch.Profile
-	NumNodes   int
-	PPN        int     // ranks per node; 0 = architecture default
-	NetLatency float64 // us; 0 = 1.5 (EDR/Omni-Path class)
-	NetBWBps   float64 // 0 = 12.5 GB/s (100 Gbit)
-	NetPerMsg  float64 // us; 0 = 2·latency + 1 (rendezvous RTT + matching)
+	Arch        *arch.Profile
+	NumNodes    int
+	PPN         int     // ranks per node; 0 = architecture default
+	Topo        string  // topology name (TopoNames); "" = fattree
+	SwitchRadix int     // nodes per leaf/group switch; 0 = 16
+	NetLatency  float64 // us one-way base latency; 0 = 1.5 (EDR/Omni-Path class)
+	NetBWBps    float64 // link bandwidth; 0 = 12.5 GB/s (100 Gbit)
+	NetPerMsg   float64 // us; 0 = 2·latency + 1 (rendezvous RTT + matching)
+	GNet        float64 // switch-contention coefficient; 0 = 0.05 (set < 0 for fair sharing γ=c)
+	ChunkBytes  int64   // per-chunk contention resample granularity; 0 = 256 KiB
+	CopyData    bool    // move real payload bytes (the check oracle needs this)
 }
 
-// New builds the cluster. Runs are cost-only (dataless).
-func New(cfg Config) *Cluster {
+func (cfg Config) withDefaults() Config {
 	if cfg.PPN == 0 {
 		cfg.PPN = cfg.Arch.DefaultProcs
+	}
+	if cfg.Topo == "" {
+		cfg.Topo = "fattree"
+	}
+	if cfg.SwitchRadix == 0 {
+		cfg.SwitchRadix = 16
 	}
 	if cfg.NetLatency == 0 {
 		cfg.NetLatency = 1.5
@@ -114,27 +76,106 @@ func New(cfg Config) *Cluster {
 	if cfg.NetPerMsg == 0 {
 		cfg.NetPerMsg = 2*cfg.NetLatency + 1
 	}
-	s := sim.New()
-	cl := &Cluster{Sim: s, Arch: cfg.Arch, NumNodes: cfg.NumNodes, PPN: cfg.PPN}
-	cl.Net = &Network{
-		Latency: cfg.NetLatency,
-		BWBps:   cfg.NetBWBps,
-		PerMsg:  cfg.NetPerMsg,
-		sim:     s,
-		queues:  map[[2]int]*sim.Chan[netMsg]{},
+	if cfg.GNet == 0 {
+		cfg.GNet = 0.05
+	} else if cfg.GNet < 0 {
+		cfg.GNet = 0
+	}
+	if cfg.ChunkBytes == 0 {
+		cfg.ChunkBytes = defaultChunkBytes
+	}
+	return cfg
+}
+
+// New builds the cluster. The simulation and fabric come from a pool
+// keyed by the fabric shape (see Release), so repeated same-shape runs
+// reuse queue storage instead of re-allocating it.
+func New(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	key := fabKey{
+		topo: cfg.Topo, nodes: cfg.NumNodes, radix: cfg.SwitchRadix,
+		alpha: cfg.NetLatency / 2, beta: 1e6 / cfg.NetBWBps,
+		perMsg: cfg.NetPerMsg, gnet: cfg.GNet, chunk: cfg.ChunkBytes,
+		copyData: cfg.CopyData,
+	}
+	var s *sim.Simulation
+	var fab *Fabric
+	if e, ok := fabricPoolGet(key); ok {
+		s, fab = e.sim, e.fab
+	} else {
+		s = sim.New()
+		topo, err := TopoByName(cfg.Topo, cfg.NumNodes, cfg.SwitchRadix)
+		if err != nil {
+			panic(err)
+		}
+		fab = newFabric(s, topo, cfg.NumNodes, key.alpha, key.beta, key.perMsg, key.gnet, key.chunk, cfg.CopyData)
+	}
+	cl := &Cluster{
+		Sim: s, Arch: cfg.Arch, Fabric: fab,
+		NumNodes: cfg.NumNodes, PPN: cfg.PPN, CopyData: cfg.CopyData, key: key,
 	}
 	for i := 0; i < cfg.NumNodes; i++ {
-		cl.Net.sendBusy = append(cl.Net.sendBusy, sim.NewMutex(s))
-		cl.Net.recvBusy = append(cl.Net.recvBusy, sim.NewMutex(s))
 		node := kernel.NewNode(s, cfg.Arch)
-		node.CopyData = false
+		node.CopyData = cfg.CopyData
+		// Distinct pid ranges per node keep kernel trace events on
+		// distinct lanes when all nodes share one recorder.
+		node.PidBase = i << 20
 		cl.Nodes = append(cl.Nodes, mpi.NewOnNode(node, cfg.PPN, 1<<32))
 	}
 	return cl
 }
 
+// Release returns the cluster's simulation and fabric to the pool for
+// reuse by a later same-shape New. Only a cluster whose Run completed
+// cleanly is poolable (Simulation.Reset requires zero live procs);
+// anything else is simply dropped.
+func Release(cl *Cluster) {
+	if cl == nil || !cl.clean {
+		return
+	}
+	cl.clean = false
+	cl.Fabric.reset()
+	cl.Fabric.rec = nil
+	cl.Sim.Reset()
+	fabricPoolPut(cl.key, pooled{sim: cl.Sim, fab: cl.Fabric})
+}
+
 // WorldSize returns the total rank count.
 func (cl *Cluster) WorldSize() int { return cl.NumNodes * cl.PPN }
+
+// NodeOf maps a world rank to its node id.
+func (cl *Cluster) NodeOf(world int) int { return world / cl.PPN }
+
+// LocalOf maps a world rank to its node-local rank id.
+func (cl *Cluster) LocalOf(world int) int { return world % cl.PPN }
+
+// WorldRank returns the world-rank handle for (node, local); valid
+// inside and outside Run (the mpi.Rank's SP is only set inside).
+func (cl *Cluster) WorldRank(w int) *Rank {
+	n := cl.NodeOf(w)
+	return &Rank{Rank: cl.Nodes[n].Rank(cl.LocalOf(w)), Node: n, World: w, cluster: cl}
+}
+
+// AttachTrace attaches one structured recorder to every node and
+// registers one lane per world rank, keyed by the rank's (node-offset)
+// pid, so intra-node kernel/shm/mpi events and network fabric events
+// land on the same per-world-rank lanes. Attach before Run.
+func (cl *Cluster) AttachTrace(rec *trace.Recorder) {
+	if rec == nil {
+		return
+	}
+	for n, comm := range cl.Nodes {
+		comm.Node.SetRecorder(rec)
+		lanes := make([]int, cl.PPN)
+		for l := 0; l < cl.PPN; l++ {
+			w := n*cl.PPN + l
+			rec.RegisterLane(w, fmt.Sprintf("w%d (n%d.r%d)", w, n, l), comm.Rank(l).OS.PID())
+			lanes[l] = w
+		}
+		comm.Shm.SetLanes(lanes)
+	}
+	cl.Fabric.rec = rec
+}
 
 // Rank is a world-rank handle: the node-local MPI rank plus its node id.
 type Rank struct {
@@ -142,19 +183,41 @@ type Rank struct {
 	Node    int
 	World   int
 	cluster *Cluster
+
+	routeBuf [maxRouteHops]LinkID
 }
 
-// NetSend transmits size bytes to world rank dst over the network (dst
-// must be on another node).
-func (r *Rank) NetSend(dstWorld int, size int64) {
-	dstNode := dstWorld / r.cluster.PPN
-	r.cluster.Net.send(r.SP, r.Node, dstNode, size)
+// Cluster returns the cluster this rank belongs to.
+func (r *Rank) Cluster() *Cluster { return r.cluster }
+
+// NetSend transmits size bytes starting at addr to world rank dst on
+// another node. On materialized runs the payload travels with the
+// message; dataless runs move cost only.
+func (r *Rank) NetSend(dstWorld int, addr kernel.Addr, size int64) {
+	cl := r.cluster
+	dstNode := cl.NodeOf(dstWorld)
+	if dstNode == r.Node {
+		panic(fmt.Sprintf("cluster: NetSend to same-node rank %d from %d", dstWorld, r.World))
+	}
+	var data []byte
+	if cl.CopyData && size > 0 {
+		data = append([]byte(nil), r.OS.Bytes(addr, size)...)
+	}
+	cl.Fabric.send(r.SP, r.Lane(), r.World, dstWorld, r.Node, dstNode, size, data, r.routeBuf[:])
 }
 
-// NetRecv receives size bytes from world rank src on another node.
-func (r *Rank) NetRecv(srcWorld int, size int64) {
-	srcNode := srcWorld / r.cluster.PPN
-	r.cluster.Net.recv(r.SP, srcNode, r.Node, size)
+// NetRecv receives size bytes from world rank src on another node into
+// addr.
+func (r *Rank) NetRecv(srcWorld int, addr kernel.Addr, size int64) {
+	cl := r.cluster
+	srcNode := cl.NodeOf(srcWorld)
+	if srcNode == r.Node {
+		panic(fmt.Sprintf("cluster: NetRecv from same-node rank %d at %d", srcWorld, r.World))
+	}
+	data := cl.Fabric.recv(r.SP, r.Lane(), srcWorld, srcWorld, r.World, r.Node, size)
+	if cl.CopyData && data != nil {
+		r.OS.WriteAt(addr, data)
+	}
 }
 
 // Run spawns body on every world rank and runs the simulation to
@@ -170,245 +233,6 @@ func (cl *Cluster) Run(body func(r *Rank)) (float64, error) {
 	if err := cl.Sim.Run(); err != nil {
 		return 0, err
 	}
+	cl.clean = true
 	return cl.Sim.Now(), nil
-}
-
-// GatherTwoLevel is the paper's hierarchical gather (§VII-G): local rank
-// 0 on each node gathers its node's blocks with the contention-aware
-// intra-node design, then the node leaders feed the root over the
-// network. eta is the per-rank message size; the root is world rank 0.
-// intra selects the intra-node gather algorithm.
-func GatherTwoLevel(intra func(*mpi.Rank, core.Args)) func(r *Rank, eta int64) {
-	return func(r *Rank, eta int64) {
-		cl := r.cluster
-		ppn := int64(cl.PPN)
-		send := r.Alloc(eta)
-		stage := r.Alloc(ppn * eta) // leaders gather their node here
-		// Level 1: intra-node gather to local rank 0.
-		intra(r.Rank, core.Args{Send: send, Recv: stage, Count: eta, Root: 0})
-		// Level 2: leaders send their node block to the global root.
-		nodeBytes := ppn * eta
-		if r.ID == 0 {
-			if r.Node == 0 {
-				for n := 1; n < cl.NumNodes; n++ {
-					r.NetRecv(n*cl.PPN, nodeBytes)
-				}
-			} else {
-				r.NetSend(0, nodeBytes)
-			}
-		}
-	}
-}
-
-// GatherFlat is the single-level design modern libraries use for large
-// messages: a direct (root-receives-everything) gather where every rank
-// ships its block straight to the root — intra-node ranks through the
-// library's point-to-point path, remote ranks over the network.
-// transport selects the intra-node path.
-func GatherFlat(tr core.Transport) func(r *Rank, eta int64) {
-	return func(r *Rank, eta int64) {
-		cl := r.cluster
-		send := r.Alloc(eta)
-		if r.World == 0 {
-			recv := r.Alloc(int64(cl.WorldSize()) * eta)
-			// Serve intra-node senders in rank order, then remote ranks
-			// in world-rank order (the root is the serial bottleneck —
-			// the behaviour Fig 17 shows growing with node count).
-			for lr := 1; lr < cl.PPN; lr++ {
-				if tr == core.TransportShm {
-					r.RecvShm(lr, recv+kernel.Addr(int64(lr)*eta), eta)
-				} else {
-					r.Recv(lr, recv+kernel.Addr(int64(lr)*eta), eta)
-				}
-			}
-			for w := cl.PPN; w < cl.WorldSize(); w++ {
-				r.NetRecv(w, eta)
-			}
-			return
-		}
-		if r.Node == 0 {
-			if tr == core.TransportShm {
-				r.SendShm(0, send, eta)
-			} else {
-				r.Send(0, send, eta)
-			}
-			return
-		}
-		r.NetSend(0, eta)
-	}
-}
-
-// GatherTwoLevelPipelined is the paper's §IX "more advanced design": the
-// per-rank message is split into segments, and each node leader forwards
-// segment s over the network while the node gathers segment s+1 — the
-// inter- and intra-node transfers overlap. Segments must divide eta
-// reasonably; the last segment takes the remainder.
-func GatherTwoLevelPipelined(intra func(*mpi.Rank, core.Args), segments int) func(r *Rank, eta int64) {
-	if segments < 1 {
-		panic("cluster: segments must be >= 1")
-	}
-	return func(r *Rank, eta int64) {
-		cl := r.cluster
-		ppn := int64(cl.PPN)
-		segSize := (eta + int64(segments) - 1) / int64(segments)
-		send := r.Alloc(eta)
-		stage := r.Alloc(ppn * eta)
-		for s := 0; s < segments; s++ {
-			off := int64(s) * segSize
-			if off >= eta {
-				break
-			}
-			n := segSize
-			if eta-off < n {
-				n = eta - off
-			}
-			// Intra-node gather of this segment (the stage layout is
-			// segment-major; a real implementation would address rank-
-			// major slots with a strided datatype at identical cost).
-			intra(r.Rank, core.Args{
-				Send:  send + kernel.Addr(off),
-				Recv:  stage + kernel.Addr(off*ppn),
-				Count: n,
-				Root:  0,
-			})
-			// Ship this node segment while the next segment gathers.
-			nodeBytes := ppn * n
-			if r.ID == 0 {
-				if r.Node == 0 {
-					for nd := 1; nd < cl.NumNodes; nd++ {
-						r.NetRecv(nd*cl.PPN, nodeBytes)
-					}
-				} else {
-					r.NetSend(0, nodeBytes)
-				}
-			}
-		}
-	}
-}
-
-// ScatterFlat is the single-level scatter comparator: the root pushes
-// each world rank's block directly — local ranks through the intra-node
-// point-to-point path, remote ranks over the network (the root-bound
-// design large-message scatters default to in stock libraries).
-func ScatterFlat(tr core.Transport) func(r *Rank, eta int64) {
-	return func(r *Rank, eta int64) {
-		cl := r.cluster
-		recv := r.Alloc(eta)
-		if r.World == 0 {
-			send := r.Alloc(int64(cl.WorldSize()) * eta)
-			for lr := 1; lr < cl.PPN; lr++ {
-				if tr == core.TransportShm {
-					r.SendShm(lr, send+kernel.Addr(int64(lr)*eta), eta)
-				} else {
-					r.Send(lr, send+kernel.Addr(int64(lr)*eta), eta)
-				}
-			}
-			for w := cl.PPN; w < cl.WorldSize(); w++ {
-				r.NetSend(w, eta)
-			}
-			return
-		}
-		if r.Node == 0 {
-			if tr == core.TransportShm {
-				r.RecvShm(0, recv, eta)
-			} else {
-				r.Recv(0, recv, eta)
-			}
-			return
-		}
-		r.NetRecv(0, eta)
-	}
-}
-
-// BcastTwoLevel is the hierarchical broadcast: the root ships the
-// message to each node leader over the network, then every node runs the
-// tuned intra-node broadcast in parallel.
-func BcastTwoLevel(intra func(*mpi.Rank, core.Args)) func(r *Rank, eta int64) {
-	return func(r *Rank, eta int64) {
-		cl := r.cluster
-		buf := r.Alloc(eta)
-		if r.ID == 0 {
-			if r.Node == 0 {
-				for n := 1; n < cl.NumNodes; n++ {
-					r.NetSend(n*cl.PPN, eta)
-				}
-			} else {
-				r.NetRecv(0, eta)
-			}
-		}
-		// Intra-node phase: local rank 0 is the node root. Send and Recv
-		// are the same buffer here (leaders hold the payload; the roles
-		// inside core's bcast algorithms pick the right one).
-		intra(r.Rank, core.Args{Send: buf, Recv: buf, Count: eta, Root: 0})
-	}
-}
-
-// BcastFlat is the single-level comparator: a binomial tree over world
-// ranks where every edge is either an intra-node point-to-point transfer
-// or a network message.
-func BcastFlat(tr core.Transport) func(r *Rank, eta int64) {
-	return func(r *Rank, eta int64) {
-		cl := r.cluster
-		buf := r.Alloc(eta)
-		world := cl.WorldSize()
-		me := r.World
-		// Binomial over world ranks rooted at 0.
-		if me != 0 {
-			parent := me - me&-me
-			if parent/cl.PPN == r.Node {
-				if tr == core.TransportShm {
-					r.RecvShm(parent%cl.PPN, buf, eta)
-				} else {
-					r.Recv(parent%cl.PPN, buf, eta)
-				}
-			} else {
-				r.NetRecv(parent, eta)
-			}
-		}
-		top := me & -me
-		if me == 0 {
-			top = 1
-			for top < world {
-				top <<= 1
-			}
-		}
-		for mask := top >> 1; mask >= 1; mask >>= 1 {
-			child := me + mask
-			if child >= world {
-				continue
-			}
-			if child/cl.PPN == r.Node {
-				if tr == core.TransportShm {
-					r.SendShm(child%cl.PPN, buf, eta)
-				} else {
-					r.Send(child%cl.PPN, buf, eta)
-				}
-			} else {
-				r.NetSend(child, eta)
-			}
-		}
-	}
-}
-
-// ScatterTwoLevel mirrors GatherTwoLevel for the root-to-all direction.
-func ScatterTwoLevel(intra func(*mpi.Rank, core.Args)) func(r *Rank, eta int64) {
-	return func(r *Rank, eta int64) {
-		cl := r.cluster
-		ppn := int64(cl.PPN)
-		recv := r.Alloc(eta)
-		stage := r.Alloc(ppn * eta)
-		nodeBytes := ppn * eta
-		if r.ID == 0 {
-			if r.Node == 0 {
-				// The root also owns the full world buffer.
-				_ = r.Alloc(int64(cl.WorldSize()) * eta)
-				for n := 1; n < cl.NumNodes; n++ {
-					r.NetSend(n*cl.PPN, nodeBytes)
-				}
-			} else {
-				r.NetRecv(0, nodeBytes)
-			}
-		}
-		intra(r.Rank, core.Args{Send: stage, Recv: recv, Count: eta, Root: 0})
-	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"camc/internal/arch"
 	"camc/internal/core"
+	"camc/internal/kernel"
 )
 
 func knlCluster(nodes, ppn int) *Cluster {
@@ -15,11 +16,12 @@ func TestNetworkTransfer(t *testing.T) {
 	cl := knlCluster(2, 1)
 	done, err := cl.Run(func(r *Rank) {
 		const size = 1 << 20
+		buf := r.Alloc(size)
 		switch r.World {
 		case 0:
-			r.NetSend(1, size)
+			r.NetSend(1, buf, size)
 		case 1:
-			r.NetRecv(0, size)
+			r.NetRecv(0, buf, size)
 		}
 	})
 	if err != nil {
@@ -38,12 +40,13 @@ func TestNetworkReceiverSerializes(t *testing.T) {
 		cl := knlCluster(senders+1, 1)
 		done, err := cl.Run(func(r *Rank) {
 			const size = 4 << 20
+			buf := r.Alloc(size * int64(senders))
 			if r.World == 0 {
 				for s := 1; s <= senders; s++ {
-					r.NetRecv(s, size)
+					r.NetRecv(s, buf+kernel.Addr(int64(s-1)*size), size)
 				}
 			} else {
-				r.NetSend(0, size)
+				r.NetSend(0, buf, size)
 			}
 		})
 		if err != nil {

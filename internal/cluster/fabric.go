@@ -1,0 +1,302 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"camc/internal/sim"
+	"camc/internal/trace"
+)
+
+// Fabric is the simulated interconnect: a topology of directed links,
+// each with per-hop latency Alpha and per-byte time Beta, plus a
+// switch-contention factor GammaNet(c) that inflates a flow's per-byte
+// cost with the number of flows concurrently inside the same link —
+// the network analogue of the paper's mm-lock γ(c). The sender pushes a
+// message through its route link by link in ChunkBytes chunks,
+// resampling the contention factor at every chunk boundary exactly like
+// the kernel's per-chunk γ sampling; the receiver pays the matching and
+// final-drain cost, serialized per node.
+type Fabric struct {
+	Topo   Topology
+	Alpha  float64 // per-link propagation latency, us
+	Beta   float64 // per-byte serialization time at full link rate, us
+	PerMsg float64 // receiver-side matching/completion cost per message, us
+	// GNet is the contention coefficient: GammaNet(c) = c·(1 + GNet·(c−1)).
+	// GNet = 0 models perfectly fair bandwidth sharing (γ = c); any
+	// positive value adds the super-linear arbitration overhead switches
+	// exhibit under incast.
+	GNet       float64
+	ChunkBytes int64
+
+	sim      *sim.Simulation
+	copyData bool
+
+	// queues holds the per-(src world rank, dst world rank) message
+	// channels — flows match like MPI point-to-point, by ordered rank
+	// pair, FIFO within a pair. They are created lazily (even a
+	// 4096-node job touches a tiny fraction of the W² pairs) and
+	// recycled through freeq across runs, so a pooled fabric re-runs
+	// without re-allocating its queue storage.
+	queues map[int64]*sim.Chan[netMsg]
+	freeq  []*sim.Chan[netMsg]
+	// ChanAllocs counts sim.Chan constructions over the fabric's
+	// lifetime; the pooling regression test pins it across reuse.
+	ChanAllocs int
+
+	// sendBusy/recvBusy serialize each node's NIC inject and drain sides.
+	sendBusy []*sim.Mutex
+	recvBusy []*sim.Mutex
+
+	links []linkState
+	rec   *trace.Recorder
+}
+
+// linkState is one directed link's live contention count and
+// conservation/utilization accounting.
+type linkState struct {
+	active    int   // flows inside the link right now
+	maxActive int   // high-water mark of active
+	injected  int64 // bytes that entered the link
+	delivered int64 // bytes that fully traversed it
+	busy      float64
+	first     float64 // start of the link's activity window
+	last      float64 // end of the link's activity window
+	touched   bool
+}
+
+type netMsg struct {
+	src, dst int // world ranks
+	size     int64
+	sentAt   float64
+	data     []byte // materialized payload, nil on dataless runs
+}
+
+// LinkStat is one link's end-of-run accounting, consumed by the flow
+// conservation and utilization checks.
+type LinkStat struct {
+	Link      LinkID
+	Name      string
+	Injected  int64
+	Delivered int64
+	MaxActive int
+	Busy      float64
+	First     float64
+	Last      float64
+}
+
+const defaultChunkBytes = 256 << 10
+
+func newFabric(s *sim.Simulation, topo Topology, nodes int, alpha, beta, perMsg, gnet float64, chunk int64, copyData bool) *Fabric {
+	f := &Fabric{
+		Topo: topo, Alpha: alpha, Beta: beta, PerMsg: perMsg, GNet: gnet,
+		ChunkBytes: chunk, sim: s, copyData: copyData,
+		queues: make(map[int64]*sim.Chan[netMsg]),
+		links:  make([]linkState, topo.NumLinks()),
+	}
+	for i := 0; i < nodes; i++ {
+		f.sendBusy = append(f.sendBusy, sim.NewMutex(s))
+		f.recvBusy = append(f.recvBusy, sim.NewMutex(s))
+	}
+	return f
+}
+
+// GammaNet returns the contention factor for c concurrent flows through
+// one link. It is 1 at c = 1, strictly increasing, and always >= c, so
+// a link's aggregate delivery rate never exceeds its line rate — the
+// property the utilization invariant checks.
+func (f *Fabric) GammaNet(c int) float64 {
+	if c < 1 {
+		panic(fmt.Sprintf("cluster: GammaNet(%d)", c))
+	}
+	return float64(c) * (1 + f.GNet*float64(c-1))
+}
+
+func (f *Fabric) queue(from, to int) *sim.Chan[netMsg] {
+	key := int64(from)<<32 | int64(to)
+	q, ok := f.queues[key]
+	if !ok {
+		if n := len(f.freeq); n > 0 {
+			q = f.freeq[n-1]
+			f.freeq[n-1] = nil
+			f.freeq = f.freeq[:n-1]
+		} else {
+			q = sim.NewChan[netMsg](f.sim, 1<<20)
+			f.ChanAllocs++
+		}
+		f.queues[key] = q
+	}
+	return q
+}
+
+// reset recycles the fabric for another run on the same (reset)
+// simulation: queues return to the free list and link accounting
+// clears. Only drained queues are reusable; an undrained one means the
+// previous run leaked a message, which reset surfaces loudly.
+func (f *Fabric) reset() {
+	for key, q := range f.queues {
+		if q.Len() != 0 {
+			panic(fmt.Sprintf("cluster: fabric reset with %d undrained message(s) on queue %d->%d",
+				q.Len(), key>>32, key&0xffffffff))
+		}
+		f.freeq = append(f.freeq, q)
+		delete(f.queues, key)
+	}
+	for i := range f.links {
+		f.links[i] = linkState{}
+	}
+}
+
+// send pushes a message through the fabric: the sender's NIC serializes
+// concurrent injections and pays the full-message serialization time,
+// then the sender walks the route link by link (cut-through from the
+// sender's perspective), paying per-chunk contention-inflated
+// serialization on each. Concurrent flows into one node therefore
+// genuinely overlap on its down-link, where GammaNet turns incast into
+// the super-linear slowdown the paper measures on the mm-lock. The
+// completed message lands in a buffered queue, so send never blocks on
+// the receiver.
+func (f *Fabric) send(sp *sim.Proc, lane, fromW, toW, fromNode, toNode int, size int64, data []byte, routeBuf []LinkID) {
+	var span trace.SpanID
+	if f.rec.Enabled() {
+		span = f.rec.Begin(lane, trace.CatNet, "net_send",
+			trace.F("dst", float64(toW)), trace.F("bytes", float64(size)))
+	}
+	f.sendBusy[fromNode].Lock(sp)
+	sp.Sleep(float64(size) * f.Beta)
+	f.sendBusy[fromNode].Unlock()
+	for _, l := range f.Topo.Route(fromNode, toNode, routeBuf[:0]) {
+		f.traverse(sp, lane, l, size)
+	}
+	f.queue(fromW, toW).Send(sp, netMsg{src: fromW, dst: toW, size: size, sentAt: sp.Now(), data: data})
+	if f.rec.Enabled() {
+		f.rec.End(span)
+	}
+}
+
+// recv drains one delivered message from the (fromW -> toW) flow: the
+// receiving NIC's matching cost plus the final drain, serialized per
+// receiving node. Returns the payload on materialized runs.
+func (f *Fabric) recv(sp *sim.Proc, lane, fromLane, fromW, toW, toNode int, size int64) []byte {
+	waitStart := sp.Now()
+	m := f.queue(fromW, toW).Recv(sp)
+	if m.size != size {
+		panic(fmt.Sprintf("cluster: size mismatch on %d->%d: got %d want %d", fromW, toW, m.size, size))
+	}
+	var span trace.SpanID
+	if f.rec.Enabled() {
+		span = f.rec.Begin(lane, trace.CatNet, "net_recv",
+			trace.F("src", float64(fromW)), trace.F("bytes", float64(size)))
+	}
+	f.recvBusy[toNode].Lock(sp)
+	sp.Sleep(f.PerMsg + float64(size)*f.Beta)
+	f.recvBusy[toNode].Unlock()
+	if f.rec.Enabled() {
+		f.rec.End(span)
+		f.rec.Edge(fromLane, lane, trace.CatNet, "net_msg", m.sentAt, m.sentAt, waitStart, sp.Now(),
+			trace.F("bytes", float64(size)))
+	}
+	return m.data
+}
+
+// traverse moves size bytes across one link in chunks, resampling the
+// concurrent-flow count — and with it GammaNet — at every chunk
+// boundary, the same idiom the kernel uses for per-chunk mm-lock γ(c).
+func (f *Fabric) traverse(sp *sim.Proc, lane int, l LinkID, size int64) {
+	sp.Sleep(f.Alpha)
+	ls := &f.links[l]
+	now := sp.Now()
+	if !ls.touched {
+		ls.touched = true
+		ls.first = now
+	}
+	first := true
+	for off := int64(0); off < size; off += f.ChunkBytes {
+		n := f.ChunkBytes
+		if size-off < n {
+			n = size - off
+		}
+		ls.active++
+		if ls.active > ls.maxActive {
+			ls.maxActive = ls.active
+		}
+		g := f.GammaNet(ls.active)
+		if first && f.rec.Enabled() {
+			f.rec.Instant(lane, trace.CatNet, "net_link",
+				trace.F("link", float64(l)), trace.F("c", float64(ls.active)), trace.F("gamma", g))
+			first = false
+		}
+		ls.injected += n
+		t := float64(n) * f.Beta * g
+		sp.Sleep(t)
+		ls.active--
+		ls.delivered += n
+		ls.busy += t
+	}
+	if end := sp.Now(); end > ls.last {
+		ls.last = end
+	}
+}
+
+// LinkStats returns the accounting of every link the run touched, in
+// link order.
+func (f *Fabric) LinkStats() []LinkStat {
+	var out []LinkStat
+	for i := range f.links {
+		ls := &f.links[i]
+		if !ls.touched {
+			continue
+		}
+		out = append(out, LinkStat{
+			Link: LinkID(i), Name: f.Topo.LinkName(LinkID(i)),
+			Injected: ls.injected, Delivered: ls.delivered,
+			MaxActive: ls.maxActive, Busy: ls.busy, First: ls.first, Last: ls.last,
+		})
+	}
+	return out
+}
+
+// fabKey identifies a poolable (simulation, fabric) shape.
+type fabKey struct {
+	topo         string
+	nodes, radix int
+	alpha, beta  float64
+	perMsg, gnet float64
+	chunk        int64
+	copyData     bool
+}
+
+// pooled is one recyclable simulation+fabric pair. The two travel
+// together: the fabric's channels and mutexes are bound to their
+// simulation, so neither can be re-homed.
+type pooled struct {
+	sim *sim.Simulation
+	fab *Fabric
+}
+
+var (
+	fabricPoolMu sync.Mutex
+	fabricPool   = map[fabKey][]pooled{}
+)
+
+const fabricPoolCap = 4
+
+func fabricPoolGet(k fabKey) (pooled, bool) {
+	fabricPoolMu.Lock()
+	defer fabricPoolMu.Unlock()
+	entries := fabricPool[k]
+	if len(entries) == 0 {
+		return pooled{}, false
+	}
+	e := entries[len(entries)-1]
+	fabricPool[k] = entries[:len(entries)-1]
+	return e, true
+}
+
+func fabricPoolPut(k fabKey, e pooled) {
+	fabricPoolMu.Lock()
+	defer fabricPoolMu.Unlock()
+	if len(fabricPool[k]) < fabricPoolCap {
+		fabricPool[k] = append(fabricPool[k], e)
+	}
+}

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LinkID indexes one directed link of a topology's fabric.
+type LinkID int32
+
+// Topology maps a (source node, destination node) pair to the ordered
+// sequence of directed links a message traverses. Implementations must
+// be pure: the same pair always yields the same route, and every route
+// between distinct nodes is non-empty.
+type Topology interface {
+	Name() string
+	NumLinks() int
+	// LinkName labels a link for traces and diagnostics.
+	LinkName(l LinkID) string
+	// Route appends the links from src to dst onto buf and returns it.
+	// src == dst yields an empty route. Implementations never allocate
+	// when buf has capacity (routes are at most maxRouteHops long).
+	Route(src, dst int, buf []LinkID) []LinkID
+}
+
+// maxRouteHops bounds the route length of every built-in topology, so
+// callers can keep a fixed-size scratch buffer.
+const maxRouteHops = 4
+
+// FatTree is a two-tier fat tree: nodes hang off leaf (access) switches
+// of Radix ports each, and every leaf owns an uplink/downlink trunk pair
+// into a non-blocking spine. Same-leaf traffic crosses two access links;
+// cross-leaf traffic additionally crosses the two trunk links — which is
+// where inter-leaf flows contend.
+type FatTree struct {
+	Nodes int
+	Radix int // nodes per leaf switch
+}
+
+// Link layout for a FatTree with N nodes and L leaves:
+//
+//	[0, N)        node uplinks   (node -> its leaf switch)
+//	[N, 2N)       node downlinks (leaf switch -> node)
+//	[2N, 2N+L)    trunk uplinks  (leaf -> spine)
+//	[2N+L, 2N+2L) trunk downlinks (spine -> leaf)
+func (t *FatTree) leaves() int { return (t.Nodes + t.Radix - 1) / t.Radix }
+
+func (t *FatTree) Name() string  { return "fattree" }
+func (t *FatTree) NumLinks() int { return 2*t.Nodes + 2*t.leaves() }
+
+func (t *FatTree) LinkName(l LinkID) string {
+	n, lv := t.Nodes, t.leaves()
+	switch i := int(l); {
+	case i < n:
+		return fmt.Sprintf("up/n%d", i)
+	case i < 2*n:
+		return fmt.Sprintf("down/n%d", i-n)
+	case i < 2*n+lv:
+		return fmt.Sprintf("trunk-up/l%d", i-2*n)
+	default:
+		return fmt.Sprintf("trunk-down/l%d", i-2*n-lv)
+	}
+}
+
+func (t *FatTree) Route(src, dst int, buf []LinkID) []LinkID {
+	if src == dst {
+		return buf
+	}
+	sl, dl := src/t.Radix, dst/t.Radix
+	buf = append(buf, LinkID(src)) // uplink out of src
+	if sl != dl {
+		buf = append(buf, LinkID(2*t.Nodes+sl), LinkID(2*t.Nodes+t.leaves()+dl))
+	}
+	return append(buf, LinkID(t.Nodes+dst)) // downlink into dst
+}
+
+// DragonflyLite is a reduced dragonfly: nodes are grouped, each group's
+// router pair is all-to-all connected to every other group by one
+// directed global link per ordered group pair. Intra-group traffic
+// crosses two access links; inter-group traffic additionally crosses the
+// single global link between the two groups — the contention hotspot a
+// dragonfly's adaptive routing exists to spread (this lite model routes
+// minimally, so the hotspot is visible).
+type DragonflyLite struct {
+	Nodes int
+	Group int // nodes per group
+}
+
+// Link layout for a DragonflyLite with N nodes and G groups:
+//
+//	[0, N)          node uplinks
+//	[N, 2N)         node downlinks
+//	[2N, 2N+G*G)    global links, (srcGroup, dstGroup) row-major
+func (t *DragonflyLite) groups() int { return (t.Nodes + t.Group - 1) / t.Group }
+
+func (t *DragonflyLite) Name() string  { return "dragonfly" }
+func (t *DragonflyLite) NumLinks() int { g := t.groups(); return 2*t.Nodes + g*g }
+
+func (t *DragonflyLite) LinkName(l LinkID) string {
+	n, g := t.Nodes, t.groups()
+	switch i := int(l); {
+	case i < n:
+		return fmt.Sprintf("up/n%d", i)
+	case i < 2*n:
+		return fmt.Sprintf("down/n%d", i-n)
+	default:
+		p := i - 2*n
+		return fmt.Sprintf("global/g%d-g%d", p/g, p%g)
+	}
+}
+
+func (t *DragonflyLite) Route(src, dst int, buf []LinkID) []LinkID {
+	if src == dst {
+		return buf
+	}
+	sg, dg := src/t.Group, dst/t.Group
+	buf = append(buf, LinkID(src))
+	if sg != dg {
+		buf = append(buf, LinkID(2*t.Nodes+sg*t.groups()+dg))
+	}
+	return append(buf, LinkID(t.Nodes+dst))
+}
+
+// topoNames lists the registered topology constructors in display order.
+var topoNames = map[string]func(nodes, radix int) Topology{
+	"fattree":   func(nodes, radix int) Topology { return &FatTree{Nodes: nodes, Radix: radix} },
+	"dragonfly": func(nodes, radix int) Topology { return &DragonflyLite{Nodes: nodes, Group: radix} },
+}
+
+// TopoNames returns the recognized topology names, sorted.
+func TopoNames() []string {
+	names := make([]string, 0, len(topoNames))
+	for n := range topoNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TopoByName builds a topology over nodes with the given switch radix
+// (nodes per leaf/group). An empty name selects the fat tree.
+func TopoByName(name string, nodes, radix int) (Topology, error) {
+	if name == "" {
+		name = "fattree"
+	}
+	mk, ok := topoNames[name]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown topology %q (want one of %v)", name, TopoNames())
+	}
+	if nodes < 1 {
+		return nil, fmt.Errorf("cluster: topology needs at least 1 node, got %d", nodes)
+	}
+	if radix < 1 {
+		return nil, fmt.Errorf("cluster: switch radix %d < 1", radix)
+	}
+	return mk(nodes, radix), nil
+}

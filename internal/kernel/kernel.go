@@ -57,6 +57,12 @@ type Node struct {
 	// ChunkPages is the per-chunk page count for contention sampling.
 	ChunkPages int
 
+	// PidBase offsets the pids this node assigns to new processes.
+	// Multi-node clusters share one simulation and one trace recorder;
+	// without distinct bases every node's rank i would get the same pid
+	// and their kernel events would interleave on one trace lane.
+	PidBase int
+
 	// EmergentLock switches the mm-lock model from the calibrated γ(c)
 	// curve to an explicit FIFO mutex held for the lock portion of l per
 	// page. Queueing then produces contention *emergently* — but only
@@ -175,7 +181,7 @@ type Process struct {
 // placed on the socket that block placement assigns to rank
 // len(procs) out of expected total procs. uid 0 is used; see SetUID.
 func (n *Node) NewProcess(memLimit int64) *Process {
-	p := &Process{node: n, pid: 1000 + len(n.procs), memLimit: Addr(memLimit)}
+	p := &Process{node: n, pid: n.PidBase + 1000 + len(n.procs), memLimit: Addr(memLimit)}
 	// The address space is sparse: pages materialize on first touch, so
 	// memLimit is purely a virtual bound — a 64k-rank sweep holds only
 	// the pages its collective actually writes.

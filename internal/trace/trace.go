@@ -43,6 +43,7 @@ const (
 	CatThrottle Cat = "throttle" // throttle-token hand-offs (internal/core)
 	CatFault    Cat = "fault"    // injected faults and degraded-mode reactions (internal/fault)
 	CatLiveness Cat = "liveness" // failure detection, agreement and shrink (internal/liveness)
+	CatNet      Cat = "net"      // network-fabric transfers and link contention (internal/cluster)
 )
 
 // Kind distinguishes the event shapes a Recorder stores.
