@@ -32,6 +32,7 @@ var goldenCases = []struct {
 	{"x8_quick", []string{"-run", "x8", "-quick", "-j", "3"}},
 	{"x9_quick", []string{"-run", "x9", "-quick", "-j", "3"}},
 	{"x11_quick", []string{"-run", "x11", "-quick", "-j", "3"}},
+	{"x12_quick", []string{"-run", "x12", "-quick", "-j", "3"}},
 	{"tab5", []string{"-run", "tab5"}},
 	{"fig5_quick", []string{"-run", "fig5", "-quick"}},
 }
@@ -65,21 +66,25 @@ func TestGolden(t *testing.T) {
 	}
 }
 
-// TestGoldenJobsInvariance reruns the x8 golden sequentially: the same
-// bytes must come out at -j 1 as at -j 3, the user-visible face of the
-// per-cell fault-plan isolation.
+// TestGoldenJobsInvariance reruns the x8 and x12 goldens sequentially:
+// the same bytes must come out at -j 1 as at -j 3 — the user-visible
+// face of per-cell fault-plan isolation (x8) and of the traced
+// re-election cycle being a pure function of each cell's configuration
+// (x12).
 func TestGoldenJobsInvariance(t *testing.T) {
-	var seq, par bytes.Buffer
-	if code := run([]string{"-run", "x8", "-quick", "-j", "1"}, &seq, &par); code != 0 {
-		t.Fatalf("exit %d: %s", code, par.String())
-	}
-	par.Reset()
-	var stderr bytes.Buffer
-	if code := run([]string{"-run", "x8", "-quick", "-j", "3"}, &par, &stderr); code != 0 {
-		t.Fatalf("exit %d: %s", code, stderr.String())
-	}
-	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
-		t.Fatal("x8 output differs between -j 1 and -j 3")
+	for _, exp := range []string{"x8", "x12"} {
+		var seq, par bytes.Buffer
+		if code := run([]string{"-run", exp, "-quick", "-j", "1"}, &seq, &par); code != 0 {
+			t.Fatalf("%s exit %d: %s", exp, code, par.String())
+		}
+		par.Reset()
+		var stderr bytes.Buffer
+		if code := run([]string{"-run", exp, "-quick", "-j", "3"}, &par, &stderr); code != 0 {
+			t.Fatalf("%s exit %d: %s", exp, code, stderr.String())
+		}
+		if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+			t.Fatalf("%s output differs between -j 1 and -j 3", exp)
+		}
 	}
 }
 

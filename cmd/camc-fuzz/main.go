@@ -48,7 +48,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		noFault  = fs.Bool("no-faults", false, "draw only fault-free specs")
 		noKill   = fs.Bool("no-kills", false, "never draw kill plans (skip the recovery harness)")
 		sparse   = fs.Bool("sparse", false, "cross-check every non-kill spec: materialized payload vs checksum-summary mode must agree on latency bits, event counts and page digests")
-		clusterF = fs.Bool("cluster", false, "draw multi-node fabric specs (nodes/topo/design dimensions; fault-free by construction)")
+		clusterF = fs.Bool("cluster", false, "draw multi-node fabric specs (nodes/topo/design dimensions, plus skew, detector deadlines, kernel faults and kill plans)")
 		verbose  = fs.Bool("v", false, "print every spec as it runs")
 		repro    = fs.String("repro", "", "replay one reproducer spec line instead of fuzzing")
 		listInv  = fs.Bool("list-invariants", false, "list the invariant registry and exit")
@@ -146,7 +146,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "-sparse is a single-node cross-check; it cannot be combined with -cluster")
 		return 2
 	}
-	gopts := check.GenOptions{Faults: !*noFault && !*clusterF, Kills: !*noKill && !*noFault && !*clusterF, Cluster: *clusterF}
+	gopts := check.GenOptions{Faults: !*noFault, Kills: !*noKill && !*noFault, Cluster: *clusterF}
 	if *archF != "" {
 		if _, err := arch.ByName(*archF); err != nil {
 			fmt.Fprintf(stderr, "%v (use -arch knl, broadwell, or power8)\n", err)
@@ -239,9 +239,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *clusterF {
 		fmt.Fprintf(stdout, "  cluster corpus: %d multi-node specs (designs: %s; topos: %s)\n",
 			*n, countLineStr(designCount), countLineStr(topoCount))
-	} else {
-		fmt.Fprintf(stdout, "  fault plans: %d (of which kill plans: %d)\n", faulty, killed)
 	}
+	fmt.Fprintf(stdout, "  fault plans: %d (of which kill plans: %d)\n", faulty, killed)
 	if *sparse {
 		fmt.Fprintf(stdout, "  sparse cross-check: %d specs bit-identical (materialized vs checksum-summary)\n", crossChecked)
 	}

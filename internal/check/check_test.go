@@ -511,6 +511,14 @@ func TestClusterSpecRoundTrip(t *testing.T) {
 			Seed: 0, Nodes: 5, Topo: "dragonfly", Design: "shared"},
 		{Arch: "power8", Kind: core.KindBcast, Algo: "direct-read", Count: 64, Procs: 3, Root: 5,
 			Seed: 1, Nodes: 2, Topo: "dragonfly", Design: "flat"},
+		// skew=, deadline= and kernel-level fault plans (including kill
+		// plans) are supported on cluster specs and must round-trip.
+		{Arch: "knl", Kind: core.KindGather, Algo: "throttled:2", Count: 2048, Procs: 3, Root: 4,
+			Seed: 7, Skew: 9.5, Nodes: 3, Topo: "fattree", Design: "leader"},
+		{Arch: "broadwell", Kind: core.KindReduce, Algo: "tuned", Count: 512, Procs: 2, Root: 0,
+			Seed: 5, Faults: "kill=0.4,killop=3,seed=11", Deadline: 2000, Nodes: 4, Topo: "dragonfly", Design: "flat"},
+		{Arch: "power8", Kind: core.KindAllgather, Algo: "ring-pt2pt", Count: 64, Procs: 2, Root: 0,
+			Seed: 2, Faults: "light", Deadline: 5000, Nodes: 2, Topo: "fattree", Design: "shared"},
 	}
 	for _, sp := range specs {
 		got, err := ParseSpec(sp.String())
@@ -540,15 +548,20 @@ func TestClusterSpecErrors(t *testing.T) {
 		base + " nodes=2 root=4",                                  // duplicate root key
 		base + " topo=fattree",                                    // topo without nodes
 		base + " design=leader",                                   // design without nodes
-		base + " nodes=2 skew=3",                                  // single-node machinery
-		base + " nodes=2 faults=light",                            // single-node machinery
-		base + " nodes=2 deadline=100",                            // single-node machinery
+		base + " nodes=2 faults=straggler=0.5",                    // stragglers stay single-node
+		base + " nodes=2 faults=moderate",                         // preset with a straggler class
 		strings.Replace(base, "root=0", "root=4", 1) + " nodes=2", // world root out of range
 	}
 	for _, line := range bad {
 		if _, err := ParseSpec(line); err == nil {
 			t.Errorf("accepted %q", line)
 		}
+	}
+	// The straggler rejection must name the offending key, not hide
+	// behind a blanket "no faults on clusters" message.
+	_, err := ParseSpec(base + " nodes=2 faults=straggler=0.5")
+	if err == nil || !strings.Contains(err.Error(), "straggler=") {
+		t.Errorf("straggler rejection does not name the key: %v", err)
 	}
 }
 
@@ -585,9 +598,10 @@ func TestRunOneClusterGreen(t *testing.T) {
 }
 
 func TestGenClusterDeterministicAndValid(t *testing.T) {
-	opts := GenOptions{Cluster: true}
+	opts := GenOptions{Cluster: true, Faults: true, Kills: true}
 	designs := map[string]bool{}
 	topos := map[string]bool{}
+	skews, kills := 0, 0
 	for i := 0; i < 100; i++ {
 		a := Gen(5, i, opts)
 		b := Gen(5, i, opts)
@@ -597,17 +611,25 @@ func TestGenClusterDeterministicAndValid(t *testing.T) {
 		if a.Nodes < 2 || a.Nodes > 6 || a.Procs < 2 || a.Procs > 5 {
 			t.Fatalf("index %d: shape out of bounds: %s", i, a)
 		}
-		if a.Faults != "" || a.Skew != 0 {
-			t.Fatalf("index %d: cluster spec drew single-node machinery: %s", i, a)
-		}
 		if err := a.Validate(); err != nil {
 			t.Fatalf("index %d: generated invalid spec %s: %v", i, a, err)
 		}
 		designs[a.Design] = true
 		topos[a.Topo] = true
+		if a.Skew > 0 {
+			skews++
+		}
+		if strings.HasPrefix(a.Faults, "kill=") {
+			kills++
+		}
 	}
 	if len(designs) != 3 || len(topos) != 2 {
 		t.Errorf("corpus not diverse: designs %v topos %v", designs, topos)
+	}
+	// The cluster corpus must actually exercise the robustness
+	// dimensions: start skew and kill plans both appear.
+	if skews == 0 || kills == 0 {
+		t.Errorf("corpus not diverse: %d skewed specs, %d kill plans in 100", skews, kills)
 	}
 }
 

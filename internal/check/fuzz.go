@@ -24,8 +24,9 @@ type GenOptions struct {
 	Kills bool
 	// Cluster makes every spec a multi-node one: 2..MaxNodes nodes with
 	// 2..5 ranks per node, a random topology and design, and a world
-	// root. Cluster specs never draw faults or skew (single-node
-	// machinery).
+	// root. Cluster specs draw skew, detector deadlines, kernel-level
+	// fault classes, and (with Kills) kill plans that route through the
+	// world-level recovery harness.
 	Cluster bool
 	// MaxNodes caps the node count in Cluster mode (default 6).
 	MaxNodes int
@@ -100,6 +101,22 @@ func Gen(seed int64, i int, o GenOptions) Spec {
 	sp.Algo = al.Name
 
 	if o.Cluster {
+		if rng.Intn(10) < 3 {
+			sp.Skew = float64(1+rng.Intn(40)) / 2 // 0.5 .. 20 us
+		}
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			if o.Kills {
+				sp.Faults = "kill=0.4,killop=3,seed=" + strconv.Itoa(1+rng.Intn(1000))
+				sp.Deadline = 2000
+			}
+		case 3:
+			if o.Faults {
+				sp.Faults = "partial=0.4,eagain=0.5,seed=" + strconv.Itoa(1+rng.Intn(1000))
+			}
+		case 4:
+			sp.Deadline = 5000 // healthy run with the detector armed
+		}
 		return sp
 	}
 	if rng.Intn(10) < 3 {

@@ -37,6 +37,9 @@ func Invariants() []Invariant {
 		{"net-span-nesting", "on cluster runs, every net_send/net_recv span nests inside an enclosing collective span on its lane", checkNetSpanNesting},
 		{"link-accounting", "on cluster runs, every link conserves flow (injected == delivered) and never delivers faster than its line rate over its activity window", checkLinkAccounting},
 		{"leader-phase-order", "on leader-design gathering kinds, a leader's intra-node phase completes before its first network send", checkLeaderPhaseOrder},
+		{"no-dead-traffic", "after a rank is killed, its lane records no further spans, instants, or message sends", checkNoDeadTraffic},
+		{"reelect-order", "leader re-election happens after world agreement and before the re-run, and the re-run preserves leader-phase ordering", checkReelectOrder},
+		{"shrink-residue", "after a world shrink, every undrained fabric flow targets a rank the survivors agreed dead", checkShrinkResidue},
 	}
 }
 
@@ -280,9 +283,14 @@ func checkFaultConservation(r *RunResult) []Violation {
 }
 
 // checkNetSpanNesting: fabric activity only ever happens on behalf of a
-// cluster collective, so on a cluster run every CatNet span must start
-// inside an open CatColl span on the same lane (the "hcoll:*" wrapper
-// or one of its phase spans).
+// cluster collective or the world liveness layer, so on a cluster run
+// every CatNet span must fit inside a CatColl span (the "hcoll:*"
+// wrapper or one of its phase spans) or a CatLiveness span (agreement
+// rounds and re-election gossip cross the fabric too) on the same
+// lane. On a kill run a dying or aborting rank legitimately leaves its
+// wrapper span open, so an unclosed wrapper counts as a window that
+// extends to the end of the run, and an unclosed CatNet span (the
+// in-flight fabric op the abort interrupted) is skipped.
 func checkNetSpanNesting(r *RunResult) []Violation {
 	if r.Spec.Nodes == 0 {
 		return nil
@@ -291,13 +299,21 @@ func checkNetSpanNesting(r *RunResult) []Violation {
 	type window struct{ start, end float64 }
 	collOpen := map[int][]window{}
 	for _, e := range r.Rec.Events() {
-		if e.Kind == trace.KindSpan && e.Cat == trace.CatColl && e.End >= e.Start {
-			collOpen[e.Lane] = append(collOpen[e.Lane], window{e.Start, e.End})
+		if e.Kind == trace.KindSpan && (e.Cat == trace.CatColl || e.Cat == trace.CatLiveness) {
+			switch {
+			case e.End >= e.Start:
+				collOpen[e.Lane] = append(collOpen[e.Lane], window{e.Start, e.End})
+			case r.Killed: // aborted wrapper: open from Start onwards
+				collOpen[e.Lane] = append(collOpen[e.Lane], window{e.Start, math.Inf(1)})
+			}
 		}
 	}
 	for _, e := range r.Rec.Events() {
 		if e.Kind != trace.KindSpan || e.Cat != trace.CatNet {
 			continue
+		}
+		if e.End < e.Start && r.Killed {
+			continue // a dying or aborting rank's in-flight fabric op
 		}
 		inside := false
 		for _, w := range collOpen[e.Lane] {
@@ -350,9 +366,13 @@ var leaderGatheringKinds = map[core.Kind]bool{
 // checkLeaderPhaseOrder: in a leader design of a gathering kind, a
 // leader cannot ship its node's contribution before the intra-node
 // phase has produced it — on every lane with network sends, the first
-// h_intra span must end at or before the first net_send starts.
+// h_intra span must end at or before the first net_send starts. Kill
+// runs are excluded: an aborted attempt, liveness gossip and the
+// re-run interleave on one lane, so the whole-lane first-span logic
+// does not apply — checkReelectOrder enforces the same ordering
+// scoped to the re-run window instead.
 func checkLeaderPhaseOrder(r *RunResult) []Violation {
-	if r.Spec.Nodes == 0 || r.Spec.Design != "leader" || !leaderGatheringKinds[r.Spec.Kind] {
+	if r.Spec.Nodes == 0 || r.Spec.Design != "leader" || !leaderGatheringKinds[r.Spec.Kind] || r.Killed {
 		return nil
 	}
 	var out []Violation
@@ -414,4 +434,169 @@ func checkModelConformance(r *RunResult) []Violation {
 				r.Spec.Kind, r.Spec.Algo, r.Spec.Count, r.Procs, r.Latency, r.Pred, ratio, modelEnvelopeLo, modelEnvelopeHi)}}
 	}
 	return nil
+}
+
+// orderEps absorbs float64 timestamp identity: events emitted in the
+// same simulation step share a timestamp, so all the recovery-ordering
+// checks use strict inequality with this slack.
+const orderEps = 1e-9
+
+// checkNoDeadTraffic: a kill is a panic out of the rank body, so death
+// must be the last thing a rank's lane ever records. For every lane
+// carrying a "rank_killed" instant at time T: no span or instant may
+// start after T, and no message edge may leave the lane with a send
+// timestamp after T. Counters and CatLock events are exempt — both
+// attribute to the lane that owns the underlying resource (an mm-lock
+// instant lands on the mm-owner's lane), and a survivor draining a
+// dead rank's pages legitimately touches them after the death.
+func checkNoDeadTraffic(r *RunResult) []Violation {
+	if !r.Killed {
+		return nil
+	}
+	deadAt := map[int]float64{}
+	for _, e := range r.Rec.Events() {
+		if e.Kind == trace.KindInstant && e.Name == "rank_killed" {
+			if t, ok := deadAt[e.Lane]; !ok || e.Start < t {
+				deadAt[e.Lane] = e.Start
+			}
+		}
+	}
+	if len(deadAt) == 0 {
+		return nil
+	}
+	var out []Violation
+	for _, e := range r.Rec.Events() {
+		switch e.Kind {
+		case trace.KindSpan, trace.KindInstant:
+			if e.Cat == trace.CatLock {
+				continue
+			}
+			if t, ok := deadAt[e.Lane]; ok && e.Start > t+orderEps {
+				out = append(out, Violation{"no-dead-traffic",
+					fmt.Sprintf("lane %d: %s at %.4f after the rank died at %.4f", e.Lane, e.Name, e.Start, t)})
+			}
+		case trace.KindEdge:
+			if t, ok := deadAt[e.From]; ok && e.SendTs > t+orderEps {
+				out = append(out, Violation{"no-dead-traffic",
+					fmt.Sprintf("edge %s from dead lane %d to %d: sent at %.4f after the sender died at %.4f",
+						e.Name, e.From, e.Lane, e.SendTs, t)})
+			}
+		}
+	}
+	return out
+}
+
+// checkReelectOrder: the recovery pipeline is detect -> agree ->
+// shrink -> elect -> re-run, and the trace must show it in that order
+// on every surviving lane. Per lane with a closed "elect" span: every
+// closed "agree" span and every "shrink" instant precede the election,
+// and every re-run collective ("hcoll:*:rerun") starts only after the
+// election ends. The re-run itself always uses the two-level leader
+// decomposition, so for gathering kinds the leader-phase ordering
+// (first intra phase completes before the first network send inside
+// the re-run window) must hold regardless of the attempt's design.
+func checkReelectOrder(r *RunResult) []Violation {
+	if !r.Killed || r.Spec.Nodes == 0 {
+		return nil
+	}
+	type window struct{ start, end float64 }
+	elect := map[int]window{}
+	for _, e := range r.Rec.Events() {
+		if e.Kind == trace.KindSpan && e.Cat == trace.CatLiveness && e.Name == "elect" && e.End >= e.Start {
+			elect[e.Lane] = window{e.Start, e.End}
+		}
+	}
+	if len(elect) == 0 {
+		return nil
+	}
+	var out []Violation
+	rerun := map[int]window{}
+	for _, e := range r.Rec.Events() {
+		w, ok := elect[e.Lane]
+		if !ok {
+			continue
+		}
+		switch {
+		case e.Kind == trace.KindSpan && e.Name == "agree" && e.End >= e.Start:
+			if e.End > w.start+orderEps {
+				out = append(out, Violation{"reelect-order",
+					fmt.Sprintf("lane %d: agreement ends at %.4f after the election started at %.4f", e.Lane, e.End, w.start)})
+			}
+		case e.Kind == trace.KindInstant && e.Name == "shrink":
+			if e.Start > w.start+orderEps {
+				out = append(out, Violation{"reelect-order",
+					fmt.Sprintf("lane %d: shrink at %.4f after the election started at %.4f", e.Lane, e.Start, w.start)})
+			}
+		case e.Kind == trace.KindSpan && isRerunName(e.Name) && e.End >= e.Start:
+			if e.Start < w.end-orderEps {
+				out = append(out, Violation{"reelect-order",
+					fmt.Sprintf("lane %d: re-run %s starts at %.4f before the election ended at %.4f", e.Lane, e.Name, e.Start, w.end)})
+			}
+			rerun[e.Lane] = window{e.Start, e.End}
+		}
+	}
+	if !leaderGatheringKinds[r.Spec.Kind] {
+		return out
+	}
+	// Leader-phase ordering inside each lane's re-run window, over
+	// closed spans only (survivor lanes never abort inside the re-run,
+	// but attempt-phase spans on the same lane must not leak in).
+	firstIntraEnd := map[int]float64{}
+	for _, e := range r.Rec.Events() {
+		w, ok := rerun[e.Lane]
+		if !ok || e.Kind != trace.KindSpan || e.End < e.Start || e.Start < w.start || e.End > w.end {
+			continue
+		}
+		if e.Name == "h_intra" {
+			if _, seen := firstIntraEnd[e.Lane]; !seen {
+				firstIntraEnd[e.Lane] = e.End
+			}
+		}
+	}
+	firstSend := map[int]bool{}
+	for _, e := range r.Rec.Events() {
+		w, ok := rerun[e.Lane]
+		if !ok || e.Kind != trace.KindSpan || e.Name != "net_send" || e.End < e.Start ||
+			e.Start < w.start || e.End > w.end || firstSend[e.Lane] {
+			continue
+		}
+		firstSend[e.Lane] = true
+		if end, seen := firstIntraEnd[e.Lane]; seen && e.Start < end-orderEps {
+			out = append(out, Violation{"reelect-order",
+				fmt.Sprintf("lane %d: re-run net_send at %.4f before the re-run intra phase ends at %.4f", e.Lane, e.Start, end)})
+		}
+	}
+	return out
+}
+
+// isRerunName matches the "hcoll:<kind>:rerun" wrapper span names.
+func isRerunName(name string) bool {
+	const prefix, suffix = "hcoll:", ":rerun"
+	return len(name) > len(prefix)+len(suffix) &&
+		name[:len(prefix)] == prefix && name[len(name)-len(suffix):] == suffix
+}
+
+// checkShrinkResidue: after a shrink the survivors drain the fabric, so
+// anything still sitting in a flow queue must have been addressed to a
+// rank the survivors agreed dead — residue targeting a live rank means
+// a message the re-run should have consumed but didn't.
+func checkShrinkResidue(r *RunResult) []Violation {
+	if len(r.Residue) == 0 {
+		return nil
+	}
+	dead := map[int]bool{}
+	if r.Recovery != nil {
+		for _, f := range r.Recovery.Failed {
+			dead[f] = true
+		}
+	}
+	var out []Violation
+	for _, res := range r.Residue {
+		if !dead[res.To] {
+			out = append(out, Violation{"shrink-residue",
+				fmt.Sprintf("flow %d->%d: %d msgs (%d bytes) undrained but rank %d was never agreed dead",
+					res.From, res.To, res.Msgs, res.Bytes, res.To)})
+		}
+	}
+	return out
 }

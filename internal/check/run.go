@@ -44,6 +44,14 @@ type RunResult struct {
 	Links    []cluster.LinkStat
 	NetBeta  float64
 	NetChunk int64
+
+	// Residue is what a cluster kill run left in the fabric's flow
+	// queues after the survivors drained theirs; the shrink-residue
+	// invariant requires every entry to be addressed to a failed rank.
+	Residue []cluster.Residue
+
+	// Elect is the leader re-election latency of a cluster kill run.
+	Elect float64
 }
 
 // RunOne executes one spec with real data movement and full tracing,
@@ -62,6 +70,9 @@ func RunOne(sp Spec) (*RunResult, error) {
 		return nil, err
 	}
 	if sp.Nodes > 0 {
+		if sp.Kills() {
+			return runClusterRecovered(sp, prof, sp.faultConfig())
+		}
 		return runCluster(sp, prof)
 	}
 	fcfg := sp.faultConfig()
@@ -82,9 +93,16 @@ func runCluster(sp Spec, prof *arch.Profile) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	fcfg := sp.faultConfig() // non-kill classes only (kills dispatch earlier)
+	var lcfg *liveness.Config
+	if sp.Deadline > 0 {
+		l := liveness.Defaults()
+		l.Deadline = sp.Deadline
+		lcfg = &l
+	}
 	cl := cluster.New(cluster.Config{
 		Arch: prof, NumNodes: sp.Nodes, PPN: sp.Procs,
-		Topo: sp.Topo, CopyData: true,
+		Topo: sp.Topo, CopyData: true, Fault: fcfg, Liveness: lcfg,
 	})
 	coll, err := cluster.Lookup(cl, sp.Kind, cluster.Design(sp.Design), sp.Algo)
 	if err != nil {
@@ -107,9 +125,19 @@ func runCluster(sp Spec, prof *arch.Profile) (*RunResult, error) {
 		snap[w] = append([]byte(nil), seed...)
 		p.FillAt(recv[w], recvLen, 0xEE)
 	}
+	var skew []float64
+	if sp.Skew > 0 {
+		skew = make([]float64, world)
+		for i := range skew {
+			skew[i] = rng.Float64() * sp.Skew
+		}
+	}
 
 	res := &RunResult{Spec: sp, Rec: rec, Procs: world}
 	done, err := cl.Run(func(r *cluster.Rank) {
+		if skew != nil {
+			r.SP.Sleep(skew[r.World])
+		}
 		coll.Run(r, cluster.Args{Send: send[r.World], Recv: recv[r.World], Count: sp.Count, Root: sp.Root})
 	})
 	if err != nil {
@@ -120,6 +148,20 @@ func runCluster(sp Spec, prof *arch.Profile) (*RunResult, error) {
 	res.Links = cl.Fabric.LinkStats()
 	res.NetBeta = cl.Fabric.Beta
 	res.NetChunk = cl.Fabric.ChunkBytes
+	for _, comm := range cl.Nodes {
+		if plan := comm.FaultPlan(); plan != nil {
+			s := plan.Stats()
+			res.Stats.Transients += s.Transients
+			res.Stats.Partials += s.Partials
+			res.Stats.LockSpikes += s.LockSpikes
+			res.Stats.ShmStalls += s.ShmStalls
+			res.Stats.Retries += s.Retries
+			res.Stats.BackoffTime += s.BackoffTime
+			res.Stats.Fallbacks += s.Fallbacks
+			res.Stats.BounceOps += s.BounceOps
+			res.Stats.BounceBytes += s.BounceBytes
+		}
+	}
 
 	exp, err := Reference(sp.Kind, world, sp.Count, sp.Root, snap)
 	if err != nil {
@@ -148,6 +190,52 @@ func runCluster(sp Spec, prof *arch.Profile) (*RunResult, error) {
 		cluster.Release(cl)
 	}
 	return res, err
+}
+
+// runClusterRecovered is the cluster kill path: the spec's plan
+// permanently kills ranks mid-collective across the fabric, so the run
+// goes through the world-level recovery harness (fabric-crossing
+// detection, world agreement, two-tier shrink, leader re-election,
+// re-run). The harness verifies the re-run closed-form; this wrapper
+// additionally replays the survivors' snapshots through the independent
+// sequential reference executor at the survivor world size, then runs
+// the invariant registry — including the three recovery invariants —
+// over the traced cycle.
+func runClusterRecovered(sp Spec, prof *arch.Profile, fcfg *fault.Config) (*RunResult, error) {
+	lcfg := liveness.Defaults()
+	if sp.Deadline > 0 {
+		lcfg.Deadline = sp.Deadline
+	}
+	cres, rec, err := measure.ClusterRecoveredTraced(prof, sp.Kind, cluster.Design(sp.Design), sp.Algo, sp.Count,
+		measure.ClusterOptions{Nodes: sp.Nodes, PPN: sp.Procs, Topo: sp.Topo, Root: sp.Root,
+			Fault: fcfg, Liveness: &lcfg, SkewSeed: sp.Seed, MaxSkew: sp.Skew, CopyData: true})
+	res := &RunResult{Spec: sp, Rec: rec, Procs: sp.Nodes * sp.Procs, Killed: true,
+		Links: cres.Links, NetBeta: cres.NetBeta, NetChunk: cres.NetChunk,
+		Residue: cres.Residue, Elect: cres.ElectLatency, Events: cres.Events}
+	res.Recovery = &cres.RecoveryResult
+	res.Stats = cres.Stats
+	if err != nil {
+		return res, fmt.Errorf("check: %s: cluster recovery harness: %v", sp, err)
+	}
+	res.Latency = cres.FirstLatency
+	if cres.Err != nil && cres.RecvSnap != nil {
+		// Independent oracle: every survivor's re-run receive buffer vs
+		// the reference executor at the survivor world size.
+		exp, rerr := Reference(sp.Kind, cres.Survivors, sp.Count, cres.NewRoot, cres.SendSnap)
+		if rerr != nil {
+			return res, rerr
+		}
+		var diffs []string
+		for id := 0; id < cres.Survivors; id++ {
+			if d := DiffPayload(id, cres.RecvSnap[id], exp[id]); d != "" {
+				diffs = append(diffs, d)
+			}
+		}
+		if len(diffs) > 0 {
+			return res, fmt.Errorf("check: %s: re-run differential mismatch vs reference executor: %s", sp, strings.Join(diffs, "; "))
+		}
+	}
+	return res, violationsErr(res)
 }
 
 // runDifferential is the oracle path: seeded payloads in, algorithm

@@ -19,7 +19,9 @@ import (
 	"fmt"
 
 	"camc/internal/arch"
+	"camc/internal/fault"
 	"camc/internal/kernel"
+	"camc/internal/liveness"
 	"camc/internal/mpi"
 	"camc/internal/sim"
 	"camc/internal/trace"
@@ -34,12 +36,17 @@ type Cluster struct {
 	Fabric *Fabric
 	Nodes  []*mpi.Comm
 
+	// Live is the world-level liveness layer; non-nil when the cluster
+	// was built with faults, kills, or an explicit liveness config.
+	Live *WorldLiveness
+
 	NumNodes int
 	PPN      int
 	CopyData bool
 
-	key   fabKey
-	clean bool // last Run finished without error; required for Release
+	key     fabKey
+	clean   bool // last Run finished without error; required for Release
+	tainted bool // faults/kills were armed; never pooled (queues may hold residue)
 }
 
 // Config describes a multi-node job.
@@ -55,6 +62,20 @@ type Config struct {
 	GNet        float64 // switch-contention coefficient; 0 = 0.05 (set < 0 for fair sharing γ=c)
 	ChunkBytes  int64   // per-chunk contention resample granularity; 0 = 256 KiB
 	CopyData    bool    // move real payload bytes (the check oracle needs this)
+
+	// Fault injects probabilistic faults per node (each node draws from
+	// its own seed-salted stream). Kills arms explicit deaths. Either
+	// one — or a non-nil Liveness — enables the world liveness layer.
+	Fault    *fault.Config
+	Liveness *liveness.Config
+	Kills    []Kill
+}
+
+// Kill is one explicitly targeted death: world rank World dies at its
+// Op-th checkpointed MPI operation.
+type Kill struct {
+	World int
+	Op    int
 }
 
 func (cfg Config) withDefaults() Config {
@@ -120,7 +141,28 @@ func New(cfg Config) *Cluster {
 		// Distinct pid ranges per node keep kernel trace events on
 		// distinct lanes when all nodes share one recorder.
 		node.PidBase = i << 20
+		if cfg.Fault != nil && cfg.Fault.Active() {
+			fc := *cfg.Fault
+			// Salt the seed per node so nodes draw distinct fault
+			// streams while the whole cluster stays a pure function of
+			// the config.
+			fc.Seed += int64(i+1) * 7_700_003
+			node.SetFaultPlan(fault.New(fc))
+		}
 		cl.Nodes = append(cl.Nodes, mpi.NewOnNode(node, cfg.PPN, 1<<32))
+	}
+	for _, k := range cfg.Kills {
+		cl.Nodes[cl.NodeOf(k.World)].ArmKill(cl.LocalOf(k.World), k.Op)
+	}
+	if cfg.Liveness != nil || len(cfg.Kills) > 0 || (cfg.Fault != nil && cfg.Fault.Active()) {
+		lcfg := liveness.Defaults()
+		if cfg.Liveness != nil {
+			lcfg = *cfg.Liveness
+		}
+		cl.Live = newWorldLiveness(cl, lcfg)
+		// Faulty runs can leave undrained flow queues and dead procs;
+		// never pool them.
+		cl.tainted = cfg.Fault != nil || len(cfg.Kills) > 0
 	}
 	return cl
 }
@@ -130,12 +172,13 @@ func New(cfg Config) *Cluster {
 // cleanly is poolable (Simulation.Reset requires zero live procs);
 // anything else is simply dropped.
 func Release(cl *Cluster) {
-	if cl == nil || !cl.clean {
+	if cl == nil || !cl.clean || cl.tainted {
 		return
 	}
 	cl.clean = false
 	cl.Fabric.reset()
 	cl.Fabric.rec = nil
+	cl.Fabric.live = nil
 	cl.Sim.Reset()
 	fabricPoolPut(cl.key, pooled{sim: cl.Sim, fab: cl.Fabric})
 }
@@ -194,6 +237,7 @@ func (r *Rank) Cluster() *Cluster { return r.cluster }
 // another node. On materialized runs the payload travels with the
 // message; dataless runs move cost only.
 func (r *Rank) NetSend(dstWorld int, addr kernel.Addr, size int64) {
+	r.KillCheck()
 	cl := r.cluster
 	dstNode := cl.NodeOf(dstWorld)
 	if dstNode == r.Node {
@@ -209,6 +253,7 @@ func (r *Rank) NetSend(dstWorld int, addr kernel.Addr, size int64) {
 // NetRecv receives size bytes from world rank src on another node into
 // addr.
 func (r *Rank) NetRecv(srcWorld int, addr kernel.Addr, size int64) {
+	r.KillCheck()
 	cl := r.cluster
 	srcNode := cl.NodeOf(srcWorld)
 	if srcNode == r.Node {

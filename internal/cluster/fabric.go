@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"camc/internal/sim"
@@ -50,6 +51,12 @@ type Fabric struct {
 
 	links []linkState
 	rec   *trace.Recorder
+
+	// live, when non-nil, makes every fabric receive deadline-guarded
+	// against the world liveness views: a receive that starves for a full
+	// detector deadline gossip-probes the sender's node over the fabric
+	// (paying contention-aware link costs) instead of blocking forever.
+	live *WorldLiveness
 }
 
 // linkState is one directed link's live contention count and
@@ -162,11 +169,13 @@ func (f *Fabric) send(sp *sim.Proc, lane, fromW, toW, fromNode, toNode int, size
 		span = f.rec.Begin(lane, trace.CatNet, "net_send",
 			trace.F("dst", float64(toW)), trace.F("bytes", float64(size)))
 	}
+	f.beat(fromW)
 	f.sendBusy[fromNode].Lock(sp)
+	f.lease(fromW, sp.Now()+float64(size)*f.Beta)
 	sp.Sleep(float64(size) * f.Beta)
 	f.sendBusy[fromNode].Unlock()
 	for _, l := range f.Topo.Route(fromNode, toNode, routeBuf[:0]) {
-		f.traverse(sp, lane, l, size)
+		f.traverse(sp, lane, fromW, l, size)
 	}
 	f.queue(fromW, toW).Send(sp, netMsg{src: fromW, dst: toW, size: size, sentAt: sp.Now(), data: data})
 	if f.rec.Enabled() {
@@ -179,7 +188,12 @@ func (f *Fabric) send(sp *sim.Proc, lane, fromW, toW, fromNode, toNode int, size
 // receiving node. Returns the payload on materialized runs.
 func (f *Fabric) recv(sp *sim.Proc, lane, fromLane, fromW, toW, toNode int, size int64) []byte {
 	waitStart := sp.Now()
-	m := f.queue(fromW, toW).Recv(sp)
+	var m netMsg
+	if f.live != nil {
+		m = f.live.guardedRecv(sp, lane, fromW, toW)
+	} else {
+		m = f.queue(fromW, toW).Recv(sp)
+	}
 	if m.size != size {
 		panic(fmt.Sprintf("cluster: size mismatch on %d->%d: got %d want %d", fromW, toW, m.size, size))
 	}
@@ -189,6 +203,7 @@ func (f *Fabric) recv(sp *sim.Proc, lane, fromLane, fromW, toW, toNode int, size
 			trace.F("src", float64(fromW)), trace.F("bytes", float64(size)))
 	}
 	f.recvBusy[toNode].Lock(sp)
+	f.lease(toW, sp.Now()+f.PerMsg+float64(size)*f.Beta)
 	sp.Sleep(f.PerMsg + float64(size)*f.Beta)
 	f.recvBusy[toNode].Unlock()
 	if f.rec.Enabled() {
@@ -199,10 +214,34 @@ func (f *Fabric) recv(sp *sim.Proc, lane, fromLane, fromW, toW, toNode int, size
 	return m.data
 }
 
+// beat publishes world rank w's heartbeat on its node's liveness view
+// (no-op without liveness). Senders beat per chunk so a rank busy
+// pushing a large message through a contended link is never mistaken
+// for a dead one by a deadline-expired waiter elsewhere.
+func (f *Fabric) beat(w int) {
+	if f.live != nil {
+		f.live.beatWorld(w)
+	}
+}
+
+// lease publishes a forward-dated heartbeat covering a known-length
+// busy period (no-op without liveness). A single contention-inflated
+// chunk can sleep longer than the detector deadline on a hot incast
+// link; without the lease, a deadline-expired waiter elsewhere would
+// judge the mid-transfer sender stale and poison the agreed failed set
+// with a live rank.
+func (f *Fabric) lease(w int, until sim.Time) {
+	if f.live != nil {
+		f.live.leaseWorld(w, until)
+	}
+}
+
 // traverse moves size bytes across one link in chunks, resampling the
 // concurrent-flow count — and with it GammaNet — at every chunk
 // boundary, the same idiom the kernel uses for per-chunk mm-lock γ(c).
-func (f *Fabric) traverse(sp *sim.Proc, lane int, l LinkID, size int64) {
+// srcW is the sending world rank (for heartbeats; the trace lane alone
+// cannot identify it on untraced runs).
+func (f *Fabric) traverse(sp *sim.Proc, lane, srcW int, l LinkID, size int64) {
 	sp.Sleep(f.Alpha)
 	ls := &f.links[l]
 	now := sp.Now()
@@ -212,6 +251,7 @@ func (f *Fabric) traverse(sp *sim.Proc, lane int, l LinkID, size int64) {
 	}
 	first := true
 	for off := int64(0); off < size; off += f.ChunkBytes {
+		f.beat(srcW)
 		n := f.ChunkBytes
 		if size-off < n {
 			n = size - off
@@ -228,6 +268,7 @@ func (f *Fabric) traverse(sp *sim.Proc, lane int, l LinkID, size int64) {
 		}
 		ls.injected += n
 		t := float64(n) * f.Beta * g
+		f.lease(srcW, sp.Now()+t)
 		sp.Sleep(t)
 		ls.active--
 		ls.delivered += n
@@ -252,6 +293,74 @@ func (f *Fabric) LinkStats() []LinkStat {
 			Injected: ls.injected, Delivered: ls.delivered,
 			MaxActive: ls.maxActive, Busy: ls.busy, First: ls.first, Last: ls.last,
 		})
+	}
+	return out
+}
+
+// drainTo discards every already-delivered message addressed to world
+// rank me, paying the per-message matching cost for each. Survivors run
+// it after world agreement and before the re-run: the aborted attempt
+// may have left messages from now-dead (or now-aborted) senders in the
+// rank's flow queues, and the per-pair FIFOs must be empty before the
+// re-run's traffic starts or stale payloads would match first. Queues
+// are visited in sorted key order so the drain is deterministic.
+func (f *Fabric) drainTo(sp *sim.Proc, me int) int {
+	var keys []int64
+	for key, q := range f.queues {
+		if int(key&0xffffffff) == me && q.Len() > 0 {
+			keys = append(keys, key)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	drained := 0
+	for _, key := range keys {
+		q := f.queues[key]
+		for {
+			if _, ok := q.TryRecv(); !ok {
+				break
+			}
+			sp.Sleep(f.PerMsg)
+			drained++
+		}
+	}
+	return drained
+}
+
+// Residue is one flow's undrained leftover after a killed run: messages
+// that were delivered into the (From, To) queue but never received.
+// After a correct recovery every residue targets a dead rank — the
+// shrink-residue invariant checks exactly that.
+type Residue struct {
+	From, To int
+	Msgs     int
+	Bytes    int64
+}
+
+// Residue destructively drains every remaining queue (in sorted key
+// order) and reports what was left. A cluster that went through a kill
+// is tainted and never pooled, so consuming the queues here is safe;
+// callers use the report to verify that only dead ranks' flows leaked.
+func (f *Fabric) Residue() []Residue {
+	var keys []int64
+	for key, q := range f.queues {
+		if q.Len() > 0 {
+			keys = append(keys, key)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var out []Residue
+	for _, key := range keys {
+		q := f.queues[key]
+		r := Residue{From: int(key >> 32), To: int(key & 0xffffffff)}
+		for {
+			m, ok := q.TryRecv()
+			if !ok {
+				break
+			}
+			r.Msgs++
+			r.Bytes += m.size
+		}
+		out = append(out, r)
 	}
 	return out
 }

@@ -1,0 +1,714 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"camc/internal/core"
+	"camc/internal/kernel"
+	"camc/internal/liveness"
+	"camc/internal/trace"
+)
+
+// Shrunk is the world-level survivor table every survivor derives (and
+// agrees on, because it is a pure function of the agreed failed set)
+// after a world shrink. Original world ranks remain the liveness board
+// slots and fabric addresses forever — the NEW node-major numbering
+// exists only for payload layout and re-planning.
+type Shrunk struct {
+	// Failed is the agreed dead set, original world numbering, sorted.
+	Failed []int
+	// World is the original world size, NewSize the survivor count.
+	World, NewSize int
+	// NewRoot is the re-run root in new numbering: the original root's
+	// new id if it survived, otherwise new id 0 (the lowest-world-rank
+	// survivor — the same deterministic successor rule used for leader
+	// re-election).
+	NewRoot int
+	// OldWorld maps new ids to original world ranks; NewWorld is the
+	// inverse (-1 = dead). Both are node-major, so a node's survivors
+	// are contiguous in the new numbering.
+	OldWorld, NewWorld []int
+	// AliveNodes lists original node ids with at least one survivor,
+	// ascending; NodeIdx is the inverse (-1 = whole node lost).
+	AliveNodes, NodeIdx []int
+	// Prefix[n] is the first new id on original node n (len NumNodes+1;
+	// Prefix[n+1]-Prefix[n] is node n's survivor count).
+	Prefix []int
+	// Leaders[n] is the original world rank of node n's re-elected
+	// leader: the lowest-world-rank survivor on the node, i.e. its new
+	// local rank 0 (-1 = whole node lost). This tie-break is the
+	// documented deterministic successor rule.
+	Leaders []int
+	// Orphaned[n] reports that node n survived but the leader of the
+	// aborted attempt on it died — such nodes re-run the leader-phase
+	// address exchange before joining the world election.
+	Orphaned []bool
+}
+
+// SurvivorsOn returns original node n's survivor count.
+func (sh *Shrunk) SurvivorsOn(n int) int { return sh.Prefix[n+1] - sh.Prefix[n] }
+
+// NodeOfNew maps a new world id to its original node.
+func (sh *Shrunk) NodeOfNew(id int) int {
+	for n := 0; n+1 < len(sh.Prefix); n++ {
+		if id < sh.Prefix[n+1] {
+			return n
+		}
+	}
+	panic(fmt.Sprintf("cluster: new id %d out of range", id))
+}
+
+// rootedKind reports whether kind uses its Root argument (the
+// non-rooted kinds lead every node from local rank 0).
+func rootedKind(kind core.Kind) bool {
+	switch kind {
+	case core.KindBcast, core.KindGather, core.KindScatter, core.KindReduce:
+		return true
+	}
+	return false
+}
+
+// buildShrunkTable derives the survivor table from the agreed failed
+// set. kind and origRoot identify the aborted collective, which
+// determines each node's original leader (and with it orphanhood).
+func buildShrunkTable(cl *Cluster, failed []int, kind core.Kind, origRoot int) *Shrunk {
+	world := cl.WorldSize()
+	leaderRoot := 0
+	if rootedKind(kind) {
+		leaderRoot = origRoot
+	}
+	dead := make([]bool, world)
+	for _, f := range failed {
+		dead[f] = true
+	}
+	sh := &Shrunk{
+		Failed:   append([]int(nil), failed...),
+		World:    world,
+		NewWorld: make([]int, world),
+		Prefix:   make([]int, cl.NumNodes+1),
+		NodeIdx:  make([]int, cl.NumNodes),
+		Leaders:  make([]int, cl.NumNodes),
+		Orphaned: make([]bool, cl.NumNodes),
+	}
+	id := 0
+	for n := 0; n < cl.NumNodes; n++ {
+		sh.Prefix[n] = id
+		sh.NodeIdx[n], sh.Leaders[n] = -1, -1
+		first := -1
+		for l := 0; l < cl.PPN; l++ {
+			w := n*cl.PPN + l
+			if dead[w] {
+				sh.NewWorld[w] = -1
+				continue
+			}
+			if first < 0 {
+				first = w
+			}
+			sh.NewWorld[w] = id
+			sh.OldWorld = append(sh.OldWorld, w)
+			id++
+		}
+		if first >= 0 {
+			sh.NodeIdx[n] = len(sh.AliveNodes)
+			sh.AliveNodes = append(sh.AliveNodes, n)
+			sh.Leaders[n] = first
+			origLeader := n * cl.PPN // local 0 unless the root led this node
+			if cl.NodeOf(leaderRoot) == n {
+				origLeader = leaderRoot
+			}
+			sh.Orphaned[n] = dead[origLeader]
+		}
+	}
+	sh.Prefix[cl.NumNodes] = id
+	sh.NewSize = id
+	if id == 0 {
+		panic("cluster: shrink with no survivors")
+	}
+	if nr := sh.NewWorld[origRoot]; nr >= 0 {
+		sh.NewRoot = nr
+	} else {
+		sh.NewRoot = 0
+	}
+	return sh
+}
+
+// WorldBarrier synchronizes n participating world ranks (every
+// participant must pass the same n). It is heartbeat-preserving but not
+// death-aware — use it only where all n participants are known alive
+// (harness entry, pre/post re-run); a liveness-enabled cluster is
+// required.
+func (r *Rank) WorldBarrier(n int) {
+	r.cluster.Live.svBarrier(r.SP, r.World, n)
+}
+
+// WorldAgree runs the world-level agreement round (see
+// WorldLiveness.Agree); it requires a liveness-enabled cluster.
+func (r *Rank) WorldAgree(localErr error) error {
+	wl := r.cluster.Live
+	if wl == nil {
+		return localErr
+	}
+	return wl.Agree(r, localErr)
+}
+
+// WorldShrink rebuilds the cluster's rank tables after an agreed
+// failure. Every survivor calls it with the agreed failed set (world
+// numbering) plus the aborted collective's kind and root, and gets back
+// its handle in the shrunken world plus the shared survivor table. The
+// sequence per survivor:
+//
+//  1. drain this rank's fabric flow queues (stale messages from the
+//     aborted attempt must not match the re-run's),
+//  2. survivor barrier — all drains complete before any new traffic,
+//  3. first survivor per node installs a fresh all-alive world view as
+//     the node's liveness board (the old views' deaths served their
+//     purpose; keeping them would revoke the re-run),
+//  4. node-local communicator shrink (mpi.Rank.Shrink) with the node's
+//     share of the failed set — survivors keep their OS processes and
+//     world-rank board slots,
+//  5. leader re-election (see elect).
+func (r *Rank) WorldShrink(failed []int, kind core.Kind, origRoot int) (*Rank, *Shrunk) {
+	cl := r.cluster
+	wl := cl.Live
+	if wl == nil {
+		panic("cluster: WorldShrink without liveness")
+	}
+	sp := r.SP
+	cl.Fabric.drainTo(sp, r.World)
+	wl.svBarrier(sp, r.World, cl.WorldSize()-len(failed))
+	if wl.shrunk == nil {
+		wl.shrunk = buildShrunkTable(cl, failed, kind, origRoot)
+	}
+	sh := wl.shrunk
+	if !wl.refreshed[r.Node] {
+		wl.refreshed[r.Node] = true
+		wl.noteDeaths(wl.views[r.Node])
+		v := liveness.NewBoard(cl.Sim, wl.world, wl.cfg)
+		for _, w := range sh.OldWorld {
+			v.Beat(w) // the new epoch starts with every survivor fresh
+		}
+		wl.views[r.Node] = v
+		cl.Nodes[r.Node].Node.SetLiveness(v)
+	}
+	var localFailed []int
+	for _, f := range failed {
+		if cl.NodeOf(f) == r.Node {
+			localFailed = append(localFailed, cl.LocalOf(f))
+		}
+	}
+	nr := r.Rank.Shrink(localFailed)
+	if t := sp.Now(); t > wl.shrinkEnd {
+		wl.shrinkEnd = t
+	}
+	nrank := &Rank{Rank: nr, Node: r.Node, World: r.World, cluster: cl}
+	cl.elect(nrank, sh)
+	return nrank, sh
+}
+
+// elect runs the deterministic leader re-election. The successor on
+// every surviving node is fixed in advance — the lowest-world-rank
+// survivor, new local rank 0 — so no votes are needed; what the
+// election pays for (and what x12 measures) is re-establishing the
+// leader structure: orphaned nodes re-run the leader-phase address
+// exchange intra-node, then every node's leader registers its
+// credential with the coordinator (the survivor with new world id 0)
+// over the fabric and receives the full leader table back. The
+// coordinator's incast crosses contended links, so election latency is
+// γ_net-aware exactly like the collectives it repairs.
+func (cl *Cluster) elect(r *Rank, sh *Shrunk) {
+	wl := cl.Live
+	sp := r.SP
+	if now := sp.Now(); !wl.electSeen || now < wl.electStart {
+		wl.electStart, wl.electSeen = now, true
+	}
+	rec := r.Tracer()
+	span := trace.NoSpan
+	if rec != nil {
+		span = rec.Begin(r.Lane(), trace.CatLiveness, "elect",
+			trace.F("leader", float64(sh.Leaders[r.Node])))
+	}
+	// Orphaned nodes first re-publish leadership intra-node: the
+	// successor broadcasts its credential (re-running the leader-phase
+	// address exchange) and collects an ack from every member. This is
+	// the extra work that makes a dead leader measurably costlier than a
+	// dead member.
+	if sh.Orphaned[r.Node] {
+		cred := r.Bcast64(0, int64(sh.Leaders[r.Node]))
+		if cred != int64(sh.Leaders[r.Node]) {
+			panic(fmt.Sprintf("cluster: node %d republished leader %d, want %d",
+				r.Node, cred, sh.Leaders[r.Node]))
+		}
+		if r.ID == 0 {
+			if rec != nil {
+				rec.Instant(r.Lane(), trace.CatLiveness, "leader_elect",
+					trace.F("node", float64(r.Node)))
+			}
+			for m := 1; m < sh.SurvivorsOn(r.Node); m++ {
+				r.WaitNotify(m)
+			}
+		} else {
+			r.Notify(0)
+		}
+	}
+	// World registration: every leader exchanges an 8-byte credential
+	// with the coordinator and verifies its slot in the returned table.
+	coordW := sh.OldWorld[0]
+	if r.ID == 0 {
+		a := len(sh.AliveNodes)
+		tblBytes := int64(8 * a)
+		tbl := r.Alloc(tblBytes)
+		if r.World == coordW {
+			cl.putCred(r, tbl+kernel.Addr(8*sh.NodeIdx[r.Node]), r.World)
+			for _, n := range sh.AliveNodes {
+				if n == r.Node {
+					continue
+				}
+				slot := tbl + kernel.Addr(8*sh.NodeIdx[n])
+				r.NetRecv(sh.Leaders[n], slot, 8)
+				cl.checkCred(r, slot, sh.Leaders[n])
+				if sh.Orphaned[n] {
+					// A successor is a stranger: challenge it before
+					// admitting it to the leader table. Incumbent leaders
+					// skip this round trip — the extra fabric RTT per
+					// orphaned node is what makes a dead leader measurably
+					// costlier than a dead member in the elect latency.
+					chal := r.Alloc(8)
+					cl.putCred(r, chal, sh.Leaders[n])
+					r.NetSend(sh.Leaders[n], chal, 8)
+					conf := r.Alloc(8)
+					r.NetRecv(sh.Leaders[n], conf, 8)
+					cl.checkCred(r, conf, sh.Leaders[n])
+				}
+			}
+			for _, n := range sh.AliveNodes {
+				if n != r.Node {
+					r.NetSend(sh.Leaders[n], tbl, tblBytes)
+				}
+			}
+		} else {
+			cred := r.Alloc(8)
+			cl.putCred(r, cred, r.World)
+			r.NetSend(coordW, cred, 8)
+			if sh.Orphaned[r.Node] {
+				chal := r.Alloc(8)
+				r.NetRecv(coordW, chal, 8)
+				cl.checkCred(r, chal, r.World)
+				conf := r.Alloc(8)
+				cl.putCred(r, conf, r.World)
+				r.NetSend(coordW, conf, 8)
+			}
+			r.NetRecv(coordW, tbl, tblBytes)
+			cl.checkCred(r, tbl+kernel.Addr(8*sh.NodeIdx[r.Node]), r.World)
+		}
+	}
+	if rec != nil {
+		rec.End(span)
+	}
+	if t := sp.Now(); t > wl.electEnd {
+		wl.electEnd = t
+	}
+}
+
+// putCred materializes a leader credential (its world rank) at addr.
+func (cl *Cluster) putCred(r *Rank, addr kernel.Addr, world int) {
+	if !cl.CopyData {
+		return
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(world))
+	r.OS.WriteAt(addr, b[:])
+}
+
+// checkCred verifies a received leader credential byte-level.
+func (cl *Cluster) checkCred(r *Rank, addr kernel.Addr, want int) {
+	if !cl.CopyData {
+		return
+	}
+	got := binary.LittleEndian.Uint64(r.OS.Bytes(addr, 8))
+	if got != uint64(want) {
+		panic(fmt.Sprintf("cluster: election credential %d, want %d", got, want))
+	}
+}
+
+// ---------------------------------------------------------------------
+// Survivor re-run: the collective replayed over the shrunken world.
+// ---------------------------------------------------------------------
+
+// Rerun executes kind over the survivor world. Whatever design the
+// aborted attempt used, the re-run is always the two-level leader
+// decomposition over the survivor table — the re-elected leaders are
+// exactly what the recovery just paid to establish, and the leader
+// design is the only one whose node phase re-plans cleanly for any
+// survivor count (non-power-of-two counts at both granularities,
+// including whole-node loss). Buffers follow the NEW node-major
+// numbering: new rank j's block sits at offset j*Count, and a.Root is a
+// new world id. Each node's intra phase is re-planned via core.Replan
+// at its own survivor count; the node tier re-plans structurally over
+// the alive-node list.
+func Rerun(r *Rank, sh *Shrunk, kind core.Kind, intraSpec string, a Args) {
+	if intraSpec == "" {
+		intraSpec = "tuned"
+	}
+	x := &rerunner{cl: r.cluster, sh: sh, spec: intraSpec, kind: kind}
+	rec := r.Tracer()
+	span := trace.NoSpan
+	if rec != nil {
+		span = rec.Begin(r.Lane(), trace.CatColl, "hcoll:"+string(kind)+":rerun",
+			trace.F("bytes", float64(a.Count)), trace.F("root", float64(a.Root)))
+	}
+	switch kind {
+	case core.KindBcast:
+		x.bcast(r, a)
+	case core.KindGather:
+		x.gather(r, a)
+	case core.KindScatter:
+		x.scatter(r, a)
+	case core.KindAllgather:
+		x.allgather(r, a)
+	case core.KindAlltoall:
+		x.alltoall(r, a)
+	case core.KindReduce:
+		x.reduce(r, a)
+	default:
+		panic(fmt.Sprintf("cluster: no re-run for kind %s", kind))
+	}
+	if rec != nil {
+		rec.End(span)
+	}
+}
+
+// rerunner carries the survivor table through one re-run.
+type rerunner struct {
+	cl   *Cluster
+	sh   *Shrunk
+	spec string
+	kind core.Kind
+}
+
+// phase mirrors hier.phase: every stage (including the degenerate
+// single-survivor fixups) gets its h_intra/h_net span so the stage
+// ordering invariants see the re-run like any other collective.
+func (x *rerunner) phase(r *Rank, name string, f func()) {
+	rec := r.Tracer()
+	if rec == nil {
+		f()
+		return
+	}
+	span := rec.Begin(r.Lane(), trace.CatColl, name)
+	f()
+	rec.End(span)
+}
+
+// intra re-plans the same-kind intra-node algorithm for kn survivors.
+func (x *rerunner) intra(kn int) core.Algorithm {
+	al, err := core.Replan(x.kind, x.spec, kn)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: replan %s/%s for %d survivors: %v", x.kind, x.spec, kn, err))
+	}
+	return al
+}
+
+// leadLocal is the re-run leader's new-local rank on a node: the root
+// leads its own node (rooted kinds), the re-elected successor (new
+// local 0) everywhere else. rootNew < 0 means non-rooted.
+func (x *rerunner) leadLocal(node, rootNew int) int {
+	if rootNew >= 0 && x.sh.NodeOfNew(rootNew) == node {
+		return rootNew - x.sh.Prefix[node]
+	}
+	return 0
+}
+
+// leaderW is the original world rank of a node's re-run leader.
+func (x *rerunner) leaderW(node, rootNew int) int {
+	return x.sh.OldWorld[x.sh.Prefix[node]+x.leadLocal(node, rootNew)]
+}
+
+// netBcast is the binomial broadcast over alive-node list positions.
+func (x *rerunner) netBcast(r *Rank, rootNew int, buf kernel.Addr, size int64) {
+	sh := x.sh
+	a := len(sh.AliveNodes)
+	if a == 1 {
+		return
+	}
+	rootIdx := sh.NodeIdx[sh.NodeOfNew(rootNew)]
+	rel := (sh.NodeIdx[r.Node] - rootIdx + a) % a
+	abs := func(rel int) int { return sh.AliveNodes[(rel+rootIdx)%a] }
+	if rel != 0 {
+		r.NetRecv(x.leaderW(abs(rel-lowbit(rel)), rootNew), buf, size)
+	}
+	top := lowbit(rel)
+	if rel == 0 {
+		top = 1
+		for top < a {
+			top <<= 1
+		}
+	}
+	for mask := top >> 1; mask >= 1; mask >>= 1 {
+		if child := rel + mask; child < a {
+			r.NetSend(x.leaderW(abs(child), rootNew), buf, size)
+		}
+	}
+}
+
+// netReduce is the binomial reverse over alive-node list positions.
+func (x *rerunner) netReduce(r *Rank, rootNew int, acc kernel.Addr, size int64) {
+	sh := x.sh
+	a := len(sh.AliveNodes)
+	if a == 1 {
+		return
+	}
+	rootIdx := sh.NodeIdx[sh.NodeOfNew(rootNew)]
+	rel := (sh.NodeIdx[r.Node] - rootIdx + a) % a
+	abs := func(rel int) int { return sh.AliveNodes[(rel+rootIdx)%a] }
+	var scratch kernel.Addr
+	haveScratch := false
+	for mask := 1; mask < a; mask <<= 1 {
+		if rel&mask != 0 {
+			r.NetSend(x.leaderW(abs(rel-mask), rootNew), acc, size)
+			return
+		}
+		if peer := rel + mask; peer < a {
+			if !haveScratch {
+				scratch = r.Alloc(size)
+				haveScratch = true
+			}
+			r.NetRecv(x.leaderW(abs(peer), rootNew), scratch, size)
+			r.OS.Combine(r.SP, acc, scratch, size)
+		}
+	}
+}
+
+func (x *rerunner) bcast(r *Rank, a Args) {
+	sh := x.sh
+	kn := sh.SurvivorsOn(r.Node)
+	lead := x.leadLocal(r.Node, a.Root)
+	buf := a.Recv
+	if sh.Prefix[r.Node]+r.ID == a.Root {
+		buf = a.Send
+	}
+	if r.ID == lead {
+		x.phase(r, "h_net", func() { x.netBcast(r, a.Root, buf, a.Count) })
+	}
+	x.phase(r, "h_intra", func() {
+		if kn > 1 {
+			x.intra(kn).Run(r.Rank, core.Args{Send: buf, Recv: a.Recv, Count: a.Count, Root: lead})
+		}
+	})
+}
+
+func (x *rerunner) gather(r *Rank, a Args) {
+	sh := x.sh
+	kn := sh.SurvivorsOn(r.Node)
+	lead := x.leadLocal(r.Node, a.Root)
+	rootNode := sh.NodeOfNew(a.Root)
+	nodeBytes := int64(kn) * a.Count
+	stage := a.Recv // non-leaders: unused by the intra root
+	if r.ID == lead {
+		if r.Node == rootNode {
+			stage = a.Recv + kernel.Addr(int64(sh.Prefix[r.Node])*a.Count)
+		} else {
+			stage = r.Alloc(nodeBytes)
+		}
+	}
+	x.phase(r, "h_intra", func() {
+		if kn > 1 {
+			x.intra(kn).Run(r.Rank, core.Args{Send: a.Send, Recv: stage, Count: a.Count, Root: lead})
+		} else {
+			r.LocalCopy(stage, a.Send, a.Count)
+		}
+	})
+	if r.ID == lead {
+		x.phase(r, "h_net", func() {
+			if r.Node != rootNode {
+				r.NetSend(sh.OldWorld[a.Root], stage, nodeBytes)
+				return
+			}
+			for _, n := range sh.AliveNodes {
+				if n == r.Node {
+					continue
+				}
+				r.NetRecv(x.leaderW(n, a.Root),
+					a.Recv+kernel.Addr(int64(sh.Prefix[n])*a.Count),
+					int64(sh.SurvivorsOn(n))*a.Count)
+			}
+		})
+	}
+}
+
+func (x *rerunner) scatter(r *Rank, a Args) {
+	sh := x.sh
+	kn := sh.SurvivorsOn(r.Node)
+	lead := x.leadLocal(r.Node, a.Root)
+	rootNode := sh.NodeOfNew(a.Root)
+	nodeBytes := int64(kn) * a.Count
+	stage := a.Send // non-leaders: unused by the intra root
+	if r.ID == lead {
+		if r.Node == rootNode {
+			stage = a.Send + kernel.Addr(int64(sh.Prefix[r.Node])*a.Count)
+		} else {
+			stage = r.Alloc(nodeBytes)
+		}
+	}
+	if r.ID == lead {
+		x.phase(r, "h_net", func() {
+			if r.Node != rootNode {
+				r.NetRecv(sh.OldWorld[a.Root], stage, nodeBytes)
+				return
+			}
+			for _, n := range sh.AliveNodes {
+				if n == r.Node {
+					continue
+				}
+				r.NetSend(x.leaderW(n, a.Root),
+					a.Send+kernel.Addr(int64(sh.Prefix[n])*a.Count),
+					int64(sh.SurvivorsOn(n))*a.Count)
+			}
+		})
+	}
+	x.phase(r, "h_intra", func() {
+		if kn > 1 {
+			x.intra(kn).Run(r.Rank, core.Args{Send: stage, Recv: a.Recv, Count: a.Count, Root: lead})
+		} else {
+			r.LocalCopy(a.Recv, stage, a.Count)
+		}
+	})
+}
+
+func (x *rerunner) allgather(r *Rank, a Args) {
+	sh := x.sh
+	kn := sh.SurvivorsOn(r.Node)
+	base := sh.Prefix[r.Node]
+	nodeBytes := int64(kn) * a.Count
+	full := int64(sh.NewSize) * a.Count
+	nodeBlock := a.Recv + kernel.Addr(int64(base)*a.Count)
+	x.phase(r, "h_intra", func() {
+		if kn > 1 {
+			x.intra(kn).Run(r.Rank, core.Args{Send: a.Send, Recv: nodeBlock, Count: a.Count, Root: 0})
+		} else {
+			r.LocalCopy(nodeBlock, a.Send, a.Count)
+		}
+	})
+	if r.ID == 0 {
+		x.phase(r, "h_net", func() {
+			// Direct leader exchange: all sends first (fabric sends are
+			// buffered), then receives in ascending node order.
+			for _, n := range sh.AliveNodes {
+				if n != r.Node {
+					r.NetSend(sh.Leaders[n], nodeBlock, nodeBytes)
+				}
+			}
+			for _, n := range sh.AliveNodes {
+				if n == r.Node {
+					continue
+				}
+				r.NetRecv(sh.Leaders[n],
+					a.Recv+kernel.Addr(int64(sh.Prefix[n])*a.Count),
+					int64(sh.SurvivorsOn(n))*a.Count)
+			}
+		})
+	}
+	x.phase(r, "h_intra", func() {
+		if kn > 1 {
+			core.TunedBcast(r.Rank, core.Args{Send: a.Recv, Recv: a.Recv, Count: full, Root: 0})
+		}
+	})
+}
+
+func (x *rerunner) alltoall(r *Rank, a Args) {
+	sh := x.sh
+	cl := x.cl
+	kn := sh.SurvivorsOn(r.Node)
+	base := sh.Prefix[r.Node]
+	vec := int64(sh.NewSize) * a.Count
+	var stage, mstage kernel.Addr
+	if r.ID == 0 {
+		stage = r.Alloc(int64(kn) * vec)
+		mstage = r.Alloc(int64(kn) * vec)
+	}
+	x.phase(r, "h_intra", func() {
+		if kn > 1 {
+			core.TunedGather(r.Rank, core.Args{Send: a.Send, Recv: stage, Count: vec, Root: 0})
+		} else {
+			r.LocalCopy(stage, a.Send, vec)
+		}
+	})
+	if r.ID == 0 {
+		x.phase(r, "h_net", func() {
+			// Pack and post one bundle per remote node (source-member
+			// major: member sl's blocks for all of n's members), then
+			// receive and unpack in ascending node order.
+			for _, n := range sh.AliveNodes {
+				if n == r.Node {
+					continue
+				}
+				km := sh.SurvivorsOn(n)
+				slot := int64(km) * a.Count
+				bundle := r.Alloc(int64(kn) * slot)
+				r.packCost(int64(kn) * slot)
+				if cl.CopyData {
+					for sl := 0; sl < kn; sl++ {
+						r.movePayload(bundle+kernel.Addr(int64(sl)*slot),
+							stage+kernel.Addr(int64(sl)*vec+int64(sh.Prefix[n])*a.Count), slot)
+					}
+				}
+				r.NetSend(sh.Leaders[n], bundle, int64(kn)*slot)
+			}
+			// Local transpose of this node's own blocks.
+			r.packCost(int64(kn) * int64(kn) * a.Count)
+			if cl.CopyData {
+				for sl := 0; sl < kn; sl++ {
+					for dl := 0; dl < kn; dl++ {
+						r.movePayload(mstage+kernel.Addr(int64(dl)*vec+int64(base+sl)*a.Count),
+							stage+kernel.Addr(int64(sl)*vec+int64(base+dl)*a.Count), a.Count)
+					}
+				}
+			}
+			for _, n := range sh.AliveNodes {
+				if n == r.Node {
+					continue
+				}
+				km := sh.SurvivorsOn(n)
+				in := r.Alloc(int64(km) * int64(kn) * a.Count)
+				r.NetRecv(sh.Leaders[n], in, int64(km)*int64(kn)*a.Count)
+				r.packCost(int64(km) * int64(kn) * a.Count)
+				if cl.CopyData {
+					for slm := 0; slm < km; slm++ {
+						for dl := 0; dl < kn; dl++ {
+							r.movePayload(
+								mstage+kernel.Addr(int64(dl)*vec+int64(sh.Prefix[n]+slm)*a.Count),
+								in+kernel.Addr(int64(slm)*int64(kn)*a.Count+int64(dl)*a.Count), a.Count)
+						}
+					}
+				}
+			}
+		})
+	}
+	x.phase(r, "h_intra", func() {
+		if kn > 1 {
+			core.TunedScatter(r.Rank, core.Args{Send: mstage, Recv: a.Recv, Count: vec, Root: 0})
+		} else {
+			r.LocalCopy(a.Recv, mstage, vec)
+		}
+	})
+}
+
+func (x *rerunner) reduce(r *Rank, a Args) {
+	sh := x.sh
+	kn := sh.SurvivorsOn(r.Node)
+	lead := x.leadLocal(r.Node, a.Root)
+	acc := a.Recv
+	if r.ID == lead && sh.Prefix[r.Node]+r.ID != a.Root {
+		acc = r.Alloc(a.Count)
+	}
+	x.phase(r, "h_intra", func() {
+		if kn > 1 {
+			x.intra(kn).Run(r.Rank, core.Args{Send: a.Send, Recv: acc, Count: a.Count, Root: lead})
+		} else {
+			r.LocalCopy(acc, a.Send, a.Count)
+		}
+	})
+	if r.ID == lead {
+		x.phase(r, "h_net", func() { x.netReduce(r, a.Root, acc, a.Count) })
+	}
+}

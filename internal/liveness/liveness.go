@@ -150,6 +150,19 @@ func (b *Board) Ranks() int { return b.n }
 // Beat publishes rank's heartbeat at the current instant.
 func (b *Board) Beat(rank int) { b.beats[rank] = b.sim.Now() }
 
+// Lease publishes rank's heartbeat forward to a future instant: the
+// rank is about to be provably busy until then (e.g. a sender pushing
+// one contention-inflated chunk through a fabric link, whose duration
+// is known the moment it starts) and cannot re-beat from inside the
+// busy period. A leased rank is not Stale until the lease plus the
+// staleness age has passed. Leases never move a heartbeat backwards,
+// and Merge propagates them like any fresher beat.
+func (b *Board) Lease(rank int, until sim.Time) {
+	if until > b.beats[rank] {
+		b.beats[rank] = until
+	}
+}
+
 // Stale reports whether rank's heartbeat is at least age old. It is the
 // watchdog's second opinion before declaring a deadline-expired peer
 // dead: a live-but-blocked rank re-beats every Poll quantum, so only a
@@ -201,6 +214,34 @@ func (b *Board) DeadSet() []int {
 // has been recorded. Detection latency = agreement instant − FirstDeathAt.
 func (b *Board) FirstDeathAt() (sim.Time, bool) {
 	return b.firstAt, b.nDead > 0
+}
+
+// Merge folds another board's view of the same rank space into this
+// one: fresher heartbeats win, and deaths are adopted together with the
+// other view's death instant (first marking still wins, so merged and
+// locally observed deaths never disagree about when a rank died). This
+// is the fabric-crossing gossip primitive — a liveness probe returns
+// the remote node's view and the prober merges it into its own.
+func (b *Board) Merge(o *Board) {
+	if o == nil || o == b {
+		return
+	}
+	if o.n != b.n {
+		panic("liveness: Merge across boards of different rank spaces")
+	}
+	for r := 0; r < b.n; r++ {
+		if o.beats[r] > b.beats[r] {
+			b.beats[r] = o.beats[r]
+		}
+		if o.dead[r] && !b.dead[r] {
+			b.dead[r] = true
+			b.deadAt[r] = o.deadAt[r]
+			if b.nDead == 0 || o.deadAt[r] < b.firstAt {
+				b.firstAt = o.deadAt[r]
+			}
+			b.nDead++
+		}
+	}
 }
 
 func (b *Board) round(i int) *roundState {

@@ -1,0 +1,377 @@
+package measure
+
+import (
+	"fmt"
+	"math/rand"
+
+	"camc/internal/arch"
+	"camc/internal/cluster"
+	"camc/internal/core"
+	"camc/internal/fault"
+	"camc/internal/kernel"
+	"camc/internal/liveness"
+	"camc/internal/trace"
+)
+
+// ClusterOptions configures one cluster recovery run.
+type ClusterOptions struct {
+	Nodes int    // node count (required)
+	PPN   int    // ranks per node; 0 = architecture default
+	Topo  string // fabric topology; "" = fattree
+	Root  int    // world root of the collective
+
+	// Fault arms per-node probabilistic fault plans; Kills arms explicit
+	// deaths (world rank, operation index). The liveness layer is always
+	// enabled — Liveness overrides its defaults.
+	Fault    *fault.Config
+	Liveness *liveness.Config
+	Kills    []cluster.Kill
+
+	// MaxSkew staggers rank entry by a seeded uniform draw in
+	// [0, MaxSkew) microseconds per world rank.
+	SkewSeed int64
+	MaxSkew  float64
+
+	// CopyData materializes payload bytes: the attempt and the re-run
+	// are then verified byte-level against the deterministic pattern
+	// (and snapshots are returned for external oracles). Dataless runs
+	// move cost only and skip verification.
+	CopyData bool
+}
+
+// ClusterRecoveryResult reports one world-level detect → agree → shrink
+// → elect → re-run cycle (the x12 chaos-at-scale experiment). It embeds
+// the single-node RecoveryResult latencies and adds the cluster-only
+// measures.
+type ClusterRecoveryResult struct {
+	RecoveryResult
+
+	// ElectLatency spans the leader re-election: from the first survivor
+	// entering the election to the last leader holding the verified
+	// world leader table. Zero when no rank died.
+	ElectLatency float64
+
+	// OldWorld maps survivor ids (new numbering) to original world
+	// ranks; NewRoot is the re-run root in new numbering. Nil/zero on a
+	// clean run.
+	OldWorld []int
+	NewRoot  int
+
+	// SendSnap and RecvSnap are the survivors' re-run buffers by new id
+	// (CopyData runs only): the send pattern each survivor offered and
+	// the bytes its receive buffer held after the re-run. External
+	// oracles (the check package's reference executor) consume these.
+	SendSnap, RecvSnap [][]byte
+
+	// Residue is what the aborted attempt left in the fabric's flow
+	// queues: messages addressed to ranks that died before receiving
+	// them. Every entry's To must be a failed rank — survivors drained
+	// their queues before the re-run.
+	Residue []cluster.Residue
+
+	// Fabric accounting for the link invariants.
+	Links    []cluster.LinkStat
+	NetBeta  float64
+	NetChunk int64
+	Events   uint64
+}
+
+// ClusterRecovered runs one hierarchical collective on a simulated
+// multi-node fabric under armed kills and/or a per-node fault plan,
+// then exercises the full world-level recovery path: fabric-crossing
+// detection, world agreement, two-tier shrink, deterministic leader
+// re-election, and a verified re-run over the survivor world.
+func ClusterRecovered(a *arch.Profile, kind core.Kind, design cluster.Design, intraSpec string, count int64, opts ClusterOptions) (ClusterRecoveryResult, error) {
+	return clusterRecovered(a, kind, design, intraSpec, count, opts, nil)
+}
+
+// ClusterRecoveredTraced measures exactly like ClusterRecovered with a
+// trace recorder attached, returning the recorder alongside the result.
+func ClusterRecoveredTraced(a *arch.Profile, kind core.Kind, design cluster.Design, intraSpec string, count int64, opts ClusterOptions) (ClusterRecoveryResult, *trace.Recorder, error) {
+	rec := trace.NewUnbound()
+	res, err := clusterRecovered(a, kind, design, intraSpec, count, opts, rec)
+	return res, rec, err
+}
+
+func clusterRecovered(a *arch.Profile, kind core.Kind, design cluster.Design, intraSpec string, count int64, opts ClusterOptions, rec *trace.Recorder) (ClusterRecoveryResult, error) {
+	lcfg := liveness.Defaults()
+	if opts.Liveness != nil {
+		lcfg = *opts.Liveness
+	}
+	cl := cluster.New(cluster.Config{
+		Arch: a, NumNodes: opts.Nodes, PPN: opts.PPN, Topo: opts.Topo,
+		CopyData: opts.CopyData, Fault: opts.Fault, Liveness: &lcfg, Kills: opts.Kills,
+	})
+	world := cl.WorldSize()
+	coll, err := cluster.Lookup(cl, kind, design, intraSpec)
+	if err != nil {
+		return ClusterRecoveryResult{}, err
+	}
+	cl.AttachTrace(rec)
+
+	sendLen, recvLen, err := bufSizes(kind, world, count)
+	if err != nil {
+		return ClusterRecoveryResult{}, err
+	}
+	send := make([]kernel.Addr, world)
+	recv := make([]kernel.Addr, world)
+	for w := 0; w < world; w++ {
+		p := cl.WorldRank(w).OS
+		send[w] = p.Alloc(sendLen)
+		recv[w] = p.Alloc(recvLen)
+		if cl.CopyData {
+			p.WriteAt(send[w], patternSend(kind, world, w, count, sendLen))
+			p.FillAt(recv[w], recvLen, 0xEE)
+		}
+	}
+	var skew []float64
+	if opts.MaxSkew > 0 {
+		rng := rand.New(rand.NewSource(opts.SkewSeed))
+		skew = make([]float64, world)
+		for i := range skew {
+			skew[i] = rng.Float64() * opts.MaxSkew
+		}
+	}
+
+	// Per-original-world-rank instants; killed ranks leave their slots 0
+	// and are excluded from the reductions below.
+	starts := make([]float64, world)
+	attemptEnds := make([]float64, world)
+	rerunStarts := make([]float64, world)
+	rerunEnds := make([]float64, world)
+	agreedErr := make([]error, world)
+	survived := make([]bool, world)
+
+	// Survivor state published by the rank goroutines (single scheduling
+	// token; plain writes are safe). recv2/send2 are indexed by NEW id.
+	recv2 := make([]kernel.Addr, world)
+	send2 := make([]kernel.Addr, world)
+	var sh *cluster.Shrunk
+
+	done, runErr := cl.Run(func(r *cluster.Rank) {
+		w := r.World
+		localErr := r.Protected(func() {
+			r.WorldBarrier(world)
+			starts[w] = float64(r.SP.Now())
+			if skew != nil {
+				r.SP.Sleep(skew[w])
+			}
+			coll.Run(r, cluster.Args{Send: send[w], Recv: recv[w], Count: count, Root: opts.Root})
+		})
+		attemptEnds[w] = float64(r.SP.Now())
+		verdict := r.WorldAgree(localErr)
+		agreedErr[w] = verdict
+		survived[w] = true
+		if verdict == nil {
+			return
+		}
+		pd, ok := verdict.(*liveness.PeerDeadError)
+		if !ok {
+			return // non-liveness failure: surfaced after Run
+		}
+		// Recovery: disarm this node's remaining seeded kills, then the
+		// world-level shrink + election, then the verified re-run.
+		if plan := r.Comm.FaultPlan(); plan != nil {
+			plan.Revive()
+		}
+		nr, shr := r.WorldShrink(pd.Ranks, kind, opts.Root)
+		id := shr.NewWorld[w]
+		if id == 0 {
+			sh = shr
+		}
+		sl2, rl2, serr := bufSizes(kind, shr.NewSize, count)
+		if serr != nil {
+			panic(serr)
+		}
+		s2 := nr.Alloc(sl2)
+		r2 := nr.Alloc(rl2)
+		send2[id], recv2[id] = s2, r2
+		if cl.CopyData {
+			nr.OS.WriteAt(s2, patternSend(kind, shr.NewSize, id, count, sl2))
+			nr.OS.FillAt(r2, rl2, 0xEE)
+		}
+		nr.WorldBarrier(shr.NewSize)
+		rerunStarts[w] = float64(r.SP.Now())
+		cluster.Rerun(nr, shr, kind, intraSpec, cluster.Args{Send: s2, Recv: r2, Count: count, Root: shr.NewRoot})
+		nr.WorldBarrier(shr.NewSize)
+		rerunEnds[w] = float64(r.SP.Now())
+	})
+
+	res := ClusterRecoveryResult{
+		Links: cl.Fabric.LinkStats(), NetBeta: cl.Fabric.Beta, NetChunk: cl.Fabric.ChunkBytes,
+	}
+	res.Algorithm = coll.Name
+	res.Survivors = world
+	for _, comm := range cl.Nodes {
+		if plan := comm.FaultPlan(); plan != nil {
+			addStats(&res.Stats, plan.Stats())
+		}
+	}
+	if runErr != nil {
+		return res, runErr
+	}
+	_ = done
+	res.Events = cl.Sim.EventsProcessed()
+
+	// Coherence: every survivor must hold the same verdict.
+	var verdict error
+	first := true
+	for w := 0; w < world; w++ {
+		if !survived[w] {
+			continue
+		}
+		if first {
+			verdict, first = agreedErr[w], false
+			continue
+		}
+		if !sameVerdict(verdict, agreedErr[w]) {
+			return res, fmt.Errorf("measure: incoherent cluster verdicts: %v vs %v", agreedErr[w], verdict)
+		}
+	}
+	res.FirstLatency = maxWhere(attemptEnds, survived) - maxWhere(starts, survived)
+	res.Err = verdict
+
+	if verdict == nil {
+		if !cl.CopyData {
+			cluster.Release(cl)
+			return res, nil
+		}
+		snap := make([][]byte, world)
+		for w := 0; w < world; w++ {
+			snap[w] = append([]byte(nil), cl.WorldRank(w).OS.Bytes(recv[w], recvLen)...)
+		}
+		verr := verifySnap(kind, world, opts.Root, count, snap)
+		if verr == nil {
+			cluster.Release(cl)
+		}
+		return res, verr
+	}
+	pd, ok := verdict.(*liveness.PeerDeadError)
+	if !ok {
+		return res, verdict
+	}
+	res.Failed = pd.Ranks
+	if sh == nil {
+		return res, fmt.Errorf("measure: agreed on %v but no survivor shrank", pd.Ranks)
+	}
+	res.Survivors = sh.NewSize
+	res.Algorithm = "rerun/" + intraSpec
+	res.OldWorld = sh.OldWorld
+	res.NewRoot = sh.NewRoot
+
+	wl := cl.Live
+	deathAt, anyDead := wl.FirstDeathAt()
+	if !anyDead {
+		return res, fmt.Errorf("measure: agreed on %v but no view records a death", pd.Ranks)
+	}
+	agreedAt := wl.AgreedAt(0)
+	res.DetectLatency = float64(agreedAt - deathAt)
+	res.ShrinkLatency = float64(wl.ShrinkEnd() - agreedAt)
+	es, ee := wl.ElectWindow()
+	res.ElectLatency = float64(ee - es)
+	res.RerunLatency = maxWhere(rerunEnds, survived) - maxWhere(rerunStarts, survived)
+	res.Residue = cl.Fabric.Residue()
+
+	if !cl.CopyData {
+		return res, nil
+	}
+	sl2, rl2, _ := bufSizes(kind, sh.NewSize, count)
+	res.SendSnap = make([][]byte, sh.NewSize)
+	res.RecvSnap = make([][]byte, sh.NewSize)
+	for id := 0; id < sh.NewSize; id++ {
+		p := cl.WorldRank(sh.OldWorld[id]).OS
+		res.SendSnap[id] = append([]byte(nil), p.Bytes(send2[id], sl2)...)
+		res.RecvSnap[id] = append([]byte(nil), p.Bytes(recv2[id], rl2)...)
+	}
+	return res, verifySnap(kind, sh.NewSize, sh.NewRoot, count, res.RecvSnap)
+}
+
+// addStats accumulates one node plan's counters into the total.
+func addStats(t *fault.Stats, s fault.Stats) {
+	t.Transients += s.Transients
+	t.Partials += s.Partials
+	t.LockSpikes += s.LockSpikes
+	t.ShmStalls += s.ShmStalls
+	t.Stragglers += s.Stragglers
+	t.Retries += s.Retries
+	t.BackoffTime += s.BackoffTime
+	t.Fallbacks += s.Fallbacks
+	t.BounceOps += s.BounceOps
+	t.BounceBytes += s.BounceBytes
+	t.Kills += s.Kills
+}
+
+// patternSend builds rank's send buffer contents for a p-rank
+// communicator: the same deterministic pattern fillPattern writes.
+func patternSend(kind core.Kind, p, rank int, count, sendLen int64) []byte {
+	buf := make([]byte, sendLen)
+	switch kind {
+	case core.KindScatter, core.KindAlltoall:
+		for d := 0; d < p; d++ {
+			for i := int64(0); i < count; i++ {
+				buf[int64(d)*count+i] = checkPattern(rank, d, i)
+			}
+		}
+	default:
+		for i := int64(0); i < count; i++ {
+			buf[i] = checkPattern(rank, 0, i)
+		}
+	}
+	return buf
+}
+
+// verifySnap checks receive-buffer snapshots (indexed by rank) against
+// the deterministic pattern, per MPI semantics of kind — the
+// snapshot-based twin of verifyPayloads.
+func verifySnap(kind core.Kind, procs, root int, count int64, recv [][]byte) error {
+	check := func(rank int, off int64, want byte, what string) error {
+		if got := recv[rank][off]; got != want {
+			return fmt.Errorf("measure: %s payload wrong at rank %d offset %d: got %#x, want %#x",
+				what, rank, off, got, want)
+		}
+		return nil
+	}
+	for r := 0; r < procs; r++ {
+		for i := int64(0); i < count; i++ {
+			var err error
+			switch kind {
+			case core.KindScatter:
+				err = check(r, i, checkPattern(root, r, i), "scatter")
+			case core.KindGather:
+				if r == root {
+					for src := 0; src < procs; src++ {
+						if e := check(r, int64(src)*count+i, checkPattern(src, 0, i), "gather"); e != nil {
+							return e
+						}
+					}
+				}
+			case core.KindAllgather, core.KindAlltoall:
+				for src := 0; src < procs; src++ {
+					want := checkPattern(src, 0, i)
+					if kind == core.KindAlltoall {
+						want = checkPattern(src, r, i)
+					}
+					if e := check(r, int64(src)*count+i, want, string(kind)); e != nil {
+						return e
+					}
+				}
+			case core.KindBcast:
+				if r != root {
+					err = check(r, i, checkPattern(root, 0, i), "bcast")
+				}
+			case core.KindReduce:
+				if r == root {
+					var sum byte
+					for src := 0; src < procs; src++ {
+						sum += checkPattern(src, 0, i)
+					}
+					err = check(r, i, sum, "reduce")
+				}
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -105,6 +105,18 @@ type Comm struct {
 	// communicator's (identity for a communicator built by New).
 	parentIDs []int
 
+	// boardIDs maps this communicator's rank IDs to liveness-board
+	// slots (nil = identity). A cluster sets every node's board to a
+	// world-sized view indexed by world rank, so local ranks beat and
+	// mark by world ID and remote deaths revoke local waits.
+	boardIDs []int
+
+	// armedKills holds explicitly targeted kills (rank -> operation
+	// index), applied in Start on top of the fault plan's seeded kill
+	// points. Unlike the plan, an armed kill may target local rank 0 —
+	// the cluster chaos experiments need to kill node leaders.
+	armedKills map[int]int
+
 	// shrunk/shrunkFailed implement the single-builder Shrink protocol:
 	// the first survivor constructs the new communicator, later
 	// survivors adopt it after checking they agreed on the same failures.
@@ -149,6 +161,38 @@ func (c *Comm) ParentID(i int) int {
 		return i
 	}
 	return c.parentIDs[i]
+}
+
+// SetBoardIDs maps this communicator's rank IDs to liveness-board
+// slots (and propagates the mapping to the shm transport, whose waits
+// drive the board). Call before Start; nil restores the identity
+// mapping used by plain single-node communicators.
+func (c *Comm) SetBoardIDs(ids []int) {
+	if ids != nil && len(ids) != len(c.ranks) {
+		panic(fmt.Sprintf("mpi: SetBoardIDs with %d ids for %d ranks", len(ids), len(c.ranks)))
+	}
+	c.boardIDs = ids
+	c.Shm.SetBoardIDs(ids)
+}
+
+// BoardID maps rank i to its liveness-board slot (identity when no
+// mapping is set).
+func (c *Comm) BoardID(i int) int {
+	if c.boardIDs == nil {
+		return i
+	}
+	return c.boardIDs[i]
+}
+
+// ArmKill schedules an explicit seeded death: rank dies at its op-th
+// checkpointed operation, exactly like a fault-plan kill point but
+// targeted (and allowed to hit local rank 0, which probabilistic plans
+// exempt so a run always has survivors). Call before Start.
+func (c *Comm) ArmKill(rank, op int) {
+	if c.armedKills == nil {
+		c.armedKills = make(map[int]int)
+	}
+	c.armedKills[rank] = op
 }
 
 // RankFromParent returns the rank that was parentID before the shrink,
@@ -283,6 +327,9 @@ func (c *Comm) Start(body func(r *Rank)) {
 	for _, r := range c.ranks {
 		r := r
 		r.killPoint = c.FaultPlan().KillPoint(r.ID)
+		if op, ok := c.armedKills[r.ID]; ok {
+			r.killPoint = op
+		}
 		c.Sim.Spawn(fmt.Sprintf("rank%d", r.ID), func(p *sim.Proc) {
 			r.SP = p
 			defer func() {
@@ -314,6 +361,14 @@ func Run(cfg Config, body func(r *Rank)) (Result, error) {
 // the rank publishes its death on the liveness board and exits via a
 // liveness.Killed panic (recovered in Start). Unarmed ranks pay one
 // predicted-not-taken branch.
+// KillCheck exposes the seeded-death checkpoint to transports layered
+// above the node communicator: the cluster fabric counts NetSend and
+// NetRecv as checkpointed operations too, so a rank whose schedule is
+// all network traffic (a flat-design leaf, a two-level leader) can
+// still be killed at its operation index. The checkpoint sits at
+// operation entry — a death never interrupts an in-flight transfer.
+func (r *Rank) KillCheck() { r.killCheck() }
+
 func (r *Rank) killCheck() {
 	if r.killPoint <= 0 {
 		return
@@ -327,7 +382,7 @@ func (r *Rank) killCheck() {
 				trace.F("op", float64(r.ops)))
 		}
 		if b := r.Comm.Liveness(); b != nil {
-			b.MarkDead(r.ID)
+			b.MarkDead(r.Comm.BoardID(r.ID))
 		}
 		panic(liveness.Killed{Rank: r.ID})
 	}
@@ -461,13 +516,29 @@ func (c *Comm) buildShrunk(failed []int) {
 		}
 		nc.Shm.SetLanes(lanes)
 	}
-	if b := c.Node.Liveness(); b != nil {
+	if b := c.Node.Liveness(); b != nil && c.boardIDs == nil {
+		// Single-node: the board's rank numbering dies with the old
+		// communicator, so replace it with a right-sized fresh one. In a
+		// cluster (boardIDs set) the board is the node's world-sized view
+		// and slots are original world ranks, which survive the shrink —
+		// the cluster layer installs the fresh view itself, once per node.
 		c.Node.SetLiveness(liveness.NewBoard(c.Sim, len(alive), b.Config()))
+	}
+	if c.boardIDs != nil {
+		nc.boardIDs = make([]int, len(alive))
+		for newID, oldID := range alive {
+			nc.boardIDs[newID] = c.boardIDs[oldID]
+		}
+		nc.Shm.SetBoardIDs(nc.boardIDs)
 	}
 	plan := c.FaultPlan()
 	for newID, oldID := range alive {
 		old := c.ranks[oldID]
 		nr := &Rank{Comm: nc, ID: newID, OS: old.OS, killPoint: plan.KillPoint(newID)}
+		if c.boardIDs != nil {
+			// Cluster re-runs happen after Revive; armed kills fired once.
+			nr.killPoint = -1
+		}
 		if old.cmaDead != nil {
 			// Degraded pairs stay degraded: the mm didn't heal because the
 			// communicator was renumbered.

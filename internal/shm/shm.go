@@ -52,11 +52,12 @@ const denseQueueLimit = 256
 // Transport is a shared-memory segment connecting nranks local processes
 // with per-ordered-pair FIFO queues.
 type Transport struct {
-	node   *kernel.Node
-	nranks int
-	queues []*sim.Chan[message]         // dense, index src*nranks+dst; nil above denseQueueLimit
-	lazy   map[int64]*sim.Chan[message] // sparse, keyed src*nranks+dst
-	lanes  []int                        // trace lane per rank (nil = identity)
+	node     *kernel.Node
+	nranks   int
+	queues   []*sim.Chan[message]         // dense, index src*nranks+dst; nil above denseQueueLimit
+	lazy     map[int64]*sim.Chan[message] // sparse, keyed src*nranks+dst
+	lanes    []int                        // trace lane per rank (nil = identity)
+	boardIDs []int                        // liveness board slot per rank (nil = identity)
 }
 
 // New creates a transport among nranks processes of node.
@@ -93,6 +94,27 @@ func (t *Transport) lane(i int) int {
 		return i
 	}
 	return t.lanes[i]
+}
+
+// SetBoardIDs maps this transport's rank indices to liveness-board
+// slots. A single-node board is indexed by local rank (identity, the
+// default); in a cluster each node's board is the node's *world-sized
+// view*, so local waits must beat, interrogate, and mark slots by world
+// rank — that way a remote death merged in over the fabric revokes
+// intra-node waits exactly like a local one.
+func (t *Transport) SetBoardIDs(ids []int) {
+	if ids != nil && len(ids) != t.nranks {
+		panic(fmt.Sprintf("shm: SetBoardIDs with %d ids for %d ranks", len(ids), t.nranks))
+	}
+	t.boardIDs = ids
+}
+
+// bid returns the liveness-board slot for rank i.
+func (t *Transport) bid(i int) int {
+	if t.boardIDs == nil {
+		return i
+	}
+	return t.boardIDs[i]
 }
 
 // Ranks returns the number of ranks the transport connects.
@@ -189,7 +211,7 @@ func (t *Transport) recvMsg(sp *sim.Proc, src, dst int) message {
 	cfg := b.Config()
 	deadline := sp.Now() + cfg.Deadline
 	for {
-		b.Beat(dst)
+		b.Beat(t.bid(dst))
 		wait := cfg.Poll
 		if r := deadline - sp.Now(); r > 0 && r < wait {
 			wait = r
@@ -200,8 +222,8 @@ func (t *Transport) recvMsg(sp *sim.Proc, src, dst int) message {
 		if b.AnyDead() {
 			t.liveFail(dst, src, "recv")
 		}
-		if sp.Now() >= deadline && b.Stale(src, cfg.Deadline) {
-			b.MarkDead(src)
+		if sp.Now() >= deadline && b.Stale(t.bid(src), cfg.Deadline) {
+			b.MarkDead(t.bid(src))
 			t.liveFail(dst, src, "recv")
 		}
 	}
@@ -220,7 +242,7 @@ func (t *Transport) sendMsg(sp *sim.Proc, src, dst int, m message) {
 	cfg := b.Config()
 	deadline := sp.Now() + cfg.Deadline
 	for {
-		b.Beat(src)
+		b.Beat(t.bid(src))
 		wait := cfg.Poll
 		if r := deadline - sp.Now(); r > 0 && r < wait {
 			wait = r
@@ -231,8 +253,8 @@ func (t *Transport) sendMsg(sp *sim.Proc, src, dst int, m message) {
 		if b.AnyDead() {
 			t.liveFail(src, dst, "send")
 		}
-		if sp.Now() >= deadline && b.Stale(dst, cfg.Deadline) {
-			b.MarkDead(dst)
+		if sp.Now() >= deadline && b.Stale(t.bid(dst), cfg.Deadline) {
+			b.MarkDead(t.bid(dst))
 			t.liveFail(src, dst, "send")
 		}
 	}
