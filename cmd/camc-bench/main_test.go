@@ -33,6 +33,7 @@ var goldenCases = []struct {
 	{"x9_quick", []string{"-run", "x9", "-quick", "-j", "3"}},
 	{"x11_quick", []string{"-run", "x11", "-quick", "-j", "3"}},
 	{"x12_quick", []string{"-run", "x12", "-quick", "-j", "3"}},
+	{"x13_quick", []string{"-run", "x13", "-quick", "-j", "3"}},
 	{"tab5", []string{"-run", "tab5"}},
 	{"fig5_quick", []string{"-run", "fig5", "-quick"}},
 }

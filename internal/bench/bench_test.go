@@ -15,7 +15,7 @@ var quick = Options{Quick: true}
 var raceExpensive = map[string]bool{
 	"fig9": true, "fig10": true, "fig15": true, "fig16": true,
 	"tab6": true, "tab7": true, "x5": true, "x10": true, "x11": true,
-	"x12": true,
+	"x12": true, "x13": true,
 }
 
 func skipIfRaceExpensive(t *testing.T, id string) {
@@ -40,7 +40,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
 		"tab3", "tab4", "tab5", "tab6", "tab7",
-		"x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9", "x10", "x11", "x12", // extensions
+		"x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9", "x10", "x11", "x12", "x13", // extensions
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

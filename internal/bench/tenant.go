@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"camc/internal/arch"
+	"camc/internal/core"
+	"camc/internal/tuner"
+	"camc/internal/workload"
+)
+
+// x13: the multi-tenant contention sweep. The paper calibrates γ(c) with
+// one job on the machine; this extension asks what the tuner should do
+// when part of the "c" belongs to somebody else. Three panels per
+// architecture:
+//
+//  1. per-kind tuned-winner grids at probe granularity, one series per
+//     ambient co-tenant pressure level — the raw view of where the
+//     winning algorithm flips from kernel-assisted to two-copy as the
+//     phantom lock holders pile up;
+//  2. a crossover summary: the smallest probed size where a
+//     kernel-assisted design still wins, per (kind, ambient) — the
+//     number a contention-aware tuning service keys its cache on;
+//  3. a co-location interference table: the canonical three-tenant mix
+//     (train / stencil / rpc) run solo vs together, showing the same
+//     lock model degrading real job mixes, not just microbenchmarks.
+
+// twoCopy classifies an algorithm name: the -shm / -pt2pt suffixed
+// designs copy through shared or bounce buffers and never take the
+// remote mm lock; everything else in the tuner's candidate pools is
+// kernel-assisted (CMA-class) and feels ambient pressure.
+func twoCopy(name string) bool {
+	return strings.HasSuffix(name, "-shm") || strings.HasSuffix(name, "-pt2pt")
+}
+
+// tenantKey indexes one ProbeWinners sweep.
+type tenantKey struct{ ai, ki, mi int }
+
+// tenantGrid is the x13 probe matrix plus its measured winner grids.
+type tenantGrid struct {
+	archs    []*arch.Profile
+	kinds    []core.Kind
+	ambients []int
+	sizes    []int64
+	cells    map[tenantKey][]tuner.ProbeCell
+}
+
+// tenantProbeGrid measures the (arch, kind, ambient) matrix. Only the
+// four kinds whose candidate pools contain both kernel-assisted and
+// two-copy designs are swept: a crossover needs both classes on the
+// ballot.
+func tenantProbeGrid(o Options) tenantGrid {
+	g := tenantGrid{
+		archs:    o.archs(arch.All()...),
+		kinds:    []core.Kind{core.KindScatter, core.KindGather, core.KindBcast, core.KindAllgather},
+		ambients: []int{0, 2, 8, 32},
+		sizes:    []int64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20},
+	}
+	if o.Quick {
+		g.kinds = []core.Kind{core.KindScatter, core.KindBcast}
+		g.ambients = []int{0, 32}
+		g.sizes = []int64{4 << 10, 64 << 10, 1 << 20}
+	}
+	var keys []tenantKey
+	for ai := range g.archs {
+		for ki := range g.kinds {
+			for mi := range g.ambients {
+				keys = append(keys, tenantKey{ai, ki, mi})
+			}
+		}
+	}
+	// Each cell is a full candidate×size probe sweep; parallelism lives
+	// at this level, so the inner tuner runs sequentially.
+	vals := parMap(o, len(keys), func(i int) []tuner.ProbeCell {
+		k := keys[i]
+		return tuner.ProbeWinners(g.archs[k.ai], g.kinds[k.ki], tuner.Config{
+			ProbeSizes: g.sizes,
+			Ambient:    g.ambients[k.mi],
+			Jobs:       1,
+		})
+	})
+	g.cells = make(map[tenantKey][]tuner.ProbeCell, len(keys))
+	for i, k := range keys {
+		g.cells[k] = vals[i]
+	}
+	return g
+}
+
+// crossoverSize returns the smallest probed size where a
+// kernel-assisted algorithm wins (0 when two-copy wins everywhere).
+func crossoverSize(cells []tuner.ProbeCell) float64 {
+	for _, c := range cells {
+		if !twoCopy(c.Name) {
+			return float64(c.Size)
+		}
+	}
+	return 0
+}
+
+// tenantMix is the interference scenario: the canonical three-tenant
+// mix at a fixed small world. Two training iterations are the floor —
+// with one, the stencil and rpc streams drain before the train job's
+// big transfers start sampling, and nothing overlaps.
+func tenantMix(quick bool) []workload.JobSpec {
+	if quick {
+		return workload.DefaultMix(8, 2)
+	}
+	return workload.DefaultMix(16, 4)
+}
+
+func init() {
+	register(&Experiment{
+		ID:    "x13",
+		Title: "[extension] Multi-tenant ambient pressure: tuned crossovers shift, co-located mixes interfere",
+		Tables: func(o Options) []Table {
+			g := tenantProbeGrid(o)
+
+			// Interference cells: per arch, the co-located mix plus each
+			// job solo. Cell 0 is the co-located run, 1..len(specs) the
+			// solo runs.
+			specs := tenantMix(o.Quick)
+			perArch := 1 + len(specs)
+			mixVals := parMap(o, len(g.archs)*perArch, func(i int) []workload.JobResult {
+				a, ci := g.archs[i/perArch], i%perArch
+				wopts := workload.Options{Arch: a}
+				if ci == 0 {
+					res, err := workload.Run(specs, wopts)
+					if err != nil {
+						panic(err)
+					}
+					return res.Jobs
+				}
+				jr, err := workload.Solo(specs[ci-1], wopts)
+				if err != nil {
+					panic(err)
+				}
+				return []workload.JobResult{jr}
+			})
+
+			var out []Table
+			for ai, a := range g.archs {
+				// Panel 1: per-kind winner grids.
+				for ki, kind := range g.kinds {
+					t := Table{
+						Title:   fmt.Sprintf("Tuned winner vs size under ambient lock pressure: %s, %s", kind, a.Display),
+						XHeader: "size",
+						XLabels: sizeLabels(g.sizes),
+						Notes: []string{
+							"latency (us) of the per-size winning candidate; ambient = phantom co-tenant mm-lock holders added to every gamma(c) sample",
+						},
+					}
+					for mi, amb := range g.ambients {
+						cells := g.cells[tenantKey{ai, ki, mi}]
+						s := Series{Name: fmt.Sprintf("amb=%d", amb)}
+						var winners []string
+						for _, c := range cells {
+							s.Values = append(s.Values, c.Latency)
+							winners = append(winners, fmt.Sprintf("%s@%s", c.Name, sizeLabel(c.Size)))
+						}
+						t.Series = append(t.Series, s)
+						t.Notes = append(t.Notes, fmt.Sprintf("amb=%d winners: %s", amb, strings.Join(winners, " ")))
+					}
+					out = append(out, t)
+				}
+
+				// Panel 2: crossover summary.
+				ct := Table{
+					Title:   fmt.Sprintf("Kernel-assist crossover size vs ambient pressure, %s", a.Display),
+					XHeader: "kind",
+					Notes: []string{
+						"value = smallest probed size (bytes) where a kernel-assisted (CMA-class) design wins; 0 = two-copy wins at every probe",
+						"ambient pressure inflates gamma(c) for the lock-taking designs only, pushing the crossover toward larger messages",
+					},
+				}
+				for _, kind := range g.kinds {
+					ct.XLabels = append(ct.XLabels, string(kind))
+				}
+				for mi, amb := range g.ambients {
+					s := Series{Name: fmt.Sprintf("amb=%d", amb)}
+					for ki := range g.kinds {
+						s.Values = append(s.Values, crossoverSize(g.cells[tenantKey{ai, ki, mi}]))
+					}
+					ct.Series = append(ct.Series, s)
+				}
+				out = append(out, ct)
+
+				// Panel 3: co-location interference.
+				co := mixVals[ai*perArch]
+				it := Table{
+					Title:   fmt.Sprintf("Co-location interference: train/stencil/rpc mix solo vs co-located, %s", a.Display),
+					XHeader: "job",
+					Notes: []string{
+						fmt.Sprintf("%d ranks per job; mean per-op latency (us), last-in to last-out; peak-amb = largest co-tenant lock pressure the job's transfers observed", specs[0].Ranks),
+					},
+				}
+				solo := Series{Name: "solo"}
+				coloc := Series{Name: "co-located"}
+				peak := Series{Name: "peak-amb"}
+				for si, spec := range specs {
+					it.XLabels = append(it.XLabels, spec.Name)
+					jr := mixVals[ai*perArch+1+si][0]
+					solo.Values = append(solo.Values, jr.MeanLat)
+					var cj workload.JobResult
+					for _, j := range co {
+						if j.Name == spec.Name {
+							cj = j
+						}
+					}
+					coloc.Values = append(coloc.Values, cj.MeanLat)
+					peak.Values = append(peak.Values, float64(cj.PeakAmbient))
+				}
+				it.Series = append(it.Series, solo, coloc, peak)
+				out = append(out, it)
+			}
+			return out
+		},
+	})
+}

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"testing"
+
+	"camc/internal/core"
+)
+
+// TestX13WinnerShiftsUnderAmbient pins the experiment's headline claim
+// (and the PR's acceptance criterion): at least one (kind, arch) cell
+// has a probed size whose winning algorithm differs between an idle
+// machine (ambient=0) and heavy co-tenant pressure — and every such
+// flip moves in the physical direction, away from the lock-taking
+// kernel-assisted designs, never toward them.
+func TestX13WinnerShiftsUnderAmbient(t *testing.T) {
+	skipIfRaceExpensive(t, "x13")
+	g := tenantProbeGrid(quick)
+	heavy := len(g.ambients) - 1
+	shifts := 0
+	for ai := range g.archs {
+		for ki := range g.kinds {
+			base := g.cells[tenantKey{ai, ki, 0}]
+			press := g.cells[tenantKey{ai, ki, heavy}]
+			for si := range base {
+				if base[si].Name == press[si].Name {
+					continue
+				}
+				shifts++
+				if twoCopy(base[si].Name) && !twoCopy(press[si].Name) {
+					t.Errorf("%s %s at %s: ambient pressure flipped the winner TOWARD kernel-assist (%s -> %s)",
+						g.archs[ai].Name, g.kinds[ki], sizeLabel(g.sizes[si]), base[si].Name, press[si].Name)
+				}
+			}
+		}
+	}
+	if shifts == 0 {
+		t.Fatal("no (arch, kind, size) cell changed winners between ambient=0 and heavy ambient")
+	}
+}
+
+// TestX13CrossoverMonotone checks the summary panel's semantics: under
+// heavy ambient pressure the kernel-assist crossover never moves toward
+// smaller messages (0 = never wins counts as the largest crossover).
+func TestX13CrossoverMonotone(t *testing.T) {
+	skipIfRaceExpensive(t, "x13")
+	g := tenantProbeGrid(quick)
+	heavy := len(g.ambients) - 1
+	rank := func(v float64) float64 {
+		if v == 0 { // two-copy wins everywhere: treat as +inf crossover
+			return float64(g.sizes[len(g.sizes)-1]) * 2
+		}
+		return v
+	}
+	for ai := range g.archs {
+		for ki := range g.kinds {
+			base := crossoverSize(g.cells[tenantKey{ai, ki, 0}])
+			press := crossoverSize(g.cells[tenantKey{ai, ki, heavy}])
+			if rank(press) < rank(base) {
+				t.Errorf("%s %s: crossover moved down under pressure (%g -> %g)",
+					g.archs[ai].Name, g.kinds[ki], base, press)
+			}
+		}
+	}
+}
+
+// TestX13TableShapes runs the full experiment in quick mode and checks
+// the panel structure: per arch, one winner grid per kind, a crossover
+// summary with one series per ambient, and an interference table whose
+// co-located train latency is at least its solo latency.
+func TestX13TableShapes(t *testing.T) {
+	tabs := tablesOf(t, "x13", Options{Quick: true, Arch: "knl"})
+	kinds := []core.Kind{core.KindScatter, core.KindBcast}
+	wantTables := len(kinds) + 2
+	if len(tabs) != wantTables {
+		t.Fatalf("got %d tables for one arch, want %d", len(tabs), wantTables)
+	}
+	cross := tabs[len(kinds)]
+	if len(cross.Series) != 2 || cross.Series[0].Name != "amb=0" || cross.Series[1].Name != "amb=32" {
+		t.Fatalf("crossover table series = %v", seriesNames(cross))
+	}
+	interf := tabs[len(kinds)+1]
+	for _, want := range []string{"solo", "co-located", "peak-amb"} {
+		found := false
+		for _, s := range interf.Series {
+			if s.Name == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("interference table missing series %q (have %v)", want, seriesNames(interf))
+		}
+	}
+	for xi, job := range interf.XLabels {
+		solo, _ := interf.Get("solo", xi)
+		co, _ := interf.Get("co-located", xi)
+		if co < solo {
+			t.Errorf("job %s: co-located mean %g below solo %g", job, co, solo)
+		}
+	}
+	// The train job is the heavy lock taker; it must both feel the
+	// others (peak-amb > 0) and measurably slow down.
+	for xi, job := range interf.XLabels {
+		if job != "train" {
+			continue
+		}
+		solo, _ := interf.Get("solo", xi)
+		co, _ := interf.Get("co-located", xi)
+		peak, _ := interf.Get("peak-amb", xi)
+		if peak <= 0 {
+			t.Errorf("train saw no co-tenant pressure (peak-amb %g)", peak)
+		}
+		if co <= solo {
+			t.Errorf("train not slowed by co-location: solo %g, co %g", solo, co)
+		}
+	}
+}

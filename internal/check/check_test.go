@@ -158,6 +158,7 @@ func TestSpecStringParseRoundTrip(t *testing.T) {
 	specs := []Spec{
 		{Arch: "knl", Kind: core.KindScatter, Algo: "throttled:4", Count: 65536, Procs: 8, Root: 3, Seed: 17},
 		{Arch: "power8", Kind: core.KindReduce, Algo: "knomial:2", Count: 512, Procs: 5, Seed: 1, Skew: 2.5},
+		{Arch: "knl", Kind: core.KindGather, Algo: "throttled:4", Count: 32768, Procs: 8, Seed: 7, Ambient: 32},
 		{Arch: "broadwell", Kind: core.KindBcast, Algo: "direct-read", Count: 64, Procs: 6, Root: 1, Seed: 0,
 			Faults: "kill=0.4,killop=3,seed=620", Deadline: 2000},
 	}
@@ -187,6 +188,9 @@ func TestParseSpecErrors(t *testing.T) {
 		strings.Replace(base, "algo=parallel-read", "algo=parallel-read:3", 1), // takes no parameter
 		base + " faults=bogus=1",
 		base + " skew=-1",
+		base + " ambient=-3",
+		base + " ambient=two",
+		"arch=knl kind=bcast algo=binomial size=64 procs=2 root=0 seed=1 ambient=8 nodes=2", // ambient is single-node machinery
 	}
 	for _, line := range bad {
 		if _, err := ParseSpec(line); err == nil {
@@ -394,6 +398,8 @@ func TestRunOneGreenMatrix(t *testing.T) {
 		"arch=power8 kind=reduce algo=knomial:2 size=2048 procs=5 root=3 seed=16",
 		"arch=knl kind=scatter algo=parallel-read size=2048 procs=4 root=0 seed=17 skew=4 faults=moderate,seed=9",
 		"arch=knl kind=gather algo=sequential-read size=1024 procs=4 root=0 seed=18 faults=kill=0.5,killop=2,seed=33 deadline=2000",
+		"arch=knl kind=scatter algo=throttled:2 size=65536 procs=5 root=0 seed=19 ambient=32",
+		"arch=power8 kind=bcast algo=knomial-read:3 size=65536 procs=6 root=0 seed=20 ambient=8 skew=2",
 	}
 	for _, line := range specs {
 		sp, err := ParseSpec(line)
@@ -417,6 +423,71 @@ func TestRunOneCatchesWrongRoot(t *testing.T) {
 	}
 	if d := DiffPayload(1, []byte{3, 4}, exp[1]); d == "" {
 		t.Error("wrong-root payload passed the oracle")
+	}
+}
+
+// TestRunOneAmbientSlowsAndDropsPrediction: an ambient spec must stay
+// oracle-green (payloads are exact under any contention), run slower
+// than its dedicated-machine twin, and carry no closed-form prediction
+// (the forms model an idle machine).
+func TestRunOneAmbientSlowsAndDropsPrediction(t *testing.T) {
+	base, err := ParseSpec("arch=knl kind=scatter algo=throttled:4 size=65536 procs=8 root=0 seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet, err := RunOne(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := base
+	busy.Ambient = 32
+	res, err := RunOne(busy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pred != 0 {
+		t.Errorf("ambient run carries closed-form prediction %v, want none", res.Pred)
+	}
+	if quiet.Pred == 0 {
+		t.Error("dedicated-machine twin lost its prediction")
+	}
+	if res.Latency <= quiet.Latency {
+		t.Errorf("ambient 32 latency %v not above dedicated %v", res.Latency, quiet.Latency)
+	}
+}
+
+// TestGenDrawsAmbient: the generator produces ambient specs on the
+// single-node path only, and every draw stays valid.
+func TestGenDrawsAmbient(t *testing.T) {
+	n := 0
+	for i := 0; i < 200; i++ {
+		sp := Gen(11, i, GenOptions{Faults: true})
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("index %d: %s: %v", i, sp, err)
+		}
+		if sp.Ambient > 0 {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no ambient spec in 200 draws")
+	}
+	for i := 0; i < 50; i++ {
+		if sp := Gen(11, i, GenOptions{Cluster: true}); sp.Ambient != 0 {
+			t.Fatalf("cluster spec drew ambient: %s", sp)
+		}
+	}
+}
+
+func TestShrinkDropsAmbient(t *testing.T) {
+	start := Spec{Arch: "knl", Kind: core.KindScatter, Algo: "throttled:4", Count: 4096,
+		Procs: 8, Seed: 5, Ambient: 32}
+	if err := start.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	min := Shrink(start, func(sp Spec) bool { return sp.Kind == core.KindScatter })
+	if min.Ambient != 0 {
+		t.Errorf("shrinker kept ambient: %s", min)
 	}
 }
 

@@ -136,12 +136,20 @@ func Gen(seed int64, i int, o GenOptions) Spec {
 			}
 		}
 	}
+	// Co-tenant ambient pressure, drawn LAST: appending to the RNG
+	// stream keeps every earlier field of every existing (seed, i) spec
+	// byte-identical, so the long-standing seeded corpora (and their CI
+	// summary counts) survive the grammar extension.
+	if rng.Intn(10) < 2 {
+		sp.Ambient = []int{2, 8, 32}[rng.Intn(3)]
+	}
 	return sp
 }
 
 // Shrink greedily minimizes a failing spec: each step proposes a
 // strictly simpler candidate (smaller payload, fewer ranks, root 0, no
-// skew, no faults) and keeps it only if the failure reproduces, looping
+// skew, no ambient, no faults) and keeps it only if the failure
+// reproduces, looping
 // to a fixpoint. failing must be a deterministic predicate — RunOne
 // wrapped in an error check is the intended one.
 func Shrink(sp Spec, failing func(Spec) bool) Spec {
@@ -199,6 +207,7 @@ func Shrink(sp Spec, failing func(Spec) bool) Spec {
 		for _, mutate := range []func(*Spec){
 			func(c *Spec) { c.Root = 0 },
 			func(c *Spec) { c.Skew = 0 },
+			func(c *Spec) { c.Ambient = 0 },
 			func(c *Spec) { c.Faults = "" },
 			func(c *Spec) { c.Faults, c.Deadline = "", 0 },
 			func(c *Spec) { c.Seed = 0 },

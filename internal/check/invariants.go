@@ -31,7 +31,7 @@ func Invariants() []Invariant {
 		{"clock-monotone", "virtual time never runs backwards: non-edge events are recorded in non-decreasing Start order, spans close at End >= Start", checkClockMonotone},
 		{"span-nesting", "per-lane spans are well-formed: every span closes and spans on one lane strictly nest", checkSpanNesting},
 		{"lock-balance", "per (mm-owner, holder) pair, mm-lock chunk acquires and releases balance and never go negative", checkLockBalance},
-		{"gamma-sanity", "every sampled contention factor has 1 <= c <= procs and gamma >= 1, and the in-flight counter steps by exactly +-1 staying in [0, procs]", checkGammaSanity},
+		{"gamma-sanity", "every sampled contention factor has 1 <= c <= procs+ambient and gamma >= 1, and the in-flight counter steps by exactly +-1 staying in [0, procs]", checkGammaSanity},
 		{"fault-conservation", "every injected transient is accounted for: Transients == Retries + Fallbacks, and all counters are non-negative", checkFaultConservation},
 		{"model-conformance", "for fault-free, skew-free runs of algorithms with closed forms, the simulated latency stays within the model envelope", checkModelConformance},
 		{"net-span-nesting", "on cluster runs, every net_send/net_recv span nests inside an enclosing collective span on its lane", checkNetSpanNesting},
@@ -188,15 +188,18 @@ func checkLockBalance(r *RunResult) []Violation {
 }
 
 // checkGammaSanity: every γ(c) sample must carry a concurrency count in
-// [1, procs] and a factor >= 1 (contention never accelerates a copy),
-// and the mm in-flight counter must step by exactly ±1 per sample,
-// staying within [0, procs].
+// [1, procs + ambient] (the γ curve sees the spec's phantom co-tenant
+// holders on top of the local fan-in) and a factor >= 1 (contention
+// never accelerates a copy), and the mm in-flight counter must step by
+// exactly ±1 per sample, staying within [0, procs] — ambient holders
+// are phantom and never enter the real in-flight count.
 func checkGammaSanity(r *RunResult) []Violation {
 	var out []Violation
 	bad := func(format string, args ...any) {
 		out = append(out, Violation{"gamma-sanity", fmt.Sprintf(format, args...)})
 	}
 	p := float64(r.Procs)
+	cMax := p + float64(r.Spec.Ambient)
 	lastInFlight := map[int]float64{}
 	for i, e := range r.Rec.Events() {
 		switch {
@@ -207,15 +210,15 @@ func checkGammaSanity(r *RunResult) []Violation {
 				bad("event %d: gamma sample without c arg", i)
 				continue
 			}
-			if c < 1 || c > p {
-				bad("event %d: gamma concurrency c=%v outside [1, %d]", i, c, r.Procs)
+			if c < 1 || c > cMax {
+				bad("event %d: gamma concurrency c=%v outside [1, %v]", i, c, cMax)
 			}
 			if g < 1 {
 				bad("event %d: gamma %v < 1", i, g)
 			}
 		case e.Kind == trace.KindInstant && e.Name == "mm_lock_acquire":
-			if c, ok := e.Arg("c"); ok && (c < 1 || c > p) {
-				bad("event %d: mm_lock_acquire concurrency c=%v outside [1, %d]", i, c, r.Procs)
+			if c, ok := e.Arg("c"); ok && (c < 1 || c > cMax) {
+				bad("event %d: mm_lock_acquire concurrency c=%v outside [1, %v]", i, c, cMax)
 			}
 		case e.Kind == trace.KindCounter && e.Name == trace.CounterInFlight:
 			if e.Value < 0 || e.Value > p {

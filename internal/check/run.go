@@ -268,7 +268,7 @@ func runPayload(sp Spec, prof *arch.Profile, fcfg *fault.Config, materialize, tr
 	if mem < 1<<20 {
 		mem = 1 << 20
 	}
-	c := mpi.New(mpi.Config{Arch: prof, Procs: p, CopyData: materialize, Sparse: track, MemPerProc: mem, Fault: fcfg})
+	c := mpi.New(mpi.Config{Arch: prof, Procs: p, CopyData: materialize, Sparse: track, MemPerProc: mem, Ambient: sp.Ambient, Fault: fcfg})
 	rec := trace.NewUnbound()
 	c.AttachTrace(rec)
 	plan := c.FaultPlan()
@@ -353,7 +353,9 @@ func runPayload(sp Spec, prof *arch.Profile, fcfg *fault.Config, materialize, tr
 		}
 	}
 
-	if fcfg == nil && sp.Skew == 0 {
+	// The closed forms model a dedicated machine; ambient pressure bends
+	// γ(c) away from them, so no prediction is attached on ambient specs.
+	if fcfg == nil && sp.Skew == 0 && sp.Ambient == 0 {
 		if pred, ok := predictFor(prof, p, sp.Kind, sp.Algo, sp.Count); ok {
 			res.Pred = pred
 		}
@@ -373,7 +375,7 @@ func runRecovered(sp Spec, prof *arch.Profile, fcfg *fault.Config) (*RunResult, 
 		lcfg.Deadline = sp.Deadline
 	}
 	rres, rec, err := measure.CollectiveRecoveredTraced(prof, sp.Kind, sp.Algo, sp.Count,
-		measure.Options{Procs: sp.Procs, Root: sp.Root, Fault: fcfg, Liveness: &lcfg,
+		measure.Options{Procs: sp.Procs, Root: sp.Root, Ambient: sp.Ambient, Fault: fcfg, Liveness: &lcfg,
 			SkewSeed: sp.Seed, MaxSkew: sp.Skew})
 	res := &RunResult{Spec: sp, Rec: rec, Procs: sp.Procs, Killed: true}
 	if err != nil {

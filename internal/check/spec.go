@@ -38,6 +38,11 @@ type Spec struct {
 	Seed  int64     // payload/skew RNG seed
 	Skew  float64   // max per-rank start skew in simulated us (0 = none)
 
+	// Ambient is the static co-tenant lock pressure (phantom page-lock
+	// holders added to every γ(c) sample, mpi.Config.Ambient). It is
+	// single-node machinery — rejected on cluster specs.
+	Ambient int
+
 	// Faults is a fault-plan spec for fault.Parse ("" = fault-free).
 	// A plan with the kill class routes the run through the recovery
 	// harness (detect, agree, shrink, replan, verified re-run).
@@ -68,6 +73,9 @@ func (s Spec) String() string {
 		s.Arch, s.Kind, s.Algo, s.Count, s.Procs, s.Root, s.Seed)
 	if s.Skew != 0 {
 		fmt.Fprintf(&b, " skew=%s", strconv.FormatFloat(s.Skew, 'g', -1, 64))
+	}
+	if s.Ambient != 0 {
+		fmt.Fprintf(&b, " ambient=%d", s.Ambient)
 	}
 	if s.Faults != "" {
 		fmt.Fprintf(&b, " faults=%s", s.Faults)
@@ -115,6 +123,8 @@ func ParseSpec(line string) (Spec, error) {
 			sp.Seed, err = strconv.ParseInt(val, 10, 64)
 		case "skew":
 			sp.Skew, err = strconv.ParseFloat(val, 64)
+		case "ambient":
+			sp.Ambient, err = strconv.Atoi(val)
 		case "faults":
 			sp.Faults = val
 		case "deadline":
@@ -192,6 +202,12 @@ func (s Spec) Validate() error {
 	}
 	if s.Skew < 0 {
 		return fmt.Errorf("check: negative skew %v", s.Skew)
+	}
+	if s.Ambient < 0 {
+		return fmt.Errorf("check: negative ambient %d", s.Ambient)
+	}
+	if s.Ambient > 0 && s.Nodes > 0 {
+		return fmt.Errorf("check: ambient= is single-node machinery, invalid with nodes>0")
 	}
 	if s.Deadline < 0 {
 		return fmt.Errorf("check: negative deadline %v", s.Deadline)

@@ -27,6 +27,7 @@ import (
 	"camc/internal/fault"
 	"camc/internal/liveness"
 	"camc/internal/sim"
+	"camc/internal/tenant"
 	"camc/internal/trace"
 )
 
@@ -74,6 +75,21 @@ type Node struct {
 	procs         []*Process
 	activeCopiers int // transfers currently in their copy phase
 
+	// ambient is the static co-tenant lock pressure: phantom page-lock
+	// holders that co-located jobs outside this communicator hold on
+	// the machine's shared kernel path. γ(c) is evaluated over the
+	// *sum* of the local mm fan-in and this ambient count, so a node
+	// tuned at ambient 0 measurably loses its crossovers under load.
+	// Only the calibrated γ curve sees it — the EmergentLock FIFO model
+	// queues real lockers and has no phantom to queue.
+	ambient int
+
+	// job, when non-nil, registers this node's live lock holders and
+	// copy streams with a machine-wide tenant registry, and adds the
+	// *other* jobs' live pressure to every γ sample — this is how
+	// co-located communicators sharing one simulation interfere.
+	job *tenant.Job
+
 	mechanism     Mechanism
 	xpmemAttached map[xpmemKey]bool
 
@@ -89,12 +105,42 @@ func NewNode(s *sim.Simulation, a *arch.Profile) *Node {
 	return &Node{Sim: s, Arch: a, CopyData: true, ChunkPages: DefaultChunkPages}
 }
 
+// SetAmbient sets the static co-tenant lock pressure: n phantom
+// page-lock holders added to every γ(c) sample on this node. 0 (the
+// default) restores the single-tenant model.
+func (n *Node) SetAmbient(holders int) {
+	if holders < 0 {
+		panic("kernel: negative ambient pressure")
+	}
+	n.ambient = holders
+}
+
+// Ambient returns the static co-tenant lock pressure.
+func (n *Node) Ambient() int { return n.ambient }
+
+// SetTenant attaches the node to a machine-wide tenant registry: its
+// transfers then count themselves into the job's live-holder and
+// copy-stream sets and see the other jobs' pressure as ambient. A nil
+// job (the default) keeps the node single-tenant.
+func (n *Node) SetTenant(j *tenant.Job) { n.job = j }
+
+// Tenant returns the attached tenant job (nil when single-tenant).
+func (n *Node) Tenant() *tenant.Job { return n.job }
+
+// ambientPressure is the lock pressure this node's transfers see on
+// top of their own mm fan-in: the static knob plus whatever the other
+// co-located jobs hold live right now.
+func (n *Node) ambientPressure() int { return n.ambient + n.job.Ambient() }
+
 // BeginCopy registers a memory-copy stream (CMA transfer phase or a
 // shared-memory bounce-buffer cell copy) against the node's aggregate
 // bandwidth; EndCopy unregisters it. The shared-memory transport uses
 // these so that two-copy traffic and kernel-assisted traffic share one
 // memory system.
-func (n *Node) BeginCopy() { n.activeCopiers++ }
+func (n *Node) BeginCopy() {
+	n.activeCopiers++
+	n.job.BeginCopy()
+}
 
 // EndCopy unregisters a copy stream started with BeginCopy.
 func (n *Node) EndCopy() {
@@ -102,14 +148,18 @@ func (n *Node) EndCopy() {
 	if n.activeCopiers < 0 {
 		panic("kernel: EndCopy without BeginCopy")
 	}
+	n.job.EndCopy()
 }
 
 // EffPerByte returns the effective per-byte copy time for a stream whose
 // uncongested rate is base (us/byte), given the currently registered
 // concurrent copy streams: max(base, active/aggregate-bandwidth).
+// Co-located jobs' streams (tenant registry) share the same memory
+// system and count toward the divisor.
 func (n *Node) EffPerByte(base float64) float64 {
-	if agg := n.Arch.AggBandwidth(); agg > 0 && n.activeCopiers > 1 {
-		if shared := float64(n.activeCopiers) / agg; shared > base {
+	active := n.activeCopiers + n.job.OtherCopiers()
+	if agg := n.Arch.AggBandwidth(); agg > 0 && active > 1 {
+		if shared := float64(active) / agg; shared > base {
 			return shared
 		}
 	}
@@ -390,9 +440,11 @@ func (n *Node) vmTransfer(sp *sim.Proc, caller *Process, callerAddr Addr, remote
 	}
 
 	// Phase 3-5: per-chunk lock, pin, copy. The op counts itself in the
-	// remote mm's in-flight set for the whole loop; γ is re-sampled per
-	// chunk so overlapping transfers see each other.
+	// remote mm's in-flight set (and the machine-wide tenant set) for
+	// the whole loop; γ is re-sampled per chunk so overlapping
+	// transfers — same-job and co-tenant alike — see each other.
 	remote.mmInFlight++
+	n.job.EnterLock()
 	if n.rec != nil {
 		n.rec.Counter(remoteLane, trace.CatLock, trace.CounterInFlight, float64(remote.mmInFlight))
 	}
@@ -400,14 +452,17 @@ func (n *Node) vmTransfer(sp *sim.Proc, caller *Process, callerAddr Addr, remote
 	// first sampled: without this, simultaneous arrivals would see a
 	// staggered ramp that exists only as a scheduling-order artifact.
 	sp.Yield()
-	maxC := remote.mmInFlight
+	maxC := remote.mmInFlight + n.ambientPressure()
 	copied := int64(0)
 	for page := int64(0); page < pages; page += chunk {
 		cp := chunk
 		if pages-page < cp {
 			cp = pages - page
 		}
-		c := remote.mmInFlight
+		// The contention the lock sees is the local mm fan-in plus the
+		// ambient pressure of the machine's other tenants at this
+		// instant (re-sampled per chunk, like the fan-in itself).
+		c := remote.mmInFlight + n.ambientPressure()
 		if c > maxC {
 			maxC = c
 		}
@@ -500,6 +555,7 @@ func (n *Node) vmTransfer(sp *sim.Proc, caller *Process, callerAddr Addr, remote
 		}
 	}
 	remote.mmInFlight--
+	n.job.ExitLock()
 	if n.rec != nil {
 		n.rec.Counter(remoteLane, trace.CatLock, trace.CounterInFlight, float64(remote.mmInFlight))
 	}

@@ -39,7 +39,7 @@ func CollectiveChecked(a *arch.Profile, kind core.Kind, algo func(*mpi.Rank, cor
 			mem = 1 << 20
 		}
 	}
-	c := mpi.New(mpi.Config{Arch: a, Procs: procs, CopyData: true, MemPerProc: mem, Mechanism: opts.Mechanism, Fault: opts.Fault, Liveness: opts.Liveness})
+	c := mpi.New(mpi.Config{Arch: a, Procs: procs, CopyData: true, MemPerProc: mem, Mechanism: opts.Mechanism, Ambient: opts.Ambient, Fault: opts.Fault, Liveness: opts.Liveness})
 	plan := c.FaultPlan()
 
 	sendLen, recvLen, err := bufSizes(kind, procs, count)

@@ -30,6 +30,12 @@ type Options struct {
 	// Mechanism selects the kernel-assist facility (default CMA).
 	Mechanism kernel.Mechanism
 
+	// Ambient is the static co-tenant lock pressure: phantom page-lock
+	// holders co-located jobs hold on the machine, added to every γ(c)
+	// sample. The tuner sweeps it to show how tuned crossovers shift
+	// under multi-tenant interference (x13).
+	Ambient int
+
 	// Sparse enables per-page payload digest tracking (mpi.Config.Sparse)
 	// on the otherwise dataless measurement run. Latencies are unaffected;
 	// harnesses that cross-check digest equality against a materialized
@@ -141,7 +147,7 @@ func collective(a *arch.Profile, kind core.Kind, algo func(*mpi.Rank, core.Args)
 		}
 	}
 	sm := simPool.Get().(*sim.Simulation)
-	c := mpi.New(mpi.Config{Arch: a, Procs: procs, CopyData: false, Sparse: opts.Sparse, Sim: sm, MemPerProc: mem, Mechanism: opts.Mechanism, Fault: opts.Fault, Liveness: opts.Liveness})
+	c := mpi.New(mpi.Config{Arch: a, Procs: procs, CopyData: false, Sparse: opts.Sparse, Sim: sm, MemPerProc: mem, Mechanism: opts.Mechanism, Ambient: opts.Ambient, Fault: opts.Fault, Liveness: opts.Liveness})
 	c.AttachTrace(rec)
 	plan := c.FaultPlan()
 	sc := scratchPool.Get().(*scratch)

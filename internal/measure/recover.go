@@ -89,7 +89,7 @@ func collectiveRecovered(a *arch.Profile, kind core.Kind, spec string, count int
 		}
 	}
 	c := mpi.New(mpi.Config{Arch: a, Procs: procs, CopyData: true, MemPerProc: mem,
-		Mechanism: opts.Mechanism, Fault: opts.Fault, Liveness: lcfg})
+		Mechanism: opts.Mechanism, Ambient: opts.Ambient, Fault: opts.Fault, Liveness: lcfg})
 	c.AttachTrace(rec)
 	plan := c.FaultPlan()
 	board := c.Liveness() // pre-shrink board: holds death + agreement instants

@@ -19,6 +19,7 @@ import (
 	"camc/internal/liveness"
 	"camc/internal/shm"
 	"camc/internal/sim"
+	"camc/internal/tenant"
 	"camc/internal/trace"
 )
 
@@ -62,6 +63,19 @@ type Config struct {
 	// Mechanism selects the kernel-assist facility (CMA by default; see
 	// kernel.Mechanism for KNEM/LiMIC/XPMEM).
 	Mechanism kernel.Mechanism
+
+	// Ambient is the static co-tenant lock pressure: phantom page-lock
+	// holders that co-located jobs hold on the machine's shared kernel
+	// path, added to every γ(c) sample (kernel.Node.SetAmbient). 0
+	// keeps the single-tenant model.
+	Ambient int
+
+	// Tenant, when non-nil, registers the communicator's node with a
+	// machine-wide tenant registry (internal/tenant): co-located
+	// communicators sharing one simulation then interfere through the
+	// shared mm-lock pressure and memory system. The workload scenario
+	// generator is the main client.
+	Tenant *tenant.Job
 
 	// Fault, when non-nil and active, attaches a deterministic
 	// fault-injection plan to the node: CMA ops can fail transiently or
@@ -278,6 +292,8 @@ func New(cfg Config) *Comm {
 	node.CopyData = cfg.CopyData
 	node.DigestPayload = cfg.Sparse
 	node.SetMechanism(cfg.Mechanism)
+	node.SetAmbient(cfg.Ambient)
+	node.SetTenant(cfg.Tenant)
 	if cfg.ChunkPages != 0 {
 		node.ChunkPages = cfg.ChunkPages
 	}

@@ -1,0 +1,84 @@
+package tenant
+
+import "testing"
+
+func TestPressureSumsAcrossJobs(t *testing.T) {
+	h := NewHost()
+	a, b := h.Join("train"), h.Join("rpc")
+	if h.Pressure() != 0 {
+		t.Fatalf("idle pressure %d", h.Pressure())
+	}
+	a.EnterLock()
+	a.EnterLock()
+	b.EnterLock()
+	if got := h.Pressure(); got != 3 {
+		t.Fatalf("pressure %d, want 3", got)
+	}
+	// Each job sees only the *others'* holders as ambient.
+	if got := a.Ambient(); got != 1 {
+		t.Fatalf("a ambient %d, want 1", got)
+	}
+	if got := b.Ambient(); got != 2 {
+		t.Fatalf("b ambient %d, want 2", got)
+	}
+	a.ExitLock()
+	a.ExitLock()
+	b.ExitLock()
+	if h.Pressure() != 0 {
+		t.Fatalf("drained pressure %d", h.Pressure())
+	}
+	if a.PeakAmbient() != 1 || b.PeakAmbient() != 2 {
+		t.Fatalf("peaks %d/%d, want 1/2", a.PeakAmbient(), b.PeakAmbient())
+	}
+}
+
+func TestStaticBackgroundPressure(t *testing.T) {
+	h := NewHost()
+	h.Static = 5
+	j := h.Join("solo")
+	j.EnterLock()
+	if got := j.Ambient(); got != 5 {
+		t.Fatalf("ambient %d, want static 5 (own holder excluded)", got)
+	}
+	j.ExitLock()
+}
+
+func TestCopierSharing(t *testing.T) {
+	h := NewHost()
+	a, b := h.Join("a"), h.Join("b")
+	a.BeginCopy()
+	b.BeginCopy()
+	b.BeginCopy()
+	if h.Copiers() != 3 {
+		t.Fatalf("copiers %d, want 3", h.Copiers())
+	}
+	if a.OtherCopiers() != 2 || b.OtherCopiers() != 1 {
+		t.Fatalf("others %d/%d, want 2/1", a.OtherCopiers(), b.OtherCopiers())
+	}
+	a.EndCopy()
+	b.EndCopy()
+	b.EndCopy()
+	if h.Copiers() != 0 {
+		t.Fatalf("drained copiers %d", h.Copiers())
+	}
+}
+
+func TestNilJobIsInert(t *testing.T) {
+	var j *Job
+	j.EnterLock()
+	j.ExitLock()
+	j.BeginCopy()
+	j.EndCopy()
+	if j.Ambient() != 0 || j.OtherCopiers() != 0 || j.PeakAmbient() != 0 || j.Name() != "" {
+		t.Fatal("nil job not inert")
+	}
+}
+
+func TestUnbalancedExitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ExitLock without EnterLock did not panic")
+		}
+	}()
+	NewHost().Join("x").ExitLock()
+}

@@ -33,9 +33,13 @@ type Entry struct {
 	MaxSize int64
 	// Name is the winning algorithm's registry name.
 	Name string
-	// Latency is the measured latency at the probe size that decided
-	// this bucket (us).
+	// Latency is the measured latency at Probe (us). When adjacent
+	// buckets merge, the widened bucket keeps the *last* merged
+	// bucket's measurement, so Latency always belongs to the probe
+	// size closest to the bucket's printed upper bound.
 	Latency float64
+	// Probe is the probe size (bytes) Latency was measured at.
+	Probe int64
 
 	run func(*mpi.Rank, core.Args)
 }
@@ -47,13 +51,22 @@ type Table struct {
 	Entries map[core.Kind][]Entry // per kind, ascending MaxSize
 }
 
+// entriesFor returns kind's bucket list, panicking with a clear named
+// message for a kind the table does not cover. Both Collective and
+// Lookup go through this guard, so an empty kind fails identically on
+// either path instead of Lookup's former raw index-out-of-range.
+func (t *Table) entriesFor(kind core.Kind) []Entry {
+	entries := t.Entries[kind]
+	if len(entries) == 0 {
+		panic(fmt.Sprintf("tuner: no entries for %s", kind))
+	}
+	return entries
+}
+
 // Collective returns the table-driven implementation of kind: each call
 // dispatches to the bucket covering Args.Count.
 func (t *Table) Collective(kind core.Kind) func(r *mpi.Rank, a core.Args) {
-	entries, ok := t.Entries[kind]
-	if !ok || len(entries) == 0 {
-		panic(fmt.Sprintf("tuner: no entries for %s", kind))
-	}
+	t.entriesFor(kind)
 	return func(r *mpi.Rank, a core.Args) {
 		t.Lookup(kind, a.Count).run(r, a)
 	}
@@ -61,12 +74,12 @@ func (t *Table) Collective(kind core.Kind) func(r *mpi.Rank, a core.Args) {
 
 // Lookup returns the entry covering size.
 func (t *Table) Lookup(kind core.Kind, size int64) Entry {
-	for _, e := range t.Entries[kind] {
+	entries := t.entriesFor(kind)
+	for _, e := range entries {
 		if size <= e.MaxSize {
 			return e
 		}
 	}
-	entries := t.Entries[kind]
 	return entries[len(entries)-1]
 }
 
@@ -86,7 +99,7 @@ func (t *Table) Fprint(w io.Writer) {
 			if e.MaxSize != math.MaxInt64 {
 				hi = sizeStr(e.MaxSize)
 			}
-			fmt.Fprintf(w, "    (%s, %s]  ->  %-22s (%.1f us at probe)\n", sizeStr(lo), hi, e.Name, e.Latency)
+			fmt.Fprintf(w, "    (%s, %s]  ->  %-22s (%.1f us at %s)\n", sizeStr(lo), hi, e.Name, e.Latency, sizeStr(e.Probe))
 			lo = e.MaxSize
 		}
 	}
@@ -117,6 +130,16 @@ type Config struct {
 	// deterministic simulation, so the resulting table is identical for
 	// any value.
 	Jobs int
+	// Ambient is the static co-tenant lock pressure every probe runs
+	// under (measure.Options.Ambient): the table is then tuned for a
+	// machine with that many phantom page-lock holders, which shifts
+	// the crossovers away from the contention-prone kernel-assisted
+	// designs (x13).
+	Ambient int
+	// Kinds restricts the table to these collective kinds (default:
+	// all six). The tuning service tunes one kind per cache entry, so
+	// a plan miss pays for the kind it needs, not the whole matrix.
+	Kinds []core.Kind
 }
 
 func (c Config) withDefaults(a *arch.Profile) Config {
@@ -127,6 +150,9 @@ func (c Config) withDefaults(a *arch.Profile) Config {
 		for s := int64(1 << 10); s <= 4<<20; s <<= 2 {
 			c.ProbeSizes = append(c.ProbeSizes, s)
 		}
+	}
+	if len(c.Kinds) == 0 {
+		c.Kinds = Kinds()
 	}
 	return c
 }
@@ -220,7 +246,7 @@ func Kinds() []core.Kind {
 func Autotune(a *arch.Profile, cfg Config) *Table {
 	cfg = cfg.withDefaults(a)
 	t := &Table{Arch: a.Name, Procs: cfg.Procs, Entries: map[core.Kind][]Entry{}}
-	for _, kind := range Kinds() {
+	for _, kind := range cfg.Kinds {
 		cands := Candidates(kind, a)
 		measured := measureKind(a, kind, cands, cfg)
 		var entries []Entry
@@ -235,6 +261,7 @@ func Autotune(a *arch.Profile, cfg Config) *Table {
 				MaxSize: size,
 				Name:    cands[best].Name,
 				Latency: measured[best][si],
+				Probe:   size,
 				run:     cands[best].Run,
 			})
 		}
@@ -243,6 +270,36 @@ func Autotune(a *arch.Profile, cfg Config) *Table {
 		t.Entries[kind] = mergeAdjacent(entries)
 	}
 	return t
+}
+
+// ProbeCell is one (probe size, winner) pair of a pre-merge tuning
+// sweep: the raw grid Autotune buckets from.
+type ProbeCell struct {
+	Size    int64
+	Name    string  // winning algorithm at this probe size
+	Latency float64 // the winner's latency (us)
+}
+
+// ProbeWinners measures every candidate of one kind at every probe
+// size and returns the per-size winners — the same grid Autotune
+// collapses into buckets, kept at probe granularity so experiments can
+// show exactly where the winning algorithm flips (x13 sweeps this
+// against Config.Ambient).
+func ProbeWinners(a *arch.Profile, kind core.Kind, cfg Config) []ProbeCell {
+	cfg = cfg.withDefaults(a)
+	cands := Candidates(kind, a)
+	measured := measureKind(a, kind, cands, cfg)
+	out := make([]ProbeCell, len(cfg.ProbeSizes))
+	for si, size := range cfg.ProbeSizes {
+		best := 0
+		for ci := range cands {
+			if measured[ci][si] < measured[best][si] {
+				best = ci
+			}
+		}
+		out[si] = ProbeCell{Size: size, Name: cands[best].Name, Latency: measured[best][si]}
+	}
+	return out
 }
 
 // measureKind returns latencies[candidate][probeSize], probing the
@@ -259,18 +316,24 @@ func measureKind(a *arch.Profile, kind core.Kind, cands []core.Algorithm, cfg Co
 	}
 	par.Do(par.Workers(cfg.Jobs), len(cands)*len(cfg.ProbeSizes), func(i int) {
 		ci, si := i/len(cfg.ProbeSizes), i%len(cfg.ProbeSizes)
-		out[ci][si] = measure.Collective(a, mKind, cands[ci].Run, cfg.ProbeSizes[si], measure.Options{Procs: cfg.Procs})
+		out[ci][si] = measure.Collective(a, mKind, cands[ci].Run, cfg.ProbeSizes[si], measure.Options{Procs: cfg.Procs, Ambient: cfg.Ambient})
 	})
 	return out
 }
 
 // mergeAdjacent collapses neighbouring buckets won by the same
-// algorithm.
+// algorithm. The widened bucket takes the *last* merged bucket's
+// measurement (Latency and Probe): keeping the first one, as this
+// function originally did, made Fprint label a merged (0, 4M] bucket
+// with the 1K-probe latency — a number from the opposite end of the
+// bucket it annotates.
 func mergeAdjacent(entries []Entry) []Entry {
 	var out []Entry
 	for _, e := range entries {
 		if n := len(out); n > 0 && out[n-1].Name == e.Name {
 			out[n-1].MaxSize = e.MaxSize
+			out[n-1].Latency = e.Latency
+			out[n-1].Probe = e.Probe
 			continue
 		}
 		out = append(out, e)

@@ -73,6 +73,74 @@ func TestMergeAdjacent(t *testing.T) {
 	}
 }
 
+// TestMergeAdjacentKeepsLastMeasurement pins the latency-attribution
+// fix: a widened bucket must carry the measurement of the *last*
+// bucket folded into it, so Fprint's "(x us at probe)" annotation
+// names a probe that is actually inside the printed bucket.
+func TestMergeAdjacentKeepsLastMeasurement(t *testing.T) {
+	in := []Entry{
+		{MaxSize: 4 << 10, Name: "a", Latency: 1.5, Probe: 1 << 10},
+		{MaxSize: 64 << 10, Name: "a", Latency: 9.25, Probe: 64 << 10},
+		{MaxSize: 1 << 20, Name: "b", Latency: 40, Probe: 1 << 20},
+	}
+	out := mergeAdjacent(in)
+	if len(out) != 2 {
+		t.Fatalf("merged to %d entries, want 2: %+v", len(out), out)
+	}
+	got := out[0]
+	if got.MaxSize != 64<<10 || got.Latency != 9.25 || got.Probe != 64<<10 {
+		t.Fatalf("widened bucket kept first measurement: %+v (want latency 9.25 at 64K)", got)
+	}
+}
+
+// TestLookupEmptyKindPanics pins the hoisted guard: both Lookup and
+// Collective on a kind the table has no entries for must fail with the
+// descriptive tuner panic, not a raw index-out-of-range.
+func TestLookupEmptyKindPanics(t *testing.T) {
+	tab := &Table{Arch: "empty", Entries: map[core.Kind][]Entry{}}
+	for name, call := range map[string]func(){
+		"Lookup":     func() { tab.Lookup(core.KindScatter, 1) },
+		"Collective": func() { tab.Collective(core.KindScatter) },
+	} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s on empty kind did not panic", name)
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, "tuner: no entries for scatter") {
+					t.Fatalf("%s panic = %v, want tuner: no entries for scatter", name, r)
+				}
+			}()
+			call()
+		}()
+	}
+}
+
+func TestLookupBoundarySizes(t *testing.T) {
+	tab := &Table{Entries: map[core.Kind][]Entry{
+		core.KindBcast: {
+			{MaxSize: 4 << 10, Name: "small"},
+			{MaxSize: math.MaxInt64, Name: "big"},
+		},
+	}}
+	cases := []struct {
+		size int64
+		want string
+	}{
+		{0, "small"},
+		{4 << 10, "small"},     // bucket upper bounds are inclusive
+		{4<<10 + 1, "big"},     // first byte past the boundary
+		{math.MaxInt64, "big"}, // last bucket is a catch-all
+	}
+	for _, c := range cases {
+		if got := tab.Lookup(core.KindBcast, c.size); got.Name != c.want {
+			t.Errorf("Lookup(%d) = %q, want %q", c.size, got.Name, c.want)
+		}
+	}
+}
+
 func TestTunedDispatchMatchesWinner(t *testing.T) {
 	// The table-driven collective must perform exactly like the winning
 	// algorithm it routes to.
